@@ -1,0 +1,96 @@
+#ifndef HATEN2_BENCH_DISCOVERY_COMMON_H_
+#define HATEN2_BENCH_DISCOVERY_COMMON_H_
+
+// Shared setup for the concept-discovery harnesses (Tables VI-VIII): the
+// Freebase-music stand-in knowledge base plus the paper's preprocessing
+// pipeline (Section IV-C), at a size the discovery pipeline finishes in
+// seconds.
+
+#include "bench_util.h"
+#include "workload/knowledge_base.h"
+
+namespace haten2 {
+namespace bench {
+
+inline KnowledgeBaseSpec DiscoveryKbSpec() {
+  KnowledgeBaseSpec spec;
+  spec.num_subjects = 2000;
+  spec.num_objects = 2000;
+  spec.num_relations = 40;
+  spec.num_concepts = 4;
+  spec.subjects_per_concept = 25;
+  spec.objects_per_concept = 25;
+  spec.relations_per_concept = 4;
+  spec.facts_per_concept = 2500;
+  spec.noise_facts = 1500;
+  spec.share_groups = true;  // concepts 0/1 share an object group
+  spec.seed = 42;
+  return spec;
+}
+
+struct DiscoveryData {
+  KnowledgeBase kb;
+  SparseTensor tensor;  // preprocessed
+};
+
+inline DiscoveryData MakeDiscoveryData() {
+  DiscoveryData data;
+  data.kb = GenerateKnowledgeBase(DiscoveryKbSpec()).value();
+  PreprocessOptions opts;
+  opts.min_relation_count = 2;
+  opts.max_relation_fraction = 0.5;
+  Result<SparseTensor> cleaned =
+      PreprocessKnowledgeTensor(data.kb.tensor, opts);
+  HATEN2_CHECK(cleaned.ok()) << cleaned.status().ToString();
+  data.tensor = std::move(cleaned).value();
+  return data;
+}
+
+/// Prints one "concept" row: top-k names for each mode.
+inline void PrintConceptMembers(const KnowledgeBase& kb,
+                                const std::vector<int64_t>& subjects,
+                                const std::vector<int64_t>& objects,
+                                const std::vector<int64_t>& relations) {
+  auto join_names = [](const std::vector<std::string>& names) {
+    std::string out;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += names[i];
+    }
+    return out;
+  };
+  std::vector<std::string> s;
+  std::vector<std::string> o;
+  std::vector<std::string> r;
+  for (int64_t i : subjects) s.push_back(kb.SubjectName(i));
+  for (int64_t i : objects) o.push_back(kb.ObjectName(i));
+  for (int64_t i : relations) r.push_back(kb.RelationName(i));
+  std::printf("    subjects:  %s\n", join_names(s).c_str());
+  std::printf("    objects:   %s\n", join_names(o).c_str());
+  std::printf("    relations: %s\n", join_names(r).c_str());
+}
+
+/// Planted groups of one mode, for RecoveryScore.
+inline std::vector<std::vector<int64_t>> PlantedGroups(
+    const KnowledgeBase& kb, int mode) {
+  std::vector<std::vector<int64_t>> groups;
+  for (const auto& c : kb.concepts) {
+    switch (mode) {
+      case 0:
+        groups.push_back(c.subjects);
+        break;
+      case 1:
+        groups.push_back(c.objects);
+        break;
+      default:
+        groups.push_back(c.relations);
+        break;
+    }
+  }
+  return groups;
+}
+
+}  // namespace bench
+}  // namespace haten2
+
+#endif  // HATEN2_BENCH_DISCOVERY_COMMON_H_

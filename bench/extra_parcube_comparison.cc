@@ -1,0 +1,80 @@
+// Extra (beyond the paper's tables): exact vs approximate — HaTen2-DRI
+// PARAFAC against ParCube [17], the sampling-based method the paper cites
+// as related work. ParCube's sub-tensor decompositions are embarrassingly
+// parallel but approximate; HaTen2 is exact but pays shuffle costs. The
+// harness sweeps ParCube's sample fraction and reports the accuracy/time
+// frontier on a tensor with planted structure.
+
+#include <cinttypes>
+
+#include "baseline/parcube.h"
+#include "bench_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace bench {
+namespace {
+
+void Run() {
+  LowRankTensorSpec spec;
+  spec.dims = {600, 500, 400};
+  spec.rank = 4;
+  spec.block_size = 25;
+  spec.nnz_per_component = 6000;
+  spec.noise_nnz = 3000;
+  spec.seed = 14;
+  PlantedTensor planted = GenerateLowRankTensor(spec).value();
+  const SparseTensor& x = planted.tensor;
+  std::printf("tensor: %s, %lld planted components\n\n",
+              x.DebugString().c_str(), (long long)spec.rank);
+
+  PrintHeader("exact vs sampled PARAFAC (rank 4)",
+              {"method", "fit", "wall"});
+
+  {
+    Engine engine(PaperCluster(/*unlimited*/ 0));
+    Haten2Options options;
+    options.variant = Variant::kDri;
+    options.max_iterations = 60;
+    options.nonnegative = true;
+    WallTimer timer;
+    Result<KruskalModel> model =
+        Haten2ParafacAls(&engine, x, spec.rank, options);
+    HATEN2_CHECK(model.ok()) << model.status().ToString();
+    PrintRow({"HaTen2-DRI", StrFormat("%.4f", model->fit),
+              HumanSeconds(timer.ElapsedSeconds())});
+  }
+
+  for (double fraction : {0.25, 0.5, 0.75}) {
+    ParCubeOptions options;
+    options.sample_fraction = fraction;
+    options.num_samples = 5;
+    options.max_iterations = 60;
+    options.seed = 3;
+    WallTimer timer;
+    Result<KruskalModel> model = ParCubeParafac(x, spec.rank, options);
+    HATEN2_CHECK(model.ok()) << model.status().ToString();
+    PrintRow({StrFormat("ParCube s=%.2f", fraction),
+              StrFormat("%.4f", model->fit),
+              HumanSeconds(timer.ElapsedSeconds())});
+  }
+  std::printf("\nexpected shape: ParCube lands within ~80-95%% of the exact "
+              "method's fit at a fraction of the single-host work; the "
+              "fit is noisy in the sample fraction (merge noise trades "
+              "against per-sample problem difficulty), which is exactly "
+              "the approximation the ParCube paper accepts for its "
+              "embarrassing parallelism. Wall times are not directly "
+              "comparable: the exact method's includes the in-process "
+              "MapReduce machinery.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace haten2
+
+int main() {
+  std::printf("HaTen2 reproduction - extra: exact (HaTen2) vs sampled "
+              "(ParCube) PARAFAC\n");
+  haten2::bench::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extra: ablation of an implementation design decision — the fixed-width
+// intermediate coordinate (records.h, kMaxMrOrder). Every Hadamard record
+// carries a kMaxMrOrder-wide coordinate even for 3-way tensors, trading
+// shuffle bytes for a single record layout across orders 2..6. This
+// harness quantifies the cost: measured shuffle bytes per evaluation vs
+// the hypothetical minimal layout for each order, plus the simulated-time
+// impact on the paper cluster.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "core/contract.h"
+#include "core/records.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("kMaxMrOrder = %d; HadamardRecord = %zu bytes "
+              "(coordinate %zu + stream/col %zu + value %zu)\n\n",
+              kMaxMrOrder, sizeof(HadamardRecord),
+              sizeof(Coord), 2 * sizeof(int32_t), sizeof(double));
+
+  PrintHeader("shuffle bytes per MTTKRP evaluation (rank 5, nnz~20K)",
+              {"order", "measured", "minimal", "overhead", "sim-time"});
+  for (int order = 2; order <= 5; ++order) {
+    RandomTensorSpec spec;
+    spec.dims.assign(static_cast<size_t>(order), 2000);
+    spec.nnz = 20000;
+    spec.seed = 100 + static_cast<uint64_t>(order);
+    SparseTensor x = GenerateRandomTensor(spec).value();
+    Rng rng(7);
+    std::vector<DenseMatrix> owned;
+    std::vector<const DenseMatrix*> factors;
+    for (int m = 0; m < order; ++m) {
+      owned.push_back(DenseMatrix::RandomUniform(2000, 5, &rng));
+    }
+    for (auto& f : owned) factors.push_back(&f);
+
+    Engine engine(PaperCluster(/*unlimited*/ 0));
+    Measurement m = MeasureMr(&engine, [&] {
+      return MultiModeContract(&engine, x, factors, 0,
+                               MergeKind::kPairwise, Variant::kDri)
+          .status();
+    });
+    uint64_t measured_bytes = engine.pipeline().MaxIntermediateBytes();
+    // Hypothetical per-record bytes with an order-exact coordinate:
+    // order * 8 (coord) + 8 (stream/col) + 8 (value) + 8 (key).
+    uint64_t minimal_record = static_cast<uint64_t>(order) * 8 + 24;
+    uint64_t actual_record =
+        sizeof(int64_t) + sizeof(HadamardRecord);  // merge-job K+V
+    uint64_t minimal_bytes =
+        measured_bytes / actual_record * minimal_record;
+    PrintRow({StrFormat("%d-way", order), HumanBytes(measured_bytes),
+              HumanBytes(minimal_bytes),
+              StrFormat("%.0f%%",
+                        100.0 * (static_cast<double>(measured_bytes) /
+                                     static_cast<double>(minimal_bytes) -
+                                 1.0)),
+              StrFormat("%.1fs", m.simulated_seconds)});
+  }
+  std::printf("\nreading: the fixed-width layout costs ~30-90%% extra "
+              "shuffle bytes at low orders and converges to zero overhead "
+              "at order %d. The alternative — templating every job over "
+              "the order — was rejected for code size; shuffle volume "
+              "scales the same way in both layouts, so every Table III/IV "
+              "comparison is unaffected.\n",
+              kMaxMrOrder);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace haten2
+
+int main() {
+  std::printf("HaTen2 reproduction - extra: intermediate-record width "
+              "ablation\n");
+  haten2::bench::Run();
+  return 0;
+}

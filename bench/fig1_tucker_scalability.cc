@@ -1,0 +1,146 @@
+// Reproduces Figure 1 of the paper: data scalability of Tucker
+// decomposition for (a) nonzeros & dimensionality, (b) density, and (c)
+// core tensor size, comparing the Tensor-Toolbox baseline with the four
+// HaTen2 variants.
+//
+// Scaling substitutions (see DESIGN.md / EXPERIMENTS.md): dimensionality is
+// swept 10²..3·10⁴ instead of 10³..10⁸, the core is 5³ instead of 10³, and
+// the cluster's aggregate shuffle memory is 256 MiB (the paper's 40 x 32 GB
+// scaled to the smaller data); the single-machine baseline gets 6 MiB.
+// Times are simulated 40-machine makespans from the measured job counters.
+//
+// Expected shape (paper): Toolbox is competitive at the smallest scales and
+// o.o.m.s first among survivors; Naive o.o.m.s immediately beyond the
+// smallest scale; DNN o.o.m.s ~10x earlier than DRN/DRI; DRI completes
+// everywhere and is the fastest HaTen2 variant.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace bench {
+namespace {
+
+constexpr uint64_t kShuffleBudget = 256ull << 20;  // 256 MiB
+constexpr uint64_t kToolboxBudget = 6ull << 20;   // 6 MiB
+
+struct MethodState {
+  std::string name;
+  bool skipped = false;  // after first o.o.m., larger scales are skipped
+};
+
+void RunSweep(const std::string& title, const std::string& param_name,
+              const std::vector<std::string>& param_labels,
+              const std::vector<SparseTensor>& tensors,
+              const std::vector<int64_t>& cores) {
+  std::vector<MethodState> methods = {
+      {"Toolbox"},      {"HaTen2-Naive"}, {"HaTen2-DNN"},
+      {"HaTen2-DRN"},   {"HaTen2-DRI"},
+  };
+  PrintHeader(title, {param_name, "Toolbox", "Naive", "DNN", "DRN", "DRI"});
+  for (size_t p = 0; p < tensors.size(); ++p) {
+    const SparseTensor& x = tensors[p];
+    const int64_t core = cores[p];
+    std::vector<std::string> cells = {param_labels[p]};
+    for (size_t m = 0; m < methods.size(); ++m) {
+      if (methods[m].skipped) {
+        cells.push_back("skip(oom)");
+        continue;
+      }
+      Measurement result;
+      if (m == 0) {
+        MemoryTracker tracker(kToolboxBudget);
+        BaselineOptions options;
+        options.max_iterations = 1;
+        options.memory = &tracker;
+        result = MeasureBaseline([&] {
+          return ToolboxTuckerAls(x, {core, core, core}, options).status();
+        });
+      } else {
+        Engine engine(PaperCluster(kShuffleBudget));
+        Haten2Options options;
+        options.max_iterations = 1;
+        options.variant = static_cast<Variant>(m - 1);
+        result = MeasureMr(&engine, [&] {
+          return Haten2TuckerAls(&engine, x, {core, core, core}, options)
+              .status();
+        });
+      }
+      if (result.oom) methods[m].skipped = true;
+      cells.push_back(result.Cell());
+    }
+    PrintRow(cells);
+  }
+}
+
+void PartDims() {
+  std::vector<int64_t> dims = {100, 1000, 10000, 30000};
+  std::vector<std::string> labels;
+  std::vector<SparseTensor> tensors;
+  std::vector<int64_t> cores;
+  for (int64_t dim : dims) {
+    RandomTensorSpec spec;
+    spec.dims = {dim, dim, dim};
+    spec.nnz = dim * 10;
+    spec.seed = 1000 + static_cast<uint64_t>(dim);
+    tensors.push_back(GenerateRandomTensor(spec).value());
+    labels.push_back(StrFormat("I=%" PRId64, dim));
+    cores.push_back(5);
+  }
+  RunSweep("Figure 1(a): Tucker, nonzeros & dimensionality (nnz = 10*I, "
+           "core 5x5x5)",
+           "dims", labels, tensors, cores);
+}
+
+void PartDensity() {
+  const int64_t dim = 600;
+  std::vector<double> densities = {1e-6, 1e-5, 1e-4, 1e-3};
+  std::vector<std::string> labels;
+  std::vector<SparseTensor> tensors;
+  std::vector<int64_t> cores;
+  for (double d : densities) {
+    tensors.push_back(GenerateRandomCubicTensor(dim, d, 77).value());
+    labels.push_back(StrFormat("%.0e", d));
+    cores.push_back(5);
+  }
+  RunSweep("Figure 1(b): Tucker, density (I=J=K=600, core 5x5x5)",
+           "density", labels, tensors, cores);
+}
+
+void PartCore() {
+  RandomTensorSpec spec;
+  spec.dims = {10000, 10000, 10000};
+  spec.nnz = 50000;
+  spec.seed = 3;
+  SparseTensor x = GenerateRandomTensor(spec).value();
+  // Capped at 16: the driver-side SVD of the ПJ x ПJ Gram matrix is
+  // cubic in the block size, and 32^2-wide blocks dominate wall time
+  // without changing the ordering (see EXPERIMENTS.md).
+  std::vector<int64_t> cores = {4, 8, 16};
+  std::vector<std::string> labels;
+  std::vector<SparseTensor> tensors;
+  for (int64_t c : cores) {
+    labels.push_back(StrFormat("%" PRId64 "^3", c));
+    tensors.push_back(x);
+  }
+  RunSweep("Figure 1(c): Tucker, core tensor size (I=10^4, nnz=5*10^4)",
+           "core", labels, tensors, cores);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace haten2
+
+int main() {
+  std::printf("HaTen2 reproduction - Figure 1: Tucker data scalability\n");
+  std::printf("(HaTen2 columns: simulated 40-machine times; Toolbox "
+              "column: real single-machine wall time. o.o.m. = exceeded "
+              "memory budget; skip(oom) = method already failed at a "
+              "smaller scale)\n");
+  haten2::bench::PartDims();
+  haten2::bench::PartDensity();
+  haten2::bench::PartCore();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Figure 8 of the paper: machine scalability of HaTen2-DRI for
+// Tucker and PARAFAC, reported as the "Scale Up" factor T_10 / T_M for
+// M = 10..40 machines.
+//
+// The paper uses the NELL tensor (26M x 26M x 48M, 144M nonzeros); we use a
+// 1000x scaled synthetic stand-in with the same shape (26K x 26K x 48K,
+// 144K nonzeros). The job counters are measured once by executing the real
+// jobs in-process; the per-machine-count times come from the CostModel,
+// whose fixed per-job startup term (JVM loading, synchronization) produces
+// the paper's flattening: near-linear scale-up at first, diminishing
+// returns as machines are added.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace bench {
+namespace {
+
+constexpr uint64_t kShuffleBudget = 2ull << 30;
+
+SparseTensor NellStandIn() {
+  RandomTensorSpec spec;
+  spec.dims = {26000, 26000, 48000};
+  spec.nnz = 144000;
+  spec.seed = 8;
+  return GenerateRandomTensor(spec).value();
+}
+
+void Run() {
+  SparseTensor x = NellStandIn();
+  std::printf("dataset: NELL stand-in, %s\n", x.DebugString().c_str());
+
+  // Measure the job counters once per decomposition (one ALS iteration of
+  // HaTen2-DRI, core 5x5x5 / rank 5 — the paper uses 10, scaled with data).
+  Engine tucker_engine(PaperCluster(kShuffleBudget));
+  {
+    Haten2Options options;
+    options.max_iterations = 1;
+    HATEN2_CHECK_OK(
+        Haten2TuckerAls(&tucker_engine, x, {5, 5, 5}, options).status());
+  }
+  Engine parafac_engine(PaperCluster(kShuffleBudget));
+  {
+    Haten2Options options;
+    options.max_iterations = 1;
+    options.compute_fit = false;
+    HATEN2_CHECK_OK(
+        Haten2ParafacAls(&parafac_engine, x, 5, options).status());
+  }
+
+  const std::vector<int> machines = {10, 15, 20, 25, 30, 35, 40};
+  double t10_tucker = 0.0;
+  double t10_parafac = 0.0;
+  PrintHeader("Figure 8: machine scalability, scale-up T10/TM "
+              "(HaTen2-DRI)",
+              {"machines", "Tucker T_M", "Tucker up", "PARAFAC T_M",
+               "PARAFAC up"});
+  // PaperCluster applies the 1000x record-scale correction (the stand-in is
+  // 1000x smaller than the real NELL tensor); without it the fixed job
+  // startup trivially dominates and the scale-up is flat 1.0x at every M.
+  for (int m : machines) {
+    ClusterConfig config = PaperCluster(kShuffleBudget);
+    config.num_machines = m;
+    CostModel model(config);
+    double t_tucker = model.SimulatePipeline(tucker_engine.pipeline());
+    double t_parafac = model.SimulatePipeline(parafac_engine.pipeline());
+    if (m == 10) {
+      t10_tucker = t_tucker;
+      t10_parafac = t_parafac;
+    }
+    PrintRow({StrFormat("%d", m), StrFormat("%.1fs", t_tucker),
+              StrFormat("%.2fx", t10_tucker / t_tucker),
+              StrFormat("%.1fs", t_parafac),
+              StrFormat("%.2fx", t10_parafac / t_parafac)});
+  }
+  std::printf("\nexpected shape: scale-up grows near-linearly for small M "
+              "and flattens toward M=40 (fixed per-job overhead).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace haten2
+
+int main() {
+  std::printf("HaTen2 reproduction - Figure 8: machine scalability\n");
+  haten2::bench::Run();
+  return 0;
+}

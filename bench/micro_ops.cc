@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the core computational kernels:
+// direct tensor algebra (MTTKRP, TTM, Hadamard), the MapReduce engine's
+// per-record overhead, and the HaTen2 bottleneck operation per variant.
+// These quantify the constants behind the figure-level harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/toolbox.h"
+#include "core/contract.h"
+#include "mapreduce/engine.h"
+#include "tensor/tensor_ops.h"
+#include "util/random.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+SparseTensor MakeTensor(int64_t dim, int64_t nnz, uint64_t seed) {
+  RandomTensorSpec spec;
+  spec.dims = {dim, dim, dim};
+  spec.nnz = nnz;
+  spec.seed = seed;
+  return GenerateRandomTensor(spec).value();
+}
+
+void BM_Mttkrp(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const int64_t rank = state.range(1);
+  SparseTensor x = MakeTensor(dim, dim * 10, 1);
+  Rng rng(2);
+  DenseMatrix a = DenseMatrix::RandomUniform(dim, rank, &rng);
+  DenseMatrix b = DenseMatrix::RandomUniform(dim, rank, &rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(dim, rank, &rng);
+  for (auto _ : state) {
+    Result<DenseMatrix> m = Mttkrp(x, {&a, &b, &c}, 0);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_Mttkrp)->Args({1000, 5})->Args({10000, 5})->Args({10000, 20});
+
+void BM_TtmTransposed(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  SparseTensor x = MakeTensor(dim, dim * 10, 3);
+  Rng rng(4);
+  DenseMatrix b = DenseMatrix::RandomUniform(dim, 5, &rng);
+  for (auto _ : state) {
+    Result<SparseTensor> y = TtmTransposed(x, b, 1);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz() * 5);
+}
+BENCHMARK(BM_TtmTransposed)->Arg(1000)->Arg(10000);
+
+void BM_MetProjectedUnfolding(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  SparseTensor x = MakeTensor(dim, dim * 10, 5);
+  Rng rng(6);
+  DenseMatrix a = DenseMatrix::RandomUniform(dim, 5, &rng);
+  DenseMatrix b = DenseMatrix::RandomUniform(dim, 5, &rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(dim, 5, &rng);
+  std::vector<const DenseMatrix*> factors = {&a, &b, &c};
+  for (auto _ : state) {
+    Result<DenseMatrix> y = MetProjectedUnfolding(x, factors, 0, nullptr);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz() * 25);
+}
+BENCHMARK(BM_MetProjectedUnfolding)->Arg(1000)->Arg(10000);
+
+void BM_EngineShuffle(benchmark::State& state) {
+  const int64_t records = state.range(0);
+  ClusterConfig config;
+  config.num_threads = 1;
+  Engine engine(config);
+  for (auto _ : state) {
+    auto result = engine.Run<int64_t, double, int64_t, double>(
+        "micro", records,
+        [](int64_t i, ShuffleEmitter<int64_t, double>* em) {
+          em->Emit(i % 1024, 1.0);
+        },
+        [](const int64_t& k, std::vector<double>& vs,
+           OutputEmitter<int64_t, double>* out) {
+          double sum = 0;
+          for (double v : vs) sum += v;
+          out->Emit(k, sum);
+        });
+    benchmark::DoNotOptimize(result);
+    engine.ClearPipeline();
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_EngineShuffle)->Arg(10000)->Arg(100000);
+
+void BM_ContractVariant(benchmark::State& state) {
+  const Variant variant = static_cast<Variant>(state.range(0));
+  const int64_t dim = 2000;
+  SparseTensor x = MakeTensor(dim, 20000, 7);
+  Rng rng(8);
+  DenseMatrix b = DenseMatrix::RandomUniform(dim, 5, &rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(dim, 5, &rng);
+  std::vector<const DenseMatrix*> factors = {nullptr, &b, &c};
+  ClusterConfig config;
+  config.num_threads = 1;
+  Engine engine(config);
+  for (auto _ : state) {
+    Result<SliceBlocks> y = MultiModeContract(
+        &engine, x, factors, 0, MergeKind::kPairwise, variant);
+    benchmark::DoNotOptimize(y);
+    engine.ClearPipeline();
+  }
+  state.SetLabel(std::string(VariantName(variant)));
+  state.SetItemsProcessed(state.iterations() * x.nnz() * 10);
+}
+// Naive is excluded: its broadcast makes it a figure-level experiment, not
+// a microbenchmark.
+BENCHMARK(BM_ContractVariant)
+    ->Arg(static_cast<int>(Variant::kDnn))
+    ->Arg(static_cast<int>(Variant::kDrn))
+    ->Arg(static_cast<int>(Variant::kDri));
+
+void BM_SparseCanonicalize(benchmark::State& state) {
+  const int64_t nnz = state.range(0);
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Result<SparseTensor> t = SparseTensor::Create3(1000, 1000, 1000);
+    SparseTensor tensor = std::move(t).value();
+    tensor.Reserve(nnz);
+    int64_t idx[3];
+    for (int64_t e = 0; e < nnz; ++e) {
+      idx[0] = static_cast<int64_t>(rng.UniformInt(uint64_t{1000}));
+      idx[1] = static_cast<int64_t>(rng.UniformInt(uint64_t{1000}));
+      idx[2] = static_cast<int64_t>(rng.UniformInt(uint64_t{1000}));
+      tensor.AppendUnchecked(idx, 1.0);
+    }
+    state.ResumeTiming();
+    tensor.Canonicalize();
+    benchmark::DoNotOptimize(tensor);
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+BENCHMARK(BM_SparseCanonicalize)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace haten2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Reproduces Table VIII of the paper: Tucker concept discovery. The
+// largest-magnitude core tensor entries name (subject-group, object-group,
+// relation-group) combinations; because Tucker factors interact through the
+// full core, groups can be *shared* between concepts — the paper's key
+// qualitative difference from PARAFAC (its object group O1 appears in two
+// concepts). The harness prints the top concepts and checks that a shared
+// group shows up, which the generator plants (concepts 0 and 1 share their
+// object group).
+
+#include <cinttypes>
+
+#include <set>
+
+#include "bench_util.h"
+#include "discovery_common.h"
+
+namespace haten2 {
+namespace bench {
+namespace {
+
+void Run() {
+  DiscoveryData data = MakeDiscoveryData();
+  Engine engine(PaperCluster(/*unlimited*/ 0));
+  Haten2Options options;
+  options.variant = Variant::kDri;
+  options.max_iterations = 12;
+  options.seed = 7;
+  const int64_t core = static_cast<int64_t>(DiscoveryKbSpec().num_concepts);
+  Result<TuckerModel> model =
+      Haten2TuckerAls(&engine, data.tensor, {core, core, core}, options);
+  HATEN2_CHECK(model.ok()) << model.status().ToString();
+  std::printf("HaTen2-Tucker (DRI), core %" PRId64 "^3, fit %.3f\n\n", core,
+              model->fit);
+
+  const int num_concepts = 4;
+  const int members = 3;
+  std::vector<CoreEntry> top = TopCoreEntries(model->core, num_concepts);
+  std::vector<std::vector<int64_t>> top_s =
+      TopKPerColumn(model->factors[0], members);
+  std::vector<std::vector<int64_t>> top_o =
+      TopKPerColumn(model->factors[1], members);
+  std::vector<std::vector<int64_t>> top_r =
+      TopKPerColumn(model->factors[2], members);
+
+  std::multiset<int64_t> object_groups_used;
+  for (size_t c = 0; c < top.size(); ++c) {
+    const CoreEntry& entry = top[c];
+    std::printf("Concept %zu: (S%lld, O%lld, R%lld), core value %.3f\n",
+                c + 1, (long long)(entry.index[0] + 1),
+                (long long)(entry.index[1] + 1),
+                (long long)(entry.index[2] + 1), entry.value);
+    object_groups_used.insert(entry.index[1]);
+    PrintConceptMembers(
+        data.kb, top_s[static_cast<size_t>(entry.index[0])],
+        top_o[static_cast<size_t>(entry.index[1])],
+        top_r[static_cast<size_t>(entry.index[2])]);
+  }
+
+  // The paper's observation: an object group appearing in multiple concepts
+  // "exemplifies Tucker's ability to find concepts from various, possibly
+  // overlapping groups". The generator plants exactly that overlap.
+  bool shared = false;
+  for (int64_t g = 0; g < core; ++g) {
+    if (object_groups_used.count(g) > 1) shared = true;
+  }
+  std::printf("\nshared object group across concepts: %s (planted: concepts "
+              "c0 and c1 share their object group)\n",
+              shared ? "YES" : "no");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace haten2
+
+int main() {
+  std::printf("HaTen2 reproduction - Table VIII: Tucker concept discovery "
+              "(Freebase-music stand-in)\n");
+  haten2::bench::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Checkpoint and resume a long decomposition — the operational pattern for
+// multi-hour runs on big tensors: periodically save the model, and on
+// restart warm-start from the latest checkpoint. Because ALS state is fully
+// captured by the factors, resuming continues the exact iterate sequence.
+//
+//   ./checkpoint_resume
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/parafac.h"
+#include "mapreduce/engine.h"
+#include "tensor/model_io.h"
+#include "workload/random_tensor.h"
+
+int main() {
+  using namespace haten2;
+
+  // A tensor with planted low-rank structure so the fit climbs visibly.
+  LowRankTensorSpec spec;
+  spec.dims = {300, 250, 200};
+  spec.rank = 4;
+  spec.block_size = 15;
+  spec.nnz_per_component = 2000;
+  spec.noise_nnz = 1000;
+  spec.seed = 11;
+  Result<PlantedTensor> planted = GenerateLowRankTensor(spec);
+  if (!planted.ok()) {
+    std::fprintf(stderr, "%s\n", planted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tensor: %s\n\n", planted->tensor.DebugString().c_str());
+
+  ClusterConfig config;
+  config.num_threads = 2;
+  Engine engine(config);
+  const char* checkpoint = "/tmp/haten2_checkpoint";
+
+  // Phase 1: run 5 iterations, then checkpoint (as if the job were about to
+  // be preempted).
+  Haten2Options options;
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+  Result<KruskalModel> phase1 =
+      Haten2ParafacAls(&engine, planted->tensor, 4, options);
+  if (!phase1.ok()) {
+    std::fprintf(stderr, "%s\n", phase1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("phase 1: fit %.4f after %d iterations\n", phase1->fit,
+              phase1->iterations);
+  if (Status s = SaveKruskalModel(*phase1, checkpoint); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpointed to %s.*\n\n", checkpoint);
+
+  // Phase 2 ("after the restart"): load the checkpoint and continue.
+  Result<KruskalModel> loaded = LoadKruskalModel(checkpoint, 3);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Haten2Options resume = options;
+  resume.max_iterations = 10;
+  resume.initial_kruskal = &loaded.value();
+  Result<KruskalModel> phase2 =
+      Haten2ParafacAls(&engine, planted->tensor, 4, resume);
+  if (!phase2.ok()) {
+    std::fprintf(stderr, "%s\n", phase2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("phase 2 (resumed): fit %.4f after %d more iterations\n",
+              phase2->fit, phase2->iterations);
+
+  // Sanity: a straight 15-iteration run lands on the same trajectory.
+  Haten2Options straight = options;
+  straight.max_iterations = 15;
+  Result<KruskalModel> reference =
+      Haten2ParafacAls(&engine, planted->tensor, 4, straight);
+  if (!reference.ok()) return 1;
+  std::printf("straight 15-iteration run: fit %.4f (matches resume: %s)\n",
+              reference->fit,
+              std::fabs(reference->fit - phase2->fit) < 1e-9 ? "yes" : "NO");
+
+  for (int m = 0; m < 3; ++m) {
+    std::remove((std::string(checkpoint) + ".mode" + std::to_string(m) +
+                 ".txt")
+                    .c_str());
+  }
+  std::remove((std::string(checkpoint) + ".lambda.txt").c_str());
+  return std::fabs(reference->fit - phase2->fit) < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Network-anomaly detection — the paper's motivating example: a 4-way
+// tensor of (source-ip, target-ip, port, timestamp) counts, decomposed with
+// HaTen2-PARAFAC. Normal traffic concentrates on a few service ports;
+// a port scan shows up as a component whose port-mode loading is spread
+// across many ports while its source loading concentrates on one address.
+//
+//   ./network_anomaly
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/parafac.h"
+#include "mapreduce/engine.h"
+#include "workload/network_logs.h"
+
+namespace {
+
+// Shannon entropy of a nonnegative loading vector (normalized), in bits.
+// High entropy along ports = activity spread over many ports = scan-like.
+double LoadingEntropy(const haten2::DenseMatrix& factor, int64_t component) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < factor.rows(); ++i) {
+    sum += std::fabs(factor(i, component));
+  }
+  if (sum == 0.0) return 0.0;
+  double entropy = 0.0;
+  for (int64_t i = 0; i < factor.rows(); ++i) {
+    double p = std::fabs(factor(i, component)) / sum;
+    if (p > 1e-12) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+int64_t ArgMaxRow(const haten2::DenseMatrix& factor, int64_t component) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < factor.rows(); ++i) {
+    if (std::fabs(factor(i, component)) >
+        std::fabs(factor(best, component))) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace haten2;
+
+  // 1. Synthesize intrusion logs: 3 normal services plus one planted port
+  //    scan (one source probing 60 consecutive ports of one target in a
+  //    2-step time window).
+  NetworkLogSpec spec;
+  spec.seed = 1234;
+  spec.scan_intensity = 4.0;  // repeated SYN probes per port
+  Result<NetworkLogs> logs = GenerateNetworkLogs(spec);
+  if (!logs.ok()) {
+    std::fprintf(stderr, "%s\n", logs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("network log tensor: %s\n", logs->tensor.DebugString().c_str());
+  std::printf("planted scan: source %lld -> target %lld, %zu ports, %zu "
+              "time steps\n\n",
+              (long long)logs->scanner_source, (long long)logs->scan_target,
+              logs->scan_ports.size(), logs->scan_times.size());
+
+  // 2. PARAFAC with one component per service plus one for the anomaly.
+  ClusterConfig config;
+  config.num_threads = 2;
+  Engine engine(config);
+  Haten2Options options;
+  options.variant = Variant::kDri;
+  options.max_iterations = 30;
+  options.nonnegative = true;  // loadings read as activity profiles
+  const int64_t rank = spec.num_services + 2;
+  Result<KruskalModel> model =
+      Haten2ParafacAls(&engine, logs->tensor, rank, options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PARAFAC rank %lld (nonnegative), fit %.3f\n\n",
+              (long long)rank, model->fit);
+
+  // 3. Rank components by port-mode entropy; the scan spreads across ~60
+  //    ports while services use 1-2.
+  std::vector<std::pair<double, int64_t>> by_entropy;
+  for (int64_t r = 0; r < rank; ++r) {
+    by_entropy.emplace_back(LoadingEntropy(model->factors[2], r), r);
+  }
+  std::sort(by_entropy.rbegin(), by_entropy.rend());
+
+  std::printf("%-10s %-12s %-10s %-10s %s\n", "component", "port-entropy",
+              "top-source", "top-target", "verdict");
+  for (auto [entropy, r] : by_entropy) {
+    int64_t src = ArgMaxRow(model->factors[0], r);
+    int64_t dst = ArgMaxRow(model->factors[1], r);
+    bool is_scan = (entropy == by_entropy.front().first);
+    std::printf("%-10lld %-12.2f %-10lld %-10lld %s\n", (long long)r,
+                entropy, (long long)src, (long long)dst,
+                is_scan ? "<- SCAN-LIKE" : "service traffic");
+  }
+
+  // 4. Check against ground truth.
+  int64_t flagged = by_entropy.front().second;
+  int64_t detected_src = ArgMaxRow(model->factors[0], flagged);
+  int64_t detected_dst = ArgMaxRow(model->factors[1], flagged);
+  bool hit = detected_src == logs->scanner_source &&
+             detected_dst == logs->scan_target;
+  std::printf("\ndetected scanner: source %lld -> target %lld (%s)\n",
+              (long long)detected_src, (long long)detected_dst,
+              hit ? "matches the planted scan" : "MISMATCH");
+  return hit ? 0 : 1;
+}

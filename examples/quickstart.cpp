@@ -1,0 +1,83 @@
+// Quickstart: decompose a sparse tensor with HaTen2.
+//
+// Builds a small random 3-way tensor, runs both decompositions through the
+// MapReduce engine with the recommended HaTen2-DRI variant, and prints the
+// fits plus the engine's job log — the 30-second tour of the public API.
+//
+//   ./quickstart
+
+#include <cstdio>
+
+#include "core/parafac.h"
+#include "core/tucker.h"
+#include "mapreduce/engine.h"
+#include "tensor/tensor_io.h"
+#include "workload/random_tensor.h"
+
+int main() {
+  using namespace haten2;
+
+  // 1. Build (or load) a sparse tensor. Tensors are COO: append
+  //    (i, j, k, value) records, then Canonicalize(). Here we generate a
+  //    random one; ReadTensorText() loads the same format from disk.
+  RandomTensorSpec spec;
+  spec.dims = {500, 400, 300};
+  spec.nnz = 20000;
+  spec.seed = 42;
+  Result<SparseTensor> tensor = GenerateRandomTensor(spec);
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "generate: %s\n", tensor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("input tensor: %s\n", tensor->DebugString().c_str());
+
+  // 2. Configure the engine. ClusterConfig controls the simulated cluster
+  //    (machines, per-job overhead, shuffle-memory budget) and the real
+  //    execution thread count.
+  ClusterConfig config;
+  config.num_machines = 40;
+  config.num_threads = 2;
+  Engine engine(config);
+
+  // 3. PARAFAC: factorize into rank-R components.
+  Haten2Options options;
+  options.variant = Variant::kDri;  // the recommended method ("HaTen2")
+  options.max_iterations = 10;
+  Result<KruskalModel> parafac = Haten2ParafacAls(&engine, *tensor, 5,
+                                                  options);
+  if (!parafac.ok()) {
+    std::fprintf(stderr, "parafac: %s\n",
+                 parafac.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nPARAFAC rank 5: fit %.4f after %d iterations\n",
+              parafac->fit, parafac->iterations);
+  std::printf("lambda:");
+  for (double l : parafac->lambda) std::printf(" %.3f", l);
+  std::printf("\nfactor shapes: A %lldx%lld, B %lldx%lld, C %lldx%lld\n",
+              (long long)parafac->factors[0].rows(),
+              (long long)parafac->factors[0].cols(),
+              (long long)parafac->factors[1].rows(),
+              (long long)parafac->factors[1].cols(),
+              (long long)parafac->factors[2].rows(),
+              (long long)parafac->factors[2].cols());
+
+  // 4. Tucker: core tensor + orthonormal factors.
+  engine.ClearPipeline();
+  Result<TuckerModel> tucker =
+      Haten2TuckerAls(&engine, *tensor, {4, 4, 4}, options);
+  if (!tucker.ok()) {
+    std::fprintf(stderr, "tucker: %s\n", tucker.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTucker core 4x4x4: fit %.4f after %d iterations, "
+              "||G|| = %.3f\n",
+              tucker->fit, tucker->iterations,
+              tucker->core.FrobeniusNorm());
+
+  // 5. Inspect what the engine did: every MapReduce job with its
+  //    intermediate-data counters.
+  std::printf("\nengine job log (Tucker run):\n%s",
+              engine.pipeline().ToString().c_str());
+  return 0;
+}

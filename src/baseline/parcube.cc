@@ -1,0 +1,337 @@
+#include "baseline/parcube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "linalg/linalg.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+/// Local index of `global` within the sorted `kept` list.
+int64_t LocalIndex(const std::vector<int64_t>& kept, int64_t global) {
+  auto it = std::lower_bound(kept.begin(), kept.end(), global);
+  return static_cast<int64_t>(it - kept.begin());
+}
+
+/// Cosine similarity between a reference component and a sample component
+/// evaluated on the anchor rows, summed over modes.
+double AnchorSimilarity(
+    const KruskalModel& reference, const KruskalModel& sample,
+    const std::vector<std::vector<int64_t>>& anchors,
+    const std::vector<std::vector<int64_t>>& ref_kept,
+    const std::vector<std::vector<int64_t>>& sample_kept, int64_t ref_col,
+    int64_t sample_col) {
+  double total = 0.0;
+  for (size_t m = 0; m < anchors.size(); ++m) {
+    double dot = 0.0;
+    double ref_sq = 0.0;
+    double sample_sq = 0.0;
+    for (int64_t anchor : anchors[m]) {
+      double rv = reference.factors[m](LocalIndex(ref_kept[m], anchor),
+                                       ref_col);
+      double sv = sample.factors[m](LocalIndex(sample_kept[m], anchor),
+                                    sample_col);
+      dot += rv * sv;
+      ref_sq += rv * rv;
+      sample_sq += sv * sv;
+    }
+    if (ref_sq > 0.0 && sample_sq > 0.0) {
+      total += dot / std::sqrt(ref_sq * sample_sq);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> ComputeMarginals(const SparseTensor& x) {
+  std::vector<std::vector<double>> marginals(
+      static_cast<size_t>(x.order()));
+  for (int m = 0; m < x.order(); ++m) {
+    marginals[static_cast<size_t>(m)].assign(
+        static_cast<size_t>(x.dim(m)), 0.0);
+  }
+  for (int64_t e = 0; e < x.nnz(); ++e) {
+    double mass = std::fabs(x.value(e));
+    for (int m = 0; m < x.order(); ++m) {
+      marginals[static_cast<size_t>(m)][static_cast<size_t>(
+          x.index(e, m))] += mass;
+    }
+  }
+  return marginals;
+}
+
+std::vector<int64_t> BiasedSample(const std::vector<double>& weights,
+                                  int64_t count,
+                                  const std::vector<int64_t>& anchors,
+                                  Rng* rng) {
+  const int64_t n = static_cast<int64_t>(weights.size());
+  count = std::min(count, n);
+  std::vector<bool> taken(weights.size(), false);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t a : anchors) {
+    if (a >= 0 && a < n && !taken[static_cast<size_t>(a)]) {
+      taken[static_cast<size_t>(a)] = true;
+      out.push_back(a);
+    }
+  }
+  // Weighted sampling without replacement via exponential keys
+  // (Efraimidis-Spirakis): smallest -ln(u)/w first. Zero-weight indices get
+  // effectively infinite keys, i.e. a uniform tail.
+  std::vector<std::pair<double, int64_t>> keys;
+  keys.reserve(weights.size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (taken[static_cast<size_t>(i)]) continue;
+    double u = std::max(rng->Uniform(), 1e-300);
+    double w = weights[static_cast<size_t>(i)];
+    double key = w > 0.0 ? -std::log(u) / w : 1e300 + u;
+    keys.emplace_back(key, i);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t k = 0;
+       k < keys.size() && static_cast<int64_t>(out.size()) < count; ++k) {
+    out.push_back(keys[k].second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<SparseTensor> ExtractSubTensor(
+    const SparseTensor& x, const std::vector<std::vector<int64_t>>& kept) {
+  if (static_cast<int>(kept.size()) != x.order()) {
+    return Status::InvalidArgument("need one kept-index list per mode");
+  }
+  std::vector<std::unordered_map<int64_t, int64_t>> remap(
+      static_cast<size_t>(x.order()));
+  std::vector<int64_t> dims(static_cast<size_t>(x.order()));
+  for (int m = 0; m < x.order(); ++m) {
+    const std::vector<int64_t>& list = kept[static_cast<size_t>(m)];
+    if (list.empty()) {
+      return Status::InvalidArgument("kept-index list may not be empty");
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] < 0 || list[i] >= x.dim(m)) {
+        return Status::InvalidArgument("kept index out of range");
+      }
+      remap[static_cast<size_t>(m)][list[i]] = static_cast<int64_t>(i);
+    }
+    dims[static_cast<size_t>(m)] = static_cast<int64_t>(list.size());
+  }
+  HATEN2_ASSIGN_OR_RETURN(SparseTensor sub, SparseTensor::Create(dims));
+  std::vector<int64_t> idx(static_cast<size_t>(x.order()));
+  for (int64_t e = 0; e < x.nnz(); ++e) {
+    bool inside = true;
+    for (int m = 0; m < x.order() && inside; ++m) {
+      auto it = remap[static_cast<size_t>(m)].find(x.index(e, m));
+      if (it == remap[static_cast<size_t>(m)].end()) {
+        inside = false;
+      } else {
+        idx[static_cast<size_t>(m)] = it->second;
+      }
+    }
+    if (inside) sub.AppendUnchecked(idx.data(), x.value(e));
+  }
+  sub.Canonicalize();
+  return sub;
+}
+
+Result<KruskalModel> ParCubeParafac(const SparseTensor& x, int64_t rank,
+                                    const ParCubeOptions& options) {
+  if (rank <= 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  if (x.order() < 2) {
+    return Status::InvalidArgument("need a tensor of order >= 2");
+  }
+  if (x.nnz() == 0) {
+    return Status::InvalidArgument("cannot decompose an all-zero tensor");
+  }
+  if (options.sample_fraction <= 0.0 || options.sample_fraction > 1.0 ||
+      options.anchor_fraction <= 0.0 || options.anchor_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "sample_fraction and anchor_fraction must be in (0, 1]");
+  }
+  if (options.num_samples < 1) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  const int order = x.order();
+
+  std::vector<std::vector<double>> marginals = ComputeMarginals(x);
+
+  // Anchors: the highest-mass indices of each mode, shared by every sample.
+  std::vector<std::vector<int64_t>> anchors(static_cast<size_t>(order));
+  std::vector<int64_t> sample_counts(static_cast<size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    int64_t count = std::max<int64_t>(
+        rank, static_cast<int64_t>(std::ceil(
+                  options.sample_fraction * static_cast<double>(x.dim(m)))));
+    count = std::min(count, x.dim(m));
+    sample_counts[static_cast<size_t>(m)] = count;
+    int64_t anchor_count = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(options.anchor_fraction *
+                                          static_cast<double>(count))));
+    std::vector<std::pair<double, int64_t>> by_mass;
+    for (int64_t i = 0; i < x.dim(m); ++i) {
+      by_mass.emplace_back(-marginals[static_cast<size_t>(m)]
+                                     [static_cast<size_t>(i)],
+                           i);
+    }
+    std::sort(by_mass.begin(), by_mass.end());
+    for (int64_t a = 0; a < std::min(anchor_count, x.dim(m)); ++a) {
+      anchors[static_cast<size_t>(m)].push_back(
+          by_mass[static_cast<size_t>(a)].second);
+    }
+    std::sort(anchors[static_cast<size_t>(m)].begin(),
+              anchors[static_cast<size_t>(m)].end());
+  }
+
+  // Per-sample sub-decompositions (a cluster would run these in parallel).
+  struct SampleResult {
+    std::vector<std::vector<int64_t>> kept;
+    KruskalModel model;
+  };
+  std::vector<SampleResult> samples;
+  for (int s = 0; s < options.num_samples; ++s) {
+    Rng rng(options.seed + static_cast<uint64_t>(s) * 7919u);
+    SampleResult sample;
+    sample.kept.resize(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      sample.kept[static_cast<size_t>(m)] = BiasedSample(
+          marginals[static_cast<size_t>(m)],
+          sample_counts[static_cast<size_t>(m)],
+          anchors[static_cast<size_t>(m)], &rng);
+    }
+    HATEN2_ASSIGN_OR_RETURN(SparseTensor sub,
+                            ExtractSubTensor(x, sample.kept));
+    if (sub.nnz() == 0) continue;  // degenerate draw; skip
+    BaselineOptions als;
+    als.max_iterations = options.max_iterations;
+    als.tolerance = options.tolerance;
+    als.seed = options.seed + 31u * static_cast<uint64_t>(s);
+    als.nonnegative = true;  // sign-unambiguous components for merging
+    Result<KruskalModel> model = ToolboxParafacAls(sub, rank, als);
+    if (!model.ok()) continue;
+    sample.model = std::move(model).value();
+    samples.push_back(std::move(sample));
+  }
+  if (samples.empty()) {
+    return Status::Internal(
+        "every ParCube sample was degenerate; increase sample_fraction");
+  }
+
+  // Merge into full-size factors: match components to the first sample's on
+  // the anchor rows, rescale, scatter, average.
+  const SampleResult& reference = samples[0];
+  std::vector<DenseMatrix> sums;
+  std::vector<DenseMatrix> counts;
+  for (int m = 0; m < order; ++m) {
+    sums.emplace_back(x.dim(m), rank);
+    counts.emplace_back(x.dim(m), rank);
+  }
+  std::vector<double> lambda_sum(static_cast<size_t>(rank), 0.0);
+  std::vector<double> lambda_count(static_cast<size_t>(rank), 0.0);
+
+  for (const SampleResult& sample : samples) {
+    // Greedy matching by total anchor cosine similarity.
+    std::vector<int64_t> match(static_cast<size_t>(rank), -1);
+    std::vector<bool> used(static_cast<size_t>(rank), false);
+    for (int64_t sc = 0; sc < rank; ++sc) {
+      double best = -1.0;
+      int64_t best_ref = -1;
+      for (int64_t rc = 0; rc < rank; ++rc) {
+        if (used[static_cast<size_t>(rc)]) continue;
+        double sim = AnchorSimilarity(reference.model, sample.model,
+                                      anchors, reference.kept, sample.kept,
+                                      rc, sc);
+        if (sim > best) {
+          best = sim;
+          best_ref = rc;
+        }
+      }
+      match[static_cast<size_t>(sc)] = best_ref;
+      if (best_ref >= 0) used[static_cast<size_t>(best_ref)] = true;
+    }
+
+    for (int64_t sc = 0; sc < rank; ++sc) {
+      int64_t slot = match[static_cast<size_t>(sc)];
+      if (slot < 0) continue;
+      // Rescale each mode's column so its anchor norm equals the
+      // reference's; track the total scale to keep the model value intact.
+      double lambda_scale = 1.0;
+      std::vector<double> column_scale(static_cast<size_t>(order), 1.0);
+      for (int m = 0; m < order; ++m) {
+        double ref_sq = 0.0;
+        double sample_sq = 0.0;
+        for (int64_t anchor : anchors[static_cast<size_t>(m)]) {
+          double rv = reference.model.factors[static_cast<size_t>(m)](
+              LocalIndex(reference.kept[static_cast<size_t>(m)], anchor),
+              slot);
+          double sv = sample.model.factors[static_cast<size_t>(m)](
+              LocalIndex(sample.kept[static_cast<size_t>(m)], anchor), sc);
+          ref_sq += rv * rv;
+          sample_sq += sv * sv;
+        }
+        if (ref_sq > 0.0 && sample_sq > 0.0) {
+          double scale = std::sqrt(ref_sq / sample_sq);
+          column_scale[static_cast<size_t>(m)] = scale;
+          lambda_scale /= scale;
+        }
+      }
+      for (int m = 0; m < order; ++m) {
+        const std::vector<int64_t>& kept =
+            sample.kept[static_cast<size_t>(m)];
+        const DenseMatrix& f =
+            sample.model.factors[static_cast<size_t>(m)];
+        for (size_t l = 0; l < kept.size(); ++l) {
+          sums[static_cast<size_t>(m)](kept[l], slot) +=
+              f(static_cast<int64_t>(l), sc) *
+              column_scale[static_cast<size_t>(m)];
+          counts[static_cast<size_t>(m)](kept[l], slot) += 1.0;
+        }
+      }
+      lambda_sum[static_cast<size_t>(slot)] +=
+          sample.model.lambda[static_cast<size_t>(sc)] * lambda_scale;
+      lambda_count[static_cast<size_t>(slot)] += 1.0;
+    }
+  }
+
+  KruskalModel merged;
+  merged.factors.reserve(static_cast<size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    DenseMatrix f(x.dim(m), rank);
+    for (int64_t i = 0; i < x.dim(m); ++i) {
+      for (int64_t r = 0; r < rank; ++r) {
+        double c = counts[static_cast<size_t>(m)](i, r);
+        f(i, r) = c > 0.0 ? sums[static_cast<size_t>(m)](i, r) / c : 0.0;
+      }
+    }
+    merged.factors.push_back(std::move(f));
+  }
+  merged.lambda.assign(static_cast<size_t>(rank), 0.0);
+  for (int64_t r = 0; r < rank; ++r) {
+    merged.lambda[static_cast<size_t>(r)] =
+        lambda_count[static_cast<size_t>(r)] > 0.0
+            ? lambda_sum[static_cast<size_t>(r)] /
+                  lambda_count[static_cast<size_t>(r)]
+            : 0.0;
+  }
+  // Canonical form: unit-norm columns, norms folded into lambda.
+  for (int m = 0; m < order; ++m) {
+    std::vector<double> norms;
+    NormalizeColumns(&merged.factors[static_cast<size_t>(m)], &norms);
+    for (int64_t r = 0; r < rank; ++r) {
+      merged.lambda[static_cast<size_t>(r)] *= norms[static_cast<size_t>(r)];
+    }
+  }
+  HATEN2_ASSIGN_OR_RETURN(merged.fit, KruskalFit(x, merged));
+  merged.iterations = options.max_iterations;
+  return merged;
+}
+
+}  // namespace haten2

@@ -1,0 +1,76 @@
+#ifndef HATEN2_BASELINE_PARCUBE_H_
+#define HATEN2_BASELINE_PARCUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/toolbox.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief ParCube (Papalexakis, Faloutsos & Sidiropoulos, ECML-PKDD 2012) —
+/// the sampling-based approximate PARAFAC the paper cites as related work
+/// [17]. Implemented as a comparison method: it trades exactness for
+/// embarrassing parallelism, the opposite end of the design space from
+/// HaTen2's exact distributed evaluation.
+///
+/// The algorithm:
+///   1. Compute per-mode *marginals* (mass of each slice); indices with
+///      more mass are more informative.
+///   2. Draw `num_samples` sub-tensors: each keeps a biased sample of the
+///      indices of every mode. A fixed fraction of the sample — the
+///      *anchors*, the highest-mass indices — is shared by all samples, so
+///      their factors can be aligned afterwards.
+///   3. Run (nonnegative) PARAFAC-ALS independently on each sub-tensor —
+///      these runs are what a cluster would execute in parallel.
+///   4. Merge: match every sample's components to the first sample's by
+///      cosine similarity on the anchor rows, rescale to the reference's
+///      anchor norms, and scatter the sampled rows into the full-size
+///      factors (averaging rows seen by several samples).
+///
+/// The result is approximate: rows never sampled by any sub-tensor stay
+/// zero, and the merge inherits per-sample noise — the accuracy/time
+/// trade-off the extra_parcube_comparison harness measures against exact
+/// HaTen2 PARAFAC.
+struct ParCubeOptions {
+  /// Fraction of each mode's indices kept per sample (0, 1].
+  double sample_fraction = 0.4;
+  /// Number of independently decomposed sub-tensors.
+  int num_samples = 4;
+  /// Fraction of the per-sample indices reserved for the shared anchors.
+  double anchor_fraction = 0.5;
+  /// Inner single-machine ALS settings (nonnegative updates are used
+  /// regardless, as in the original algorithm, to make components
+  /// sign-unambiguous for merging).
+  int max_iterations = 25;
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+Result<KruskalModel> ParCubeParafac(const SparseTensor& x, int64_t rank,
+                                    const ParCubeOptions& options = {});
+
+// --- Exposed internals (tested separately) ---
+
+/// Per-mode slice masses: marginals[m][i] = Σ |X(..., i at mode m, ...)|.
+std::vector<std::vector<double>> ComputeMarginals(const SparseTensor& x);
+
+/// Weight-biased sample without replacement of `count` indices from
+/// [0, weights.size()), always including `anchors` first. Returns sorted
+/// indices.
+std::vector<int64_t> BiasedSample(const std::vector<double>& weights,
+                                  int64_t count,
+                                  const std::vector<int64_t>& anchors,
+                                  Rng* rng);
+
+/// Extracts the sub-tensor of `x` restricted to `kept[m]` (sorted index
+/// lists per mode), relabeling indices to 0..|kept[m]|-1.
+Result<SparseTensor> ExtractSubTensor(
+    const SparseTensor& x, const std::vector<std::vector<int64_t>>& kept);
+
+}  // namespace haten2
+
+#endif  // HATEN2_BASELINE_PARCUBE_H_

@@ -1,0 +1,334 @@
+#include "baseline/toolbox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "linalg/linalg.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+constexpr uint64_t kDoubleBytes = sizeof(double);
+
+Status CheckDecompositionInput(const SparseTensor& x) {
+  if (x.order() < 2) {
+    return Status::InvalidArgument(
+        "decompositions require a tensor of order >= 2");
+  }
+  if (x.nnz() == 0) {
+    return Status::InvalidArgument("cannot decompose an all-zero tensor");
+  }
+  return Status::OK();
+}
+
+/// Densifies an order-2 sparse tensor into a matrix, charging `memory`.
+Result<DenseMatrix> DensifyMatrix(const SparseTensor& unfolded,
+                                  MemoryTracker* memory) {
+  ScopedCharge charge(
+      memory, static_cast<uint64_t>(unfolded.dim(0)) *
+                  static_cast<uint64_t>(unfolded.dim(1)) * kDoubleBytes);
+  if (!charge.ok()) return charge.status();
+  DenseMatrix out(unfolded.dim(0), unfolded.dim(1));
+  for (int64_t e = 0; e < unfolded.nnz(); ++e) {
+    out(unfolded.index(e, 0), unfolded.index(e, 1)) += unfolded.value(e);
+  }
+  return out;
+}
+
+/// Recursively accumulates one tensor entry's contribution into the
+/// projected unfolding (see MetProjectedUnfolding).
+void AccumulateEntry(const int64_t* idx, const std::vector<int>& modes,
+                     const std::vector<const DenseMatrix*>& factors,
+                     const std::vector<int64_t>& weights, size_t level,
+                     double partial, int64_t col, int64_t row,
+                     DenseMatrix* out) {
+  if (level == modes.size()) {
+    (*out)(row, col) += partial;
+    return;
+  }
+  int m = modes[level];
+  const DenseMatrix& f = *factors[static_cast<size_t>(m)];
+  const double* frow = f.RowPtr(idx[m]);
+  for (int64_t j = 0; j < f.cols(); ++j) {
+    if (frow[j] == 0.0) continue;
+    AccumulateEntry(idx, modes, factors, weights, level + 1,
+                    partial * frow[j],
+                    col + j * weights[static_cast<size_t>(m)], row, out);
+  }
+}
+
+}  // namespace
+
+Result<DenseMatrix> MetProjectedUnfolding(
+    const SparseTensor& x, const std::vector<const DenseMatrix*>& factors,
+    int skip_mode, MemoryTracker* memory) {
+  if (static_cast<int>(factors.size()) != x.order()) {
+    return Status::InvalidArgument("need one factor per mode");
+  }
+  if (skip_mode < 0 || skip_mode >= x.order()) {
+    return Status::InvalidArgument("skip_mode out of range");
+  }
+  std::vector<int> modes;
+  std::vector<int64_t> weights(static_cast<size_t>(x.order()), 0);
+  int64_t cols = 1;
+  for (int m = 0; m < x.order(); ++m) {
+    if (m == skip_mode) continue;
+    const DenseMatrix* f = factors[static_cast<size_t>(m)];
+    if (f == nullptr) return Status::InvalidArgument("null factor matrix");
+    if (f->rows() != x.dim(m)) {
+      return Status::InvalidArgument(
+          StrFormat("factor %d rows %lld != mode size %lld", m,
+                    (long long)f->rows(), (long long)x.dim(m)));
+    }
+    modes.push_back(m);
+    weights[static_cast<size_t>(m)] = cols;
+    cols *= f->cols();
+  }
+  const int64_t rows = x.dim(skip_mode);
+  ScopedCharge charge(memory, static_cast<uint64_t>(rows) *
+                                  static_cast<uint64_t>(cols) * kDoubleBytes);
+  if (!charge.ok()) return charge.status();
+  DenseMatrix out(rows, cols);
+  for (int64_t e = 0; e < x.nnz(); ++e) {
+    const int64_t* idx = x.IndexPtr(e);
+    AccumulateEntry(idx, modes, factors, weights, 0, x.value(e), 0,
+                    idx[skip_mode], &out);
+  }
+  return out;
+}
+
+Result<SparseTensor> NaiveTtmChain(
+    const SparseTensor& x, const std::vector<const DenseMatrix*>& factors,
+    int skip_mode, MemoryTracker* memory) {
+  if (static_cast<int>(factors.size()) != x.order()) {
+    return Status::InvalidArgument("need one factor per mode");
+  }
+  if (skip_mode < 0 || skip_mode >= x.order()) {
+    return Status::InvalidArgument("skip_mode out of range");
+  }
+  SparseTensor current = x;
+  uint64_t current_charge = 0;  // x itself is charged by the caller
+  Status failure = Status::OK();
+  for (int m = 0; m < x.order(); ++m) {
+    if (m == skip_mode) continue;
+    // Charge the upcoming intermediate before materializing it (Lemma 3:
+    // ≈ nnz(current)·J entries). Previous intermediate stays live during
+    // the multiply, as in a real execution.
+    const DenseMatrix* f = factors[static_cast<size_t>(m)];
+    if (f == nullptr) {
+      failure = Status::InvalidArgument("null factor matrix");
+      break;
+    }
+    uint64_t next_bytes =
+        static_cast<uint64_t>(current.nnz()) *
+        static_cast<uint64_t>(f->cols()) *
+        (static_cast<uint64_t>(x.order()) * sizeof(int64_t) + kDoubleBytes);
+    if (memory != nullptr) {
+      Status s = memory->Charge(next_bytes);
+      if (!s.ok()) {
+        failure = s;
+        break;
+      }
+    }
+    Result<SparseTensor> next = TtmTransposed(current, *f, m);
+    if (!next.ok()) {
+      if (memory != nullptr) memory->Release(next_bytes);
+      failure = next.status();
+      break;
+    }
+    if (memory != nullptr && current_charge > 0) {
+      memory->Release(current_charge);
+    }
+    current = std::move(next).value();
+    current_charge = next_bytes;
+  }
+  if (memory != nullptr && current_charge > 0) {
+    memory->Release(current_charge);
+  }
+  if (!failure.ok()) return failure;
+  return current;
+}
+
+Result<DenseMatrix> ToolboxMttkrp(
+    const SparseTensor& x, const std::vector<const DenseMatrix*>& factors,
+    int mode, MemoryTracker* memory) {
+  if (mode < 0 || mode >= x.order()) {
+    return Status::InvalidArgument("mode out of range");
+  }
+  int64_t rank = factors.empty() || factors[0] == nullptr
+                     ? 0
+                     : factors[0]->cols();
+  ScopedCharge charge(memory, static_cast<uint64_t>(x.dim(mode)) *
+                                  static_cast<uint64_t>(rank) * kDoubleBytes);
+  if (!charge.ok()) return charge.status();
+  return Mttkrp(x, factors, mode);
+}
+
+Result<KruskalModel> ToolboxParafacAls(const SparseTensor& x, int64_t rank,
+                                       const BaselineOptions& options) {
+  HATEN2_RETURN_IF_ERROR(CheckDecompositionInput(x));
+  if (rank <= 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  const int order = x.order();
+  // The single machine holds the tensor plus all factor matrices for the
+  // whole run.
+  uint64_t resident = x.ApproxBytes();
+  for (int m = 0; m < order; ++m) {
+    resident += static_cast<uint64_t>(x.dim(m)) *
+                static_cast<uint64_t>(rank) * kDoubleBytes;
+  }
+  ScopedCharge resident_charge(options.memory, resident);
+  if (!resident_charge.ok()) return resident_charge.status();
+
+  Rng rng(options.seed);
+  KruskalModel model;
+  model.lambda.assign(static_cast<size_t>(rank), 1.0);
+  model.factors.reserve(static_cast<size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    model.factors.push_back(DenseMatrix::RandomUniform(x.dim(m), rank, &rng));
+  }
+
+  // Cache Gram matrices; refresh the updated mode's after each update.
+  std::vector<DenseMatrix> grams;
+  grams.reserve(static_cast<size_t>(order));
+  for (int m = 0; m < order; ++m) grams.push_back(Gram(model.factors[m]));
+
+  double prev_fit = -1.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    for (int n = 0; n < order; ++n) {
+      HATEN2_ASSIGN_OR_RETURN(
+          DenseMatrix mkr,
+          ToolboxMttkrp(x, model.FactorPtrs(), n, options.memory));
+      // V = *_{m != n} A_mᵀA_m  (R x R).
+      DenseMatrix v(rank, rank);
+      v.Fill(1.0);
+      for (int m = 0; m < order; ++m) {
+        if (m == n) continue;
+        for (int64_t r = 0; r < rank; ++r) {
+          for (int64_t s = 0; s < rank; ++s) {
+            v(r, s) *= grams[static_cast<size_t>(m)](r, s);
+          }
+        }
+      }
+      DenseMatrix updated;
+      if (options.nonnegative) {
+        DenseMatrix& a = model.factors[static_cast<size_t>(n)];
+        HATEN2_ASSIGN_OR_RETURN(DenseMatrix av, MatMul(a, v));
+        updated = a;
+        for (int64_t i = 0; i < a.rows(); ++i) {
+          for (int64_t r = 0; r < rank; ++r) {
+            updated(i, r) = std::max(
+                a(i, r) * (mkr(i, r) / std::max(av(i, r), 1e-12)), 0.0);
+          }
+        }
+      } else {
+        HATEN2_ASSIGN_OR_RETURN(updated, SolveRightPinv(mkr, v));
+      }
+      NormalizeColumns(&updated, &model.lambda);
+      model.factors[static_cast<size_t>(n)] = std::move(updated);
+      grams[static_cast<size_t>(n)] =
+          Gram(model.factors[static_cast<size_t>(n)]);
+    }
+    model.iterations = iter;
+    HATEN2_ASSIGN_OR_RETURN(double fit, KruskalFit(x, model));
+    model.fit = fit;
+    model.fit_history.push_back(fit);
+    if (prev_fit >= 0.0 && std::fabs(fit - prev_fit) < options.tolerance) {
+      break;
+    }
+    prev_fit = fit;
+  }
+  return model;
+}
+
+Result<TuckerModel> ToolboxTuckerAls(const SparseTensor& x,
+                                     std::vector<int64_t> core_dims,
+                                     const BaselineOptions& options) {
+  HATEN2_RETURN_IF_ERROR(CheckDecompositionInput(x));
+  const int order = x.order();
+  if (static_cast<int>(core_dims.size()) != order) {
+    return Status::InvalidArgument("core_dims must have one entry per mode");
+  }
+  uint64_t resident = x.ApproxBytes();
+  int64_t core_cells = 1;
+  for (int m = 0; m < order; ++m) {
+    int64_t j = core_dims[static_cast<size_t>(m)];
+    if (j <= 0 || j > x.dim(m)) {
+      return Status::InvalidArgument(StrFormat(
+          "core dimension %lld invalid for mode %d of size %lld",
+          (long long)j, m, (long long)x.dim(m)));
+    }
+    resident += static_cast<uint64_t>(x.dim(m)) * static_cast<uint64_t>(j) *
+                kDoubleBytes;
+    core_cells *= j;
+  }
+  resident += static_cast<uint64_t>(core_cells) * kDoubleBytes;
+  ScopedCharge resident_charge(options.memory, resident);
+  if (!resident_charge.ok()) return resident_charge.status();
+
+  Rng rng(options.seed);
+  TuckerModel model;
+  model.factors.reserve(static_cast<size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    // Orthonormal random initialization (Algorithm 2 line 1 initializes all
+    // factors but the first; initializing all keeps the code uniform and the
+    // first is overwritten before use).
+    DenseMatrix random = DenseMatrix::RandomNormal(
+        x.dim(m), core_dims[static_cast<size_t>(m)], &rng);
+    HATEN2_ASSIGN_OR_RETURN(QrResult qr, QrDecompose(random));
+    model.factors.push_back(std::move(qr.q));
+  }
+
+  const double x_norm = x.FrobeniusNorm();
+  double prev_core_norm = -1.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    DenseMatrix last_unfolding;
+    for (int n = 0; n < order; ++n) {
+      DenseMatrix y_n;
+      if (options.use_met) {
+        HATEN2_ASSIGN_OR_RETURN(
+            y_n, MetProjectedUnfolding(x, model.FactorPtrs(), n,
+                                       options.memory));
+      } else {
+        HATEN2_ASSIGN_OR_RETURN(
+            SparseTensor chained,
+            NaiveTtmChain(x, model.FactorPtrs(), n, options.memory));
+        HATEN2_ASSIGN_OR_RETURN(SparseTensor unfolded,
+                                SparseUnfold(chained, n));
+        HATEN2_ASSIGN_OR_RETURN(y_n, DensifyMatrix(unfolded, options.memory));
+      }
+      HATEN2_ASSIGN_OR_RETURN(
+          DenseMatrix factor,
+          LeadingLeftSingularVectors(y_n,
+                                     core_dims[static_cast<size_t>(n)]));
+      model.factors[static_cast<size_t>(n)] = std::move(factor);
+      if (n == order - 1) last_unfolding = std::move(y_n);
+    }
+    // G_(N-1) = A_{N-1}ᵀ · Y_(N-1); fold back into the core tensor.
+    HATEN2_ASSIGN_OR_RETURN(
+        DenseMatrix core_unfolded,
+        MatMulTransA(model.factors[static_cast<size_t>(order - 1)],
+                     last_unfolding));
+    HATEN2_ASSIGN_OR_RETURN(
+        model.core, DenseTensor::Fold(core_unfolded, order - 1, core_dims));
+    model.iterations = iter;
+    double core_norm = model.core.FrobeniusNorm();
+    model.core_norm_history.push_back(core_norm);
+    if (prev_core_norm >= 0.0 &&
+        std::fabs(core_norm - prev_core_norm) <= options.tolerance * x_norm) {
+      break;
+    }
+    prev_core_norm = core_norm;
+  }
+  HATEN2_ASSIGN_OR_RETURN(model.fit, TuckerFit(x, model));
+  return model;
+}
+
+}  // namespace haten2

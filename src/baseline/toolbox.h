@@ -1,0 +1,82 @@
+#ifndef HATEN2_BASELINE_TOOLBOX_H_
+#define HATEN2_BASELINE_TOOLBOX_H_
+
+#include <vector>
+
+#include "tensor/dense_matrix.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/memory_tracker.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// Single-machine baseline equivalent to the Matlab Tensor Toolbox (the
+/// paper's comparison target, including the MET — Memory-Efficient Tucker —
+/// variant of Kolda & Sun that the Toolbox adopted).
+///
+/// Every materialized quantity is charged against `BaselineOptions::memory`
+/// (modeling the single machine's RAM); exceeding the budget aborts the
+/// decomposition with kResourceExhausted, which the benchmark harnesses
+/// report as "o.o.m." exactly where the Toolbox dies in Figures 1 and 7.
+
+struct BaselineOptions {
+  /// Maximum ALS (outer) iterations.
+  int max_iterations = 20;
+
+  /// Convergence threshold on the change of fit (PARAFAC) or ||G||/||X||
+  /// (Tucker) between iterations.
+  double tolerance = 1e-6;
+
+  /// Seed for factor initialization.
+  uint64_t seed = 17;
+
+  /// Single-machine memory budget; nullptr disables enforcement.
+  MemoryTracker* memory = nullptr;
+
+  /// PARAFAC only: Lee-Seung multiplicative updates instead of the
+  /// unconstrained least-squares update; factors stay entrywise >= 0.
+  bool nonnegative = false;
+
+  /// Tucker only: use the MET strategy (project straight into the dense
+  /// I_n x prod(J) unfolding, never materializing sparse intermediates).
+  /// When false, uses the naive sequential sparse TTM chain, which explodes
+  /// with nnz(X)·Q intermediate entries (Lemma 3) — the pre-MET Toolbox.
+  bool use_met = true;
+};
+
+/// PARAFAC-ALS (Algorithm 1 of the paper, generalized to N-way) on a single
+/// machine.
+Result<KruskalModel> ToolboxParafacAls(const SparseTensor& x, int64_t rank,
+                                       const BaselineOptions& options = {});
+
+/// Tucker-ALS / HOOI (Algorithm 2, generalized to N-way) on a single
+/// machine. `core_dims` must have one entry per mode with
+/// core_dims[m] <= dim(m).
+Result<TuckerModel> ToolboxTuckerAls(const SparseTensor& x,
+                                     std::vector<int64_t> core_dims,
+                                     const BaselineOptions& options = {});
+
+// --- Building blocks (exposed for tests and for the cost comparisons) ---
+
+/// MET-style projected unfolding: Y_(skip_mode) where
+/// Y = X ×_{m != skip_mode} A_mᵀ, returned dense (I_skip x prod_{m} J_m).
+/// Charges the dense output against `memory`.
+Result<DenseMatrix> MetProjectedUnfolding(
+    const SparseTensor& x, const std::vector<const DenseMatrix*>& factors,
+    int skip_mode, MemoryTracker* memory);
+
+/// Naive sequential TTM chain X ×_m A_mᵀ for all m != skip_mode, keeping
+/// sparse intermediates and charging each one; returns the final tensor.
+Result<SparseTensor> NaiveTtmChain(
+    const SparseTensor& x, const std::vector<const DenseMatrix*>& factors,
+    int skip_mode, MemoryTracker* memory);
+
+/// MTTKRP with memory accounting for the dense output.
+Result<DenseMatrix> ToolboxMttkrp(
+    const SparseTensor& x, const std::vector<const DenseMatrix*>& factors,
+    int mode, MemoryTracker* memory);
+
+}  // namespace haten2
+
+#endif  // HATEN2_BASELINE_TOOLBOX_H_

@@ -1,0 +1,730 @@
+#include "core/contract.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "core/records.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+/// Value shuffled by the IMHP / DRN-Hadamard / DNN-Hadamard jobs: either a
+/// tensor entry (kind 0) or a factor matrix/vector cell (kind 1).
+struct JoinValue {
+  Coord coord;   // tensor entry coordinate (kind 0 only)
+  double value;  // entry value or factor cell value
+  int32_t col;   // factor column (kind 1 only; -1 for vector cells)
+  uint8_t kind;
+};
+
+/// Value shuffled by the Naive broadcast TTV jobs.
+struct NaiveValue {
+  int64_t j;  // index along the contracted mode
+  double value;
+  uint8_t kind;  // 0 = tensor entry, 1 = broadcast vector element
+};
+
+struct CoordStdHash {
+  size_t operator()(const Coord& c) const {
+    return static_cast<size_t>(ShuffleHash<Coord>()(c));
+  }
+};
+
+/// Shared state of one contraction evaluation.
+struct Ctx {
+  Engine* engine;
+  const SparseTensor* x;
+  int free_mode;
+  MergeKind kind;
+  std::vector<int> cmodes;                    // contracted modes, ascending
+  std::vector<const DenseMatrix*> cfactors;   // parallel to cmodes
+  std::vector<int64_t> block_dims;            // cfactors[s]->cols()
+
+  int num_streams() const { return static_cast<int>(cmodes.size()); }
+};
+
+SliceBlocks MakeEmptyBlocks(const Ctx& ctx) {
+  SliceBlocks out;
+  out.free_dim = ctx.x->dim(ctx.free_mode);
+  if (ctx.kind == MergeKind::kPairwise) {
+    out.block_dims = {ctx.block_dims.empty() ? 0 : ctx.block_dims[0]};
+  } else {
+    out.block_dims = ctx.block_dims;
+  }
+  return out;
+}
+
+/// Kolda-order weights for the contracted modes: stream 0 varies fastest.
+std::vector<int64_t> BlockWeights(const Ctx& ctx) {
+  std::vector<int64_t> w(ctx.block_dims.size(), 1);
+  for (size_t s = 1; s < ctx.block_dims.size(); ++s) {
+    w[s] = w[s - 1] * ctx.block_dims[s - 1];
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// DRI: one IMHP job producing every Hadamard stream, then one merge job.
+// ---------------------------------------------------------------------------
+
+using KeyedHadamard = std::pair<int64_t, HadamardRecord>;
+
+Result<std::vector<KeyedHadamard>> RunImhpJob(const Ctx& ctx) {
+  const SparseTensor& x = *ctx.x;
+  const int64_t nnz = x.nnz();
+  // Matrix cells are part of the job input, one record per (stream, row,
+  // column), exactly as the paper's IMHP map reads <j, q, B(j,q)> records.
+  std::vector<int64_t> matrix_begin(ctx.cmodes.size() + 1, nnz);
+  for (size_t s = 0; s < ctx.cmodes.size(); ++s) {
+    matrix_begin[s + 1] =
+        matrix_begin[s] +
+        x.dim(ctx.cmodes[s]) * ctx.cfactors[s]->cols();
+  }
+  const int64_t domain = matrix_begin.back();
+  const int free_mode = ctx.free_mode;
+
+  using KMid = std::pair<int32_t, int64_t>;  // (stream, index along mode)
+  auto reader = [&](int64_t i, ShuffleEmitter<KMid, JoinValue>* em) {
+    if (i < nnz) {
+      JoinValue v;
+      v.coord = Coord::FromIndex(x.IndexPtr(i), x.order());
+      v.value = x.value(i);
+      v.col = -1;
+      v.kind = 0;
+      for (int s = 0; s < ctx.num_streams(); ++s) {
+        int64_t along = v.coord.c[static_cast<size_t>(ctx.cmodes[s])];
+        em->Emit(KMid(s, along), v);
+      }
+      return;
+    }
+    // Factor matrix cell.
+    int s = 0;
+    while (i >= matrix_begin[static_cast<size_t>(s) + 1]) ++s;
+    int64_t cell = i - matrix_begin[static_cast<size_t>(s)];
+    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+    int64_t row = cell / f.cols();
+    int64_t col = cell % f.cols();
+    JoinValue v;
+    v.coord.c.fill(-1);
+    v.value = f(row, col);
+    v.col = static_cast<int32_t>(col);
+    v.kind = 1;
+    em->Emit(KMid(s, row), v);
+  };
+
+  auto reducer = [&](const KMid& key, std::vector<JoinValue>& values,
+                     OutputEmitter<int64_t, HadamardRecord>* out) {
+    const int s = key.first;
+    const int64_t q_count = ctx.cfactors[static_cast<size_t>(s)]->cols();
+    std::vector<double> row(static_cast<size_t>(q_count), 0.0);
+    for (const JoinValue& v : values) {
+      if (v.kind == 1) row[static_cast<size_t>(v.col)] = v.value;
+    }
+    for (const JoinValue& v : values) {
+      if (v.kind != 0) continue;
+      // Stream 0 carries the tensor values; the other streams carry
+      // bin(X)-scaled factor values (Lemmas 1 and 2).
+      double base = (s == 0) ? v.value : 1.0;
+      for (int64_t q = 0; q < q_count; ++q) {
+        double scaled = base * row[static_cast<size_t>(q)];
+        if (scaled == 0.0) continue;
+        HadamardRecord rec;
+        rec.coord = v.coord;
+        rec.stream = s;
+        rec.col = static_cast<int32_t>(q);
+        rec.value = scaled;
+        out->Emit(v.coord.c[static_cast<size_t>(free_mode)], rec);
+      }
+    }
+  };
+
+  return ctx.engine->Run<KMid, JoinValue, int64_t, HadamardRecord>(
+      "IMHP", domain, reader, reducer);
+}
+
+// ---------------------------------------------------------------------------
+// DRN: one Hadamard job per (stream, column), then one merge job.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<KeyedHadamard>> RunDrnHadamardJobs(const Ctx& ctx) {
+  const SparseTensor& x = *ctx.x;
+  const int64_t nnz = x.nnz();
+  std::vector<KeyedHadamard> collected;
+  for (int s = 0; s < ctx.num_streams(); ++s) {
+    const int mode = ctx.cmodes[static_cast<size_t>(s)];
+    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+    for (int64_t q = 0; q < f.cols(); ++q) {
+      const int64_t domain = nnz + x.dim(mode);
+      auto reader = [&, s, mode, q](int64_t i,
+                                    ShuffleEmitter<int64_t, JoinValue>* em) {
+        if (i < nnz) {
+          JoinValue v;
+          v.coord = Coord::FromIndex(x.IndexPtr(i), x.order());
+          v.value = x.value(i);
+          v.col = -1;
+          v.kind = 0;
+          em->Emit(v.coord.c[static_cast<size_t>(mode)], v);
+          return;
+        }
+        int64_t row = i - nnz;
+        JoinValue v;
+        v.coord.c.fill(-1);
+        v.value = f(row, q);
+        v.col = static_cast<int32_t>(q);
+        v.kind = 1;
+        em->Emit(row, v);
+      };
+      auto reducer = [&, s, q](const int64_t& /*key*/,
+                               std::vector<JoinValue>& values,
+                               OutputEmitter<int64_t, HadamardRecord>* out) {
+        double cell = 0.0;
+        for (const JoinValue& v : values) {
+          if (v.kind == 1) cell = v.value;
+        }
+        if (cell == 0.0) return;
+        for (const JoinValue& v : values) {
+          if (v.kind != 0) continue;
+          double base = (s == 0) ? v.value : 1.0;
+          double scaled = base * cell;
+          if (scaled == 0.0) continue;
+          HadamardRecord rec;
+          rec.coord = v.coord;
+          rec.stream = s;
+          rec.col = static_cast<int32_t>(q);
+          rec.value = scaled;
+          out->Emit(v.coord.c[static_cast<size_t>(ctx.free_mode)], rec);
+        }
+      };
+      std::string job_name =
+          StrFormat("Hadamard[m%d,c%lld]", mode, (long long)q);
+      HATEN2_ASSIGN_OR_RETURN(
+          auto out,
+          (ctx.engine->Run<int64_t, JoinValue, int64_t, HadamardRecord>(
+              job_name, domain, reader, reducer)));
+      collected.insert(collected.end(), out.begin(), out.end());
+    }
+  }
+  return collected;
+}
+
+// ---------------------------------------------------------------------------
+// Merge job shared by DRN and DRI: CrossMerge or PairwiseMerge keyed by the
+// free-mode index (see the header note on keying).
+// ---------------------------------------------------------------------------
+
+Result<SliceBlocks> RunMergeJob(const Ctx& ctx,
+                                const std::vector<KeyedHadamard>& input) {
+  const int num_streams = ctx.num_streams();
+  SliceBlocks blocks = MakeEmptyBlocks(ctx);
+  const int64_t block_size = blocks.BlockSize();
+  const std::vector<int64_t> weights = BlockWeights(ctx);
+
+  auto reader = [&input](int64_t i,
+                         ShuffleEmitter<int64_t, HadamardRecord>* em) {
+    const KeyedHadamard& rec = input[static_cast<size_t>(i)];
+    em->Emit(rec.first, rec.second);
+  };
+
+  auto reducer = [&](const int64_t& /*slice*/,
+                     std::vector<HadamardRecord>& values,
+                     OutputEmitter<int64_t, std::vector<double>>* out) {
+    // Join the streams on the original tensor coordinate.
+    struct PerCoord {
+      std::array<std::vector<double>, kMaxMrOrder - 1> stream_vals;
+    };
+    std::unordered_map<Coord, PerCoord, CoordStdHash> joins;
+    joins.reserve(values.size() / std::max(1, num_streams));
+    for (const HadamardRecord& rec : values) {
+      PerCoord& pc = joins[rec.coord];
+      auto& vals = pc.stream_vals[static_cast<size_t>(rec.stream)];
+      if (vals.empty()) {
+        vals.assign(
+            static_cast<size_t>(ctx.block_dims[static_cast<size_t>(
+                rec.stream)]),
+            0.0);
+      }
+      vals[static_cast<size_t>(rec.col)] += rec.value;
+    }
+    std::vector<double> block(static_cast<size_t>(block_size), 0.0);
+    for (auto& [coord, pc] : joins) {
+      // A coordinate missing any stream contributes nothing (its factor row
+      // was entirely zero).
+      bool complete = true;
+      for (int s = 0; s < num_streams; ++s) {
+        if (pc.stream_vals[static_cast<size_t>(s)].empty()) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      if (ctx.kind == MergeKind::kPairwise) {
+        for (int64_t r = 0; r < block_size; ++r) {
+          double p = 1.0;
+          for (int s = 0; s < num_streams; ++s) {
+            p *= pc.stream_vals[static_cast<size_t>(s)]
+                              [static_cast<size_t>(r)];
+          }
+          block[static_cast<size_t>(r)] += p;
+        }
+      } else {
+        // Cross product of all streams' columns (odometer walk).
+        std::vector<int64_t> q(static_cast<size_t>(num_streams), 0);
+        while (true) {
+          double p = 1.0;
+          int64_t off = 0;
+          for (int s = 0; s < num_streams; ++s) {
+            p *= pc.stream_vals[static_cast<size_t>(s)]
+                              [static_cast<size_t>(q[static_cast<size_t>(
+                                  s)])];
+            off += q[static_cast<size_t>(s)] * weights[static_cast<size_t>(s)];
+          }
+          if (p != 0.0) block[static_cast<size_t>(off)] += p;
+          int s = 0;
+          while (s < num_streams) {
+            if (++q[static_cast<size_t>(s)] <
+                ctx.block_dims[static_cast<size_t>(s)]) {
+              break;
+            }
+            q[static_cast<size_t>(s)] = 0;
+            ++s;
+          }
+          if (s == num_streams) break;
+        }
+      }
+    }
+    // Re-use the slice id stored in any record's coordinate.
+    if (!values.empty()) {
+      int64_t slice = values.front()
+                          .coord.c[static_cast<size_t>(ctx.free_mode)];
+      out->Emit(slice, std::move(block));
+    }
+  };
+
+  const char* name =
+      ctx.kind == MergeKind::kCross ? "CrossMerge" : "PairwiseMerge";
+  HATEN2_ASSIGN_OR_RETURN(
+      auto out,
+      (ctx.engine->Run<int64_t, HadamardRecord, int64_t,
+                       std::vector<double>>(
+          name, static_cast<int64_t>(input.size()), reader, reducer)));
+  for (auto& [slice, block] : out) {
+    blocks.rows[slice] = std::move(block);
+  }
+  return blocks;
+}
+
+// ---------------------------------------------------------------------------
+// DNN: decoupled Hadamard + Collapse, chained per stream (Algorithms 5, 6).
+// ---------------------------------------------------------------------------
+
+/// One n-mode vector Hadamard product job over in-flight tensor records:
+/// scales every record by factor column `q` of `f` along `mode`.
+Result<std::vector<HadamardRecord>> RunDnnHadamardJob(
+    const Ctx& ctx, const std::vector<TensorRecord>& records, int mode,
+    const DenseMatrix& f, int64_t q, int64_t mode_dim) {
+  const int64_t n = static_cast<int64_t>(records.size());
+  const int64_t domain = n + mode_dim;
+  auto reader = [&](int64_t i, ShuffleEmitter<int64_t, JoinValue>* em) {
+    if (i < n) {
+      const TensorRecord& rec = records[static_cast<size_t>(i)];
+      JoinValue v;
+      v.coord = rec.coord;
+      v.value = rec.value;
+      v.col = -1;
+      v.kind = 0;
+      em->Emit(rec.coord.c[static_cast<size_t>(mode)], v);
+      return;
+    }
+    int64_t row = i - n;
+    JoinValue v;
+    v.coord.c.fill(-1);
+    v.value = f(row, q);
+    v.col = static_cast<int32_t>(q);
+    v.kind = 1;
+    em->Emit(row, v);
+  };
+  auto reducer = [&, q](const int64_t& /*key*/,
+                        std::vector<JoinValue>& values,
+                        OutputEmitter<int64_t, HadamardRecord>* out) {
+    double cell = 0.0;
+    for (const JoinValue& v : values) {
+      if (v.kind == 1) cell = v.value;
+    }
+    if (cell == 0.0) return;
+    for (const JoinValue& v : values) {
+      if (v.kind != 0) continue;
+      double scaled = v.value * cell;
+      if (scaled == 0.0) continue;
+      HadamardRecord rec;
+      rec.coord = v.coord;
+      rec.stream = 0;
+      rec.col = static_cast<int32_t>(q);
+      rec.value = scaled;
+      out->Emit(0, rec);
+    }
+  };
+  std::string job_name = StrFormat("DNN-Hadamard[m%d,c%lld]", mode,
+                                   (long long)q);
+  HATEN2_ASSIGN_OR_RETURN(
+      auto out, (ctx.engine->Run<int64_t, JoinValue, int64_t, HadamardRecord>(
+                    job_name, domain, reader, reducer)));
+  std::vector<HadamardRecord> result;
+  result.reserve(out.size());
+  for (auto& [k, rec] : out) result.push_back(rec);
+  return result;
+}
+
+/// Collapse job: sums Hadamard records into cells; the collapsed mode's
+/// coordinate is replaced by `replace_with_col ? record.col : 0`.
+Result<std::vector<TensorRecord>> RunDnnCollapseJob(
+    const Ctx& ctx, const std::vector<HadamardRecord>& records, int mode,
+    bool replace_with_col) {
+  auto reader = [&](int64_t i, ShuffleEmitter<Coord, double>* em) {
+    const HadamardRecord& rec = records[static_cast<size_t>(i)];
+    Coord key = rec.coord;
+    key.c[static_cast<size_t>(mode)] =
+        replace_with_col ? static_cast<int64_t>(rec.col) : 0;
+    em->Emit(key, rec.value);
+  };
+  auto reducer = [](const Coord& key, std::vector<double>& values,
+                    OutputEmitter<Coord, double>* out) {
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    if (sum != 0.0) out->Emit(key, sum);
+  };
+  std::string job_name = StrFormat("Collapse[m%d]", mode);
+  HATEN2_ASSIGN_OR_RETURN(
+      auto out,
+      (ctx.engine->Run<Coord, double, Coord, double>(
+          job_name, static_cast<int64_t>(records.size()), reader, reducer)));
+  std::vector<TensorRecord> result;
+  result.reserve(out.size());
+  for (auto& [coord, value] : out) {
+    result.push_back(TensorRecord{coord, value});
+  }
+  return result;
+}
+
+std::vector<TensorRecord> TensorToRecords(const SparseTensor& x) {
+  std::vector<TensorRecord> records;
+  records.reserve(static_cast<size_t>(x.nnz()));
+  for (int64_t e = 0; e < x.nnz(); ++e) {
+    records.push_back(
+        TensorRecord{Coord::FromIndex(x.IndexPtr(e), x.order()), x.value(e)});
+  }
+  return records;
+}
+
+Result<SliceBlocks> RunDnnCross(const Ctx& ctx) {
+  std::vector<TensorRecord> current = TensorToRecords(*ctx.x);
+  for (int s = 0; s < ctx.num_streams(); ++s) {
+    const int mode = ctx.cmodes[static_cast<size_t>(s)];
+    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+    std::vector<HadamardRecord> scaled;
+    for (int64_t q = 0; q < f.cols(); ++q) {
+      HATEN2_ASSIGN_OR_RETURN(
+          std::vector<HadamardRecord> part,
+          RunDnnHadamardJob(ctx, current, mode, f, q, ctx.x->dim(mode)));
+      scaled.insert(scaled.end(), part.begin(), part.end());
+    }
+    HATEN2_ASSIGN_OR_RETURN(
+        current, RunDnnCollapseJob(ctx, scaled, mode,
+                                   /*replace_with_col=*/true));
+  }
+  // Assemble Y from the final records: coordinates at contracted modes now
+  // hold factor-column indices.
+  SliceBlocks blocks = MakeEmptyBlocks(ctx);
+  const std::vector<int64_t> weights = BlockWeights(ctx);
+  const int64_t block_size = blocks.BlockSize();
+  for (const TensorRecord& rec : current) {
+    int64_t off = 0;
+    for (int s = 0; s < ctx.num_streams(); ++s) {
+      off += rec.coord.c[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(
+                 s)])] *
+             weights[static_cast<size_t>(s)];
+    }
+    int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
+    auto [it, inserted] = blocks.rows.try_emplace(slice);
+    if (inserted) it->second.assign(static_cast<size_t>(block_size), 0.0);
+    it->second[static_cast<size_t>(off)] += rec.value;
+  }
+  return blocks;
+}
+
+Result<SliceBlocks> RunDnnPairwise(const Ctx& ctx) {
+  SliceBlocks blocks = MakeEmptyBlocks(ctx);
+  const int64_t rank = blocks.block_dims[0];
+  std::vector<TensorRecord> base = TensorToRecords(*ctx.x);
+  for (int64_t r = 0; r < rank; ++r) {
+    std::vector<TensorRecord> current = base;
+    for (int s = 0; s < ctx.num_streams(); ++s) {
+      const int mode = ctx.cmodes[static_cast<size_t>(s)];
+      const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+      HATEN2_ASSIGN_OR_RETURN(
+          std::vector<HadamardRecord> scaled,
+          RunDnnHadamardJob(ctx, current, mode, f, r, ctx.x->dim(mode)));
+      HATEN2_ASSIGN_OR_RETURN(
+          current, RunDnnCollapseJob(ctx, scaled, mode,
+                                     /*replace_with_col=*/false));
+    }
+    for (const TensorRecord& rec : current) {
+      int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
+      auto [it, inserted] = blocks.rows.try_emplace(slice);
+      if (inserted) it->second.assign(static_cast<size_t>(rank), 0.0);
+      it->second[static_cast<size_t>(r)] += rec.value;
+    }
+  }
+  return blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Naive: per-column broadcast TTV jobs (Algorithms 3, 4). The factor column
+// is copied to every fiber of the current tensor — the nnz(X) + IJK
+// intermediate-data explosion the paper starts from.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<TensorRecord>> RunNaiveTtvJob(
+    const Ctx& ctx, const std::vector<TensorRecord>& records,
+    const std::vector<int64_t>& cur_dims, int mode, const DenseMatrix& f,
+    int64_t q, int64_t replace_value) {
+  const int order = ctx.x->order();
+  const int64_t n = static_cast<int64_t>(records.size());
+  // All fibers along `mode` of the *full* tensor grid, nonzero or not.
+  int64_t num_fibers = 1;
+  std::vector<int64_t> fiber_weights(static_cast<size_t>(order), 0);
+  for (int m = 0; m < order; ++m) {
+    if (m == mode) continue;
+    fiber_weights[static_cast<size_t>(m)] = num_fibers;
+    num_fibers *= cur_dims[static_cast<size_t>(m)];
+  }
+  const int64_t domain = n + num_fibers;
+  const int64_t mode_dim = ctx.x->dim(mode);
+
+  auto reader = [&](int64_t i, ShuffleEmitter<Coord, NaiveValue>* em) {
+    if (i < n) {
+      const TensorRecord& rec = records[static_cast<size_t>(i)];
+      Coord key = rec.coord;
+      key.c[static_cast<size_t>(mode)] = -1;
+      em->Emit(key,
+               NaiveValue{rec.coord.c[static_cast<size_t>(mode)], rec.value,
+                          0});
+      return;
+    }
+    // Broadcast the whole factor column to this fiber.
+    int64_t fiber = i - n;
+    Coord key;
+    key.c.fill(-1);
+    for (int m = 0; m < order; ++m) {
+      if (m == mode) continue;
+      key.c[static_cast<size_t>(m)] =
+          (fiber / fiber_weights[static_cast<size_t>(m)]) %
+          cur_dims[static_cast<size_t>(m)];
+    }
+    for (int64_t j = 0; j < mode_dim; ++j) {
+      em->Emit(key, NaiveValue{j, f(j, q), 1});
+    }
+  };
+
+  auto reducer = [&](const Coord& key, std::vector<NaiveValue>& values,
+                     OutputEmitter<int64_t, TensorRecord>* out) {
+    std::unordered_map<int64_t, double> vec;
+    for (const NaiveValue& v : values) {
+      if (v.kind == 1 && v.value != 0.0) vec.emplace(v.j, v.value);
+    }
+    double sum = 0.0;
+    for (const NaiveValue& v : values) {
+      if (v.kind != 0) continue;
+      auto it = vec.find(v.j);
+      if (it != vec.end()) sum += v.value * it->second;
+    }
+    if (sum != 0.0) {
+      Coord coord = key;
+      coord.c[static_cast<size_t>(mode)] = replace_value;
+      out->Emit(0, TensorRecord{coord, sum});
+    }
+  };
+
+  std::string job_name =
+      StrFormat("Naive-TTV[m%d,c%lld]", mode, (long long)q);
+  HATEN2_ASSIGN_OR_RETURN(
+      auto out, (ctx.engine->Run<Coord, NaiveValue, int64_t, TensorRecord>(
+                    job_name, domain, reader, reducer)));
+  std::vector<TensorRecord> result;
+  result.reserve(out.size());
+  for (auto& [k, rec] : out) result.push_back(rec);
+  return result;
+}
+
+Result<SliceBlocks> RunNaiveCross(const Ctx& ctx) {
+  std::vector<TensorRecord> current = TensorToRecords(*ctx.x);
+  std::vector<int64_t> cur_dims = ctx.x->dims();
+  for (int s = 0; s < ctx.num_streams(); ++s) {
+    const int mode = ctx.cmodes[static_cast<size_t>(s)];
+    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+    std::vector<TensorRecord> next;
+    for (int64_t q = 0; q < f.cols(); ++q) {
+      HATEN2_ASSIGN_OR_RETURN(
+          std::vector<TensorRecord> part,
+          RunNaiveTtvJob(ctx, current, cur_dims, mode, f, q,
+                         /*replace_value=*/q));
+      next.insert(next.end(), part.begin(), part.end());
+    }
+    current = std::move(next);
+    cur_dims[static_cast<size_t>(mode)] = f.cols();
+  }
+  SliceBlocks blocks = MakeEmptyBlocks(ctx);
+  const std::vector<int64_t> weights = BlockWeights(ctx);
+  const int64_t block_size = blocks.BlockSize();
+  for (const TensorRecord& rec : current) {
+    int64_t off = 0;
+    for (int s = 0; s < ctx.num_streams(); ++s) {
+      off += rec.coord.c[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(
+                 s)])] *
+             weights[static_cast<size_t>(s)];
+    }
+    int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
+    auto [it, inserted] = blocks.rows.try_emplace(slice);
+    if (inserted) it->second.assign(static_cast<size_t>(block_size), 0.0);
+    it->second[static_cast<size_t>(off)] += rec.value;
+  }
+  return blocks;
+}
+
+Result<SliceBlocks> RunNaivePairwise(const Ctx& ctx) {
+  SliceBlocks blocks = MakeEmptyBlocks(ctx);
+  const int64_t rank = blocks.block_dims[0];
+  std::vector<TensorRecord> base = TensorToRecords(*ctx.x);
+  for (int64_t r = 0; r < rank; ++r) {
+    std::vector<TensorRecord> current = base;
+    std::vector<int64_t> cur_dims = ctx.x->dims();
+    for (int s = 0; s < ctx.num_streams(); ++s) {
+      const int mode = ctx.cmodes[static_cast<size_t>(s)];
+      const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+      HATEN2_ASSIGN_OR_RETURN(
+          current, RunNaiveTtvJob(ctx, current, cur_dims, mode, f, r,
+                                  /*replace_value=*/0));
+      cur_dims[static_cast<size_t>(mode)] = 1;
+    }
+    for (const TensorRecord& rec : current) {
+      int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
+      auto [it, inserted] = blocks.rows.try_emplace(slice);
+      if (inserted) it->second.assign(static_cast<size_t>(rank), 0.0);
+      it->second[static_cast<size_t>(r)] += rec.value;
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+DenseMatrix SliceBlocks::ToDenseMatrix() const {
+  DenseMatrix out(free_dim, BlockSize());
+  for (const auto& [slice, block] : rows) {
+    double* row = out.RowPtr(slice);
+    for (size_t j = 0; j < block.size(); ++j) row[j] = block[j];
+  }
+  return out;
+}
+
+DenseMatrix SliceBlocks::GramOfRows() const {
+  const int64_t n = BlockSize();
+  DenseMatrix gram(n, n);
+  for (const auto& [slice, block] : rows) {
+    for (int64_t a = 0; a < n; ++a) {
+      double va = block[static_cast<size_t>(a)];
+      if (va == 0.0) continue;
+      double* grow = gram.RowPtr(a);
+      for (int64_t b = a; b < n; ++b) {
+        grow[b] += va * block[static_cast<size_t>(b)];
+      }
+    }
+  }
+  for (int64_t a = 0; a < n; ++a) {
+    for (int64_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+  }
+  return gram;
+}
+
+Result<SliceBlocks> MultiModeContract(
+    Engine* engine, const SparseTensor& x,
+    const std::vector<const DenseMatrix*>& factors, int free_mode,
+    MergeKind kind, Variant variant) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (x.order() < 2 || x.order() > kMaxMrOrder) {
+    return Status::InvalidArgument(StrFormat(
+        "the MapReduce path supports orders 2..%d, got %d (use the baseline "
+        "library for higher orders)",
+        kMaxMrOrder, x.order()));
+  }
+  if (!x.canonical()) {
+    return Status::FailedPrecondition(
+        "input tensor must be canonical (call Canonicalize())");
+  }
+  if (free_mode < 0 || free_mode >= x.order()) {
+    return Status::InvalidArgument("free_mode out of range");
+  }
+  if (static_cast<int>(factors.size()) != x.order()) {
+    return Status::InvalidArgument("need one factor slot per mode");
+  }
+
+  Ctx ctx;
+  ctx.engine = engine;
+  ctx.x = &x;
+  ctx.free_mode = free_mode;
+  ctx.kind = kind;
+  for (int m = 0; m < x.order(); ++m) {
+    if (m == free_mode) continue;
+    const DenseMatrix* f = factors[static_cast<size_t>(m)];
+    if (f == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("factor for contracted mode %d is null", m));
+    }
+    if (f->rows() != x.dim(m)) {
+      return Status::InvalidArgument(
+          StrFormat("factor %d has %lld rows, mode size is %lld", m,
+                    (long long)f->rows(), (long long)x.dim(m)));
+    }
+    if (f->cols() <= 0) {
+      return Status::InvalidArgument("factor matrices must have >= 1 column");
+    }
+    ctx.cmodes.push_back(m);
+    ctx.cfactors.push_back(f);
+    ctx.block_dims.push_back(f->cols());
+  }
+  if (kind == MergeKind::kPairwise) {
+    for (size_t s = 1; s < ctx.block_dims.size(); ++s) {
+      if (ctx.block_dims[s] != ctx.block_dims[0]) {
+        return Status::InvalidArgument(
+            "PairwiseMerge requires all factors to share the same rank");
+      }
+    }
+  }
+
+  switch (variant) {
+    case Variant::kDri: {
+      HATEN2_ASSIGN_OR_RETURN(std::vector<KeyedHadamard> scaled,
+                              RunImhpJob(ctx));
+      return RunMergeJob(ctx, scaled);
+    }
+    case Variant::kDrn: {
+      HATEN2_ASSIGN_OR_RETURN(std::vector<KeyedHadamard> scaled,
+                              RunDrnHadamardJobs(ctx));
+      return RunMergeJob(ctx, scaled);
+    }
+    case Variant::kDnn:
+      return kind == MergeKind::kCross ? RunDnnCross(ctx)
+                                       : RunDnnPairwise(ctx);
+    case Variant::kNaive:
+      return kind == MergeKind::kCross ? RunNaiveCross(ctx)
+                                       : RunNaivePairwise(ctx);
+  }
+  return Status::InvalidArgument("unknown variant");
+}
+
+}  // namespace haten2

@@ -1,0 +1,27 @@
+#ifndef HATEN2_CORE_GIGATENSOR_H_
+#define HATEN2_CORE_GIGATENSOR_H_
+
+#include "core/parafac.h"
+
+namespace haten2 {
+
+/// \brief GigaTensor (Kang, Papalexakis, Harpale & Faloutsos, KDD 2012) —
+/// the first distributed PARAFAC, which the paper positions as its direct
+/// predecessor: "GigaTensor is similar to HATEN2-PARAFAC-DRN in this paper"
+/// (Section V-C). This wrapper runs exactly that configuration, so the
+/// historical baseline is available by name: per-column Hadamard jobs whose
+/// results a single PairwiseMerge joins — 2R+1 jobs per MTTKRP with
+/// 2·nnz(X)·R peak intermediate data (Table IV's DRN row), versus HaTen2's
+/// integrated 2 jobs.
+///
+/// `options.variant` is ignored (forced to kDrn).
+inline Result<KruskalModel> GigaTensorParafacAls(
+    Engine* engine, const SparseTensor& x, int64_t rank,
+    Haten2Options options = {}) {
+  options.variant = Variant::kDrn;
+  return Haten2ParafacAls(engine, x, rank, options);
+}
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_GIGATENSOR_H_

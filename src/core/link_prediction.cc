@@ -1,0 +1,142 @@
+#include "core/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "mapreduce/hash.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+struct IndexVectorHash {
+  size_t operator()(const std::vector<int64_t>& v) const {
+    uint64_t seed = 0x11bb11bbULL;
+    for (int64_t x : v) seed = HashCombine(seed, static_cast<uint64_t>(x));
+    return static_cast<size_t>(seed);
+  }
+};
+
+/// Model value at a coordinate.
+double Score(const KruskalModel& model, const std::vector<int64_t>& idx) {
+  double total = 0.0;
+  for (int64_t r = 0; r < model.rank(); ++r) {
+    double p = model.lambda[static_cast<size_t>(r)];
+    for (size_t m = 0; m < model.factors.size(); ++m) {
+      p *= model.factors[m](idx[m], r);
+    }
+    total += p;
+  }
+  return total;
+}
+
+/// Top `beam` row indices of column r of `factor`.
+std::vector<int64_t> TopRows(const DenseMatrix& factor, int64_t r,
+                             int64_t beam, bool by_magnitude) {
+  std::vector<std::pair<double, int64_t>> scored;
+  scored.reserve(static_cast<size_t>(factor.rows()));
+  for (int64_t i = 0; i < factor.rows(); ++i) {
+    double v = factor(i, r);
+    scored.emplace_back(by_magnitude ? std::fabs(v) : v, i);
+  }
+  int64_t keep = std::min(beam, factor.rows());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(keep));
+  for (int64_t i = 0; i < keep; ++i) {
+    rows.push_back(scored[static_cast<size_t>(i)].second);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<PredictedEntry>> PredictTopEntries(
+    const KruskalModel& model, const SparseTensor& observed, int64_t k,
+    const LinkPredictionOptions& options) {
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.beam <= 0) {
+    return Status::InvalidArgument("beam must be positive");
+  }
+  const int order = observed.order();
+  if (static_cast<int>(model.factors.size()) != order) {
+    return Status::InvalidArgument(
+        "model order does not match the observed tensor");
+  }
+  for (int m = 0; m < order; ++m) {
+    if (model.factors[static_cast<size_t>(m)].rows() != observed.dim(m)) {
+      return Status::InvalidArgument(
+          StrFormat("model mode %d does not match the tensor dims", m));
+    }
+  }
+  if (!observed.canonical()) {
+    return Status::FailedPrecondition(
+        "observed tensor must be canonical (call Canonicalize())");
+  }
+
+  std::unordered_set<std::vector<int64_t>, IndexVectorHash> seen;
+  // Min-heap of the current top-k by score.
+  auto cmp = [](const PredictedEntry& a, const PredictedEntry& b) {
+    return a.score > b.score;
+  };
+  std::priority_queue<PredictedEntry, std::vector<PredictedEntry>,
+                      decltype(cmp)>
+      heap(cmp);
+
+  std::vector<int64_t> idx(static_cast<size_t>(order));
+  for (int64_t r = 0; r < model.rank(); ++r) {
+    std::vector<std::vector<int64_t>> beams;
+    beams.reserve(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      beams.push_back(TopRows(model.factors[static_cast<size_t>(m)], r,
+                              options.beam,
+                              options.rank_rows_by_magnitude));
+    }
+    // Odometer over the cross product of the per-mode beams.
+    std::vector<size_t> pos(static_cast<size_t>(order), 0);
+    while (true) {
+      for (int m = 0; m < order; ++m) {
+        idx[static_cast<size_t>(m)] =
+            beams[static_cast<size_t>(m)][pos[static_cast<size_t>(m)]];
+      }
+      if (seen.insert(idx).second && observed.Get(idx) == 0.0) {
+        double score = Score(model, idx);
+        if (static_cast<int64_t>(heap.size()) < k) {
+          heap.push(PredictedEntry{idx, score});
+        } else if (score > heap.top().score) {
+          heap.pop();
+          heap.push(PredictedEntry{idx, score});
+        }
+      }
+      int m = 0;
+      while (m < order) {
+        if (++pos[static_cast<size_t>(m)] <
+            beams[static_cast<size_t>(m)].size()) {
+          break;
+        }
+        pos[static_cast<size_t>(m)] = 0;
+        ++m;
+      }
+      if (m == order) break;
+    }
+  }
+
+  std::vector<PredictedEntry> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());  // descending score
+  return out;
+}
+
+}  // namespace haten2

@@ -1,0 +1,46 @@
+#ifndef HATEN2_CORE_LINK_PREDICTION_H_
+#define HATEN2_CORE_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Link prediction from a fitted PARAFAC model: the natural
+/// application of the paper's knowledge-base results — a strong score for
+/// an *absent* (subject, object, relation) cell is a predicted fact.
+///
+/// Scoring every cell is infeasible (the paper's tensors have 10¹⁵+ cells),
+/// so candidates are generated the way the concepts are read off in Tables
+/// VI-VIII: for each component, take the `beam` highest-loaded indices of
+/// every mode and enumerate their cross product (beam^N cells per
+/// component — the region where a rank-one component can place mass), then
+/// score each candidate under the full model, drop the ones already
+/// observed, and return the global top k.
+struct PredictedEntry {
+  std::vector<int64_t> index;
+  double score;
+};
+
+struct LinkPredictionOptions {
+  /// Highest-loaded rows per mode per component considered as candidates.
+  int64_t beam = 10;
+  /// Use |loading| when ranking rows (set false for nonnegative models,
+  /// where signs are meaningful and all-positive).
+  bool rank_rows_by_magnitude = true;
+};
+
+/// Top-`k` predicted entries under `model` that are absent from `observed`
+/// (which must be canonical and match the model's shape). Results are
+/// sorted by descending score.
+Result<std::vector<PredictedEntry>> PredictTopEntries(
+    const KruskalModel& model, const SparseTensor& observed, int64_t k,
+    const LinkPredictionOptions& options = {});
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_LINK_PREDICTION_H_

@@ -1,0 +1,38 @@
+#ifndef HATEN2_CORE_NONNEGATIVE_TUCKER_H_
+#define HATEN2_CORE_NONNEGATIVE_TUCKER_H_
+
+#include <vector>
+
+#include "core/parafac.h"  // Haten2Options
+#include "mapreduce/engine.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Nonnegative Tucker decomposition (NTD) — completing the paper's
+/// "nonnegative tensor decompositions" future-work direction for the Tucker
+/// family (the PARAFAC side is Haten2Options::nonnegative).
+///
+/// Solves X ≈ G ×₁ A⁽¹⁾ ... ×ₙ A⁽ᴺ⁾ with every factor entry and core entry
+/// >= 0, by Lee-Seung-style multiplicative updates:
+///
+///   A⁽ⁿ⁾ ← A⁽ⁿ⁾ ∘ [Y₍ₙ₎ G₍ₙ₎ᵀ] / [A⁽ⁿ⁾ G₍ₙ₎ (⊗_{m≠n} A⁽ᵐ⁾ᵀA⁽ᵐ⁾) G₍ₙ₎ᵀ]
+///   G    ← G    ∘ [X ×ₘ A⁽ᵐ⁾ᵀ ∀m] / [G ×ₘ (A⁽ᵐ⁾ᵀA⁽ᵐ⁾) ∀m]
+///
+/// where Y = X ×_{m≠n} A⁽ᵐ⁾ᵀ is the same distributed bottleneck operation
+/// (MultiModeContract, MergeKind::kCross) that powers orthogonal Tucker —
+/// so NTD inherits every HaTen2 variant and its cost profile. Requires a
+/// tensor with nonnegative entries.
+///
+/// Unlike HOOI's factors, NTD factors are not orthonormal, so the returned
+/// TuckerModel's fit is computed from the explicit residual
+/// ||X - G ×ₘ A⁽ᵐ⁾||, evaluated in O(nnz·|G|) without densifying X.
+Result<TuckerModel> Haten2NonnegativeTuckerAls(
+    Engine* engine, const SparseTensor& x, std::vector<int64_t> core_dims,
+    const Haten2Options& options = {});
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_NONNEGATIVE_TUCKER_H_

@@ -1,0 +1,62 @@
+#ifndef HATEN2_CORE_PARAFAC_H_
+#define HATEN2_CORE_PARAFAC_H_
+
+#include "core/contract.h"
+#include "core/variant.h"
+#include "mapreduce/engine.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// Options shared by the HaTen2 decomposition drivers.
+struct Haten2Options {
+  /// Which HaTen2 variant evaluates the bottleneck operations.
+  Variant variant = Variant::kDri;
+
+  /// Maximum ALS (outer) iterations (T in Algorithm 1).
+  int max_iterations = 20;
+
+  /// Convergence threshold: PARAFAC stops when the fit changes by less than
+  /// this between iterations; Tucker when ||G|| / ||X|| does.
+  double tolerance = 1e-6;
+
+  /// Seed for factor initialization.
+  uint64_t seed = 17;
+
+  /// Extension (paper Section VI, future work): nonnegative PARAFAC via
+  /// Lee-Seung multiplicative updates instead of the unconstrained
+  /// least-squares update. Factors stay entrywise >= 0.
+  bool nonnegative = false;
+
+  /// Compute the fit after every iteration (costs one O(nnz·R) pass).
+  bool compute_fit = true;
+
+  /// Optional warm starts (checkpoint/resume): when non-null, the matching
+  /// driver initializes from this model instead of randomly. The model must
+  /// match the tensor's shape and the requested rank/core size. Resuming a
+  /// run from its own checkpoint continues the exact same iterate sequence
+  /// (ALS state is fully captured by the factors). Not owned.
+  const KruskalModel* initial_kruskal = nullptr;
+  const TuckerModel* initial_tucker = nullptr;
+};
+
+/// \brief HaTen2-PARAFAC (Algorithm 1 driven by the MapReduce bottleneck op).
+///
+/// Each factor update evaluates Y ← X₍ₙ₎ (⊙_{m≠n} A⁽ᵐ⁾) through
+/// MultiModeContract with MergeKind::kPairwise and the configured variant,
+/// then solves the small least-squares system
+/// A⁽ⁿ⁾ ← Y · (∗_{m≠n} A⁽ᵐ⁾ᵀA⁽ᵐ⁾)† on the driver (the paper does the same:
+/// only the MTTKRP is distributed). Supports 3- and 4-way tensors (the
+/// MapReduce path's order limit).
+///
+/// Returns kResourceExhausted when the variant's intermediate data exceeds
+/// the engine's shuffle-memory budget ("o.o.m.").
+Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
+                                      int64_t rank,
+                                      const Haten2Options& options = {});
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_PARAFAC_H_

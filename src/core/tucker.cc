@@ -1,0 +1,203 @@
+#include "core/tucker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/records.h"
+#include "linalg/linalg.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+/// Extracts `count` leading left singular vectors of the implicit matrix
+/// whose rows are y's slice blocks, via the eigendecomposition of the small
+/// Gram matrix Y₍ₙ₎ᵀY₍ₙ₎. Deficient directions are completed with
+/// orthonormalized canonical basis vectors (dead components).
+Result<DenseMatrix> LeadingVectorsFromBlocks(const SliceBlocks& y,
+                                             int64_t count) {
+  const int64_t block = y.BlockSize();
+  if (count > y.free_dim) {
+    return Status::InvalidArgument(
+        "core dimension exceeds the tensor mode size");
+  }
+  DenseMatrix gram = y.GramOfRows();
+  HATEN2_ASSIGN_OR_RETURN(EigResult eig, SymmetricEigen(gram));
+  double smax_sq = eig.eigenvalues.empty()
+                       ? 0.0
+                       : std::max(eig.eigenvalues[0], 0.0);
+  // Eigenvalues of the Gram matrix carry ~1e-16 relative noise, so only
+  // directions above ~1e-7 in singular-value space (1e-14 in eigenvalue
+  // space) are numerically trustworthy.
+  double cutoff_sq = smax_sq * 1e-14;
+
+  DenseMatrix a(y.free_dim, count);
+  int64_t valid = 0;
+  for (int64_t p = 0; p < std::min(count, block); ++p) {
+    double ev = std::max(eig.eigenvalues[static_cast<size_t>(p)], 0.0);
+    if (ev <= cutoff_sq || ev == 0.0) break;
+    double inv_s = 1.0 / std::sqrt(ev);
+    double norm_sq = 0.0;
+    for (const auto& [slice, row] : y.rows) {
+      double dot = 0.0;
+      for (int64_t c = 0; c < block; ++c) {
+        dot += row[static_cast<size_t>(c)] * eig.eigenvectors(c, p);
+      }
+      double value = dot * inv_s;
+      a(slice, p) = value;
+      norm_sq += value * value;
+    }
+    // Guard against numerically unreliable directions; re-normalize drift.
+    double norm = std::sqrt(norm_sq);
+    if (norm < 0.5 || norm > 2.0) {
+      for (const auto& [slice, row] : y.rows) a(slice, p) = 0.0;
+      break;
+    }
+    for (const auto& [slice, row] : y.rows) a(slice, p) /= norm;
+    ++valid;
+  }
+  // Complete any deficient columns to keep A orthonormal.
+  int64_t next_basis = 0;
+  for (int64_t p = valid; p < count; ++p) {
+    bool placed = false;
+    while (next_basis < y.free_dim && !placed) {
+      std::vector<double> cand(static_cast<size_t>(y.free_dim), 0.0);
+      cand[static_cast<size_t>(next_basis)] = 1.0;
+      ++next_basis;
+      for (int64_t c = 0; c < p; ++c) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < y.free_dim; ++i) {
+          dot += cand[static_cast<size_t>(i)] * a(i, c);
+        }
+        for (int64_t i = 0; i < y.free_dim; ++i) {
+          cand[static_cast<size_t>(i)] -= dot * a(i, c);
+        }
+      }
+      double norm = 0.0;
+      for (double v : cand) norm += v * v;
+      norm = std::sqrt(norm);
+      if (norm > 1e-8) {
+        for (int64_t i = 0; i < y.free_dim; ++i) {
+          a(i, p) = cand[static_cast<size_t>(i)] / norm;
+        }
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return Status::Internal("failed to complete an orthonormal basis");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
+                                    std::vector<int64_t> core_dims,
+                                    const Haten2Options& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (x.order() < 2 || x.order() > kMaxMrOrder) {
+    return Status::InvalidArgument(
+        StrFormat("HaTen2-Tucker supports orders 2..%d, got %d", kMaxMrOrder,
+                  x.order()));
+  }
+  if (x.nnz() == 0) {
+    return Status::InvalidArgument("cannot decompose an all-zero tensor");
+  }
+  const int order = x.order();
+  if (static_cast<int>(core_dims.size()) != order) {
+    return Status::InvalidArgument("core_dims must have one entry per mode");
+  }
+  for (int m = 0; m < order; ++m) {
+    if (core_dims[static_cast<size_t>(m)] <= 0 ||
+        core_dims[static_cast<size_t>(m)] > x.dim(m)) {
+      return Status::InvalidArgument(StrFormat(
+          "core dimension %lld invalid for mode %d of size %lld",
+          (long long)core_dims[static_cast<size_t>(m)], m,
+          (long long)x.dim(m)));
+    }
+  }
+
+  Rng rng(options.seed);
+  TuckerModel model;
+  if (options.initial_tucker != nullptr) {
+    const TuckerModel& init = *options.initial_tucker;
+    if (static_cast<int>(init.factors.size()) != order) {
+      return Status::InvalidArgument(
+          "warm-start model does not match the tensor order");
+    }
+    model.factors.reserve(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      const DenseMatrix& f = init.factors[static_cast<size_t>(m)];
+      if (f.rows() != x.dim(m) ||
+          f.cols() != core_dims[static_cast<size_t>(m)]) {
+        return Status::InvalidArgument(StrFormat(
+            "warm-start factor %d shape does not match", m));
+      }
+      // Re-orthonormalize defensively: checkpoints round-trip exactly, but
+      // hand-built warm starts may not have orthonormal columns, which the
+      // ||G||-based fit requires.
+      HATEN2_ASSIGN_OR_RETURN(QrResult qr, QrDecompose(f));
+      model.factors.push_back(std::move(qr.q));
+    }
+  } else {
+    model.factors.reserve(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      DenseMatrix random = DenseMatrix::RandomNormal(
+          x.dim(m), core_dims[static_cast<size_t>(m)], &rng);
+      HATEN2_ASSIGN_OR_RETURN(QrResult qr, QrDecompose(random));
+      model.factors.push_back(std::move(qr.q));
+    }
+  }
+
+  const double x_norm = x.FrobeniusNorm();
+  double prev_core_norm = -1.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    SliceBlocks last_y;
+    for (int n = 0; n < order; ++n) {
+      HATEN2_ASSIGN_OR_RETURN(
+          SliceBlocks y,
+          MultiModeContract(engine, x, model.FactorPtrs(), n,
+                            MergeKind::kCross, options.variant));
+      HATEN2_ASSIGN_OR_RETURN(
+          DenseMatrix factor,
+          LeadingVectorsFromBlocks(y, core_dims[static_cast<size_t>(n)]));
+      model.factors[static_cast<size_t>(n)] = std::move(factor);
+      if (n == order - 1) last_y = std::move(y);
+    }
+    // Core: G = Y ×_{N-1} A⁽ᴺ⁻¹⁾ᵀ, i.e. G₍ₙ₎ = AᵀY₍ₙ₎ accumulated over the
+    // sparse slice blocks, then folded.
+    const int last = order - 1;
+    const DenseMatrix& a_last = model.factors[static_cast<size_t>(last)];
+    DenseMatrix core_unfolded(core_dims[static_cast<size_t>(last)],
+                              last_y.BlockSize());
+    for (const auto& [slice, row] : last_y.rows) {
+      for (int64_t p = 0; p < core_unfolded.rows(); ++p) {
+        double w = a_last(slice, p);
+        if (w == 0.0) continue;
+        double* crow = core_unfolded.RowPtr(p);
+        for (int64_t c = 0; c < core_unfolded.cols(); ++c) {
+          crow[c] += w * row[static_cast<size_t>(c)];
+        }
+      }
+    }
+    HATEN2_ASSIGN_OR_RETURN(
+        model.core, DenseTensor::Fold(core_unfolded, last, core_dims));
+    model.iterations = iter;
+    double core_norm = model.core.FrobeniusNorm();
+    model.core_norm_history.push_back(core_norm);
+    if (prev_core_norm >= 0.0 &&
+        std::fabs(core_norm - prev_core_norm) <= options.tolerance * x_norm) {
+      break;
+    }
+    prev_core_norm = core_norm;
+  }
+  HATEN2_ASSIGN_OR_RETURN(model.fit, TuckerFit(x, model));
+  return model;
+}
+
+}  // namespace haten2

@@ -1,0 +1,32 @@
+#ifndef HATEN2_CORE_TUCKER_H_
+#define HATEN2_CORE_TUCKER_H_
+
+#include <vector>
+
+#include "core/contract.h"
+#include "core/parafac.h"  // Haten2Options
+#include "mapreduce/engine.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief HaTen2-Tucker (Algorithm 2 driven by the MapReduce bottleneck op).
+///
+/// Each mode update evaluates Y ← X ×_{m≠n} A⁽ᵐ⁾ᵀ through MultiModeContract
+/// with MergeKind::kCross and the configured variant. The P leading left
+/// singular vectors of Y₍ₙ₎ are extracted with the Gram trick: only the
+/// small ΠJ x ΠJ matrix Y₍ₙ₎ᵀY₍ₙ₎ is eigendecomposed (accumulated
+/// streaming over the sparse slice blocks), never an I_n x I_n matrix.
+/// `options.nonnegative` is ignored (Tucker factors are orthonormal).
+///
+/// Returns kResourceExhausted when the variant's intermediate data exceeds
+/// the engine's shuffle-memory budget ("o.o.m.").
+Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
+                                    std::vector<int64_t> core_dims,
+                                    const Haten2Options& options = {});
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_TUCKER_H_

@@ -1,0 +1,70 @@
+#include "core/variant.h"
+
+namespace haten2 {
+
+std::string_view VariantName(Variant v) {
+  switch (v) {
+    case Variant::kNaive:
+      return "HaTen2-Naive";
+    case Variant::kDnn:
+      return "HaTen2-DNN";
+    case Variant::kDrn:
+      return "HaTen2-DRN";
+    case Variant::kDri:
+      return "HaTen2-DRI";
+  }
+  return "HaTen2-?";
+}
+
+VariantTraits TraitsOf(Variant v) {
+  switch (v) {
+    case Variant::kNaive:
+      return {true, false, false, false};
+    case Variant::kDnn:
+      return {true, true, false, false};
+    case Variant::kDrn:
+      return {true, true, true, false};
+    case Variant::kDri:
+      return {true, true, true, true};
+  }
+  return {false, false, false, false};
+}
+
+PredictedCost PredictTuckerCost(Variant v, int64_t nnz, int64_t i, int64_t j,
+                                int64_t k, int64_t q, int64_t r) {
+  switch (v) {
+    case Variant::kNaive:
+      // b_q is copied to all I·K fibers: nnz(X) + IJK total; Q + R jobs.
+      return {nnz + i * j * k, q + r};
+    case Variant::kDnn:
+      // The second product works on T = X ×₂ Bᵀ with nnz(T) ≈ nnz(X)·Q
+      // (Lemma 3), whose Hadamard stage shuffles nnz(X)·Q·R records.
+      return {nnz * q * r, q + r + 2};
+    case Variant::kDrn:
+      // T' and T'' are computed independently from the sparse X.
+      return {nnz * (q + r), q + r + 1};
+    case Variant::kDri:
+      return {nnz * (q + r), 2};
+  }
+  return {0, 0};
+}
+
+PredictedCost PredictParafacCost(Variant v, int64_t nnz, int64_t i, int64_t j,
+                                 int64_t k, int64_t r) {
+  switch (v) {
+    case Variant::kNaive:
+      return {nnz + i * j * k, 2 * r};
+    case Variant::kDnn:
+      // Per-rank sequential Hadamard+Collapse chains; each job's shuffle is
+      // bounded by nnz(X) tensor records plus one factor column (J values).
+      return {nnz + j, 4 * r};
+    case Variant::kDrn:
+      // The merge job receives both T' and T'' (nnz(X)·R records each).
+      return {2 * nnz * r, 2 * r + 1};
+    case Variant::kDri:
+      return {2 * nnz * r, 2};
+  }
+  return {0, 0};
+}
+
+}  // namespace haten2

@@ -1,0 +1,56 @@
+#ifndef HATEN2_CORE_VARIANT_H_
+#define HATEN2_CORE_VARIANT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace haten2 {
+
+/// The four HaTen2 algorithm variants the paper evaluates (Table II), in
+/// increasing order of sophistication. Each adds one idea:
+///   kNaive - per-column n-mode vector products with vector broadcast (MET
+///            transcribed onto MapReduce);
+///   kDnn   - Decouples the vector product into Hadamard + Collapse;
+///   kDrn   - additionally Removes the dependency between the sequential
+///            products via CrossMerge / PairwiseMerge;
+///   kDri   - additionally Integrates all Hadamard jobs into a single IMHP
+///            job (the recommended method, a.k.a. just "HaTen2").
+enum class Variant {
+  kNaive = 0,
+  kDnn = 1,
+  kDrn = 2,
+  kDri = 3,
+};
+
+inline constexpr Variant kAllVariants[] = {Variant::kNaive, Variant::kDnn,
+                                           Variant::kDrn, Variant::kDri};
+
+std::string_view VariantName(Variant v);
+
+/// Table II row: which of the three ideas the variant incorporates.
+struct VariantTraits {
+  bool distributed;
+  bool decouples_steps;        // Section III-B2
+  bool removes_dependencies;   // Section III-B3
+  bool integrates_jobs;        // Section III-B4
+};
+VariantTraits TraitsOf(Variant v);
+
+/// Predicted costs (Tables III and IV) for one bottleneck-op evaluation.
+struct PredictedCost {
+  int64_t max_intermediate_records;
+  int64_t total_jobs;
+};
+
+/// Table III: Tucker, computing X ×₂ Bᵀ ×₃ Cᵀ with core sizes q, r.
+PredictedCost PredictTuckerCost(Variant v, int64_t nnz, int64_t i, int64_t j,
+                                int64_t k, int64_t q, int64_t r);
+
+/// Table IV: PARAFAC, computing X₍₁₎ (C ⊙ B) with rank r.
+PredictedCost PredictParafacCost(Variant v, int64_t nnz, int64_t i, int64_t j,
+                                 int64_t k, int64_t r);
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_VARIANT_H_

@@ -1,0 +1,98 @@
+#ifndef HATEN2_MAPREDUCE_CLUSTER_H_
+#define HATEN2_MAPREDUCE_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace haten2 {
+
+/// \brief Configuration of the (simulated) MapReduce cluster.
+///
+/// The engine executes jobs in-process using `num_threads` workers; the
+/// remaining fields parameterize the CostModel which converts measured task
+/// work into the makespan the same job would have on a `num_machines`-node
+/// Hadoop cluster (see DESIGN.md, substitution table). Defaults model the
+/// paper's testbed: 40 machines, quad-core Xeon E3, 32 GB RAM each.
+struct ClusterConfig {
+  /// Simulated cluster size (paper: 10-40 machines).
+  int num_machines = 40;
+
+  /// Concurrent map / reduce tasks per machine (paper machines: quad-core).
+  int map_slots_per_machine = 4;
+  int reduce_slots_per_machine = 4;
+
+  /// Real execution threads for the in-process engine.
+  int num_threads = 1;
+
+  /// Number of map tasks a job's input is split into; 0 = one per map slot.
+  int num_map_tasks = 0;
+
+  /// Number of reduce partitions; 0 = one per reduce slot.
+  int num_reduce_tasks = 0;
+
+  /// Fixed per-job overhead (JVM startup, job scheduling, synchronization).
+  /// This is what makes many-job variants (Naive/DNN/DRN) slow and makes the
+  /// Fig. 8 scale-up flatten: it does not shrink with more machines.
+  double job_startup_seconds = 8.0;
+
+  /// Per-record CPU costs for the simulated cluster.
+  double map_seconds_per_record = 1.0e-6;
+  double reduce_seconds_per_record = 1.0e-6;
+
+  /// Per-machine shuffle (network) and spill (disk) bandwidth.
+  double network_bytes_per_second = 100.0e6;
+  double disk_bytes_per_second = 200.0e6;
+
+  /// Aggregate memory for in-flight intermediate (shuffle) data across the
+  /// simulated cluster. Exceeding it fails a job with kResourceExhausted,
+  /// reported as "o.o.m." in the benchmark harnesses.
+  /// 0 means unlimited.
+  uint64_t total_shuffle_memory_bytes = 0;
+
+  /// Shuffle spilling (Hadoop's sort-spill): when `spill_directory` is
+  /// non-empty, a map task writes a partition's buffered records to a spill
+  /// file once it holds `spill_threshold_records`, bounding the task's
+  /// *resident* memory; the reduce phase streams the spills back. Spilled
+  /// records still count against total_shuffle_memory_bytes — the budget
+  /// models the cluster's total intermediate-data capacity (RAM and local
+  /// disks together), which is what the paper's o.o.m. events exhaust.
+  std::string spill_directory;
+  int64_t spill_threshold_records = 64 * 1024;
+
+  /// Failure injection: probability that each map-task attempt fails and is
+  /// re-executed, as Hadoop does with crashed tasks. Attempts are decided
+  /// deterministically from failure_seed, so runs are reproducible, and a
+  /// re-executed task re-emits exactly the same records — job output is
+  /// invariant under retries (asserted in tests). A task failing
+  /// max_task_attempts times in a row fails the whole job with kAborted.
+  double task_failure_probability = 0.0;
+  int max_task_attempts = 4;
+  uint64_t failure_seed = 0xfa11u;
+
+  int TotalMapSlots() const { return num_machines * map_slots_per_machine; }
+  int TotalReduceSlots() const {
+    return num_machines * reduce_slots_per_machine;
+  }
+  int EffectiveMapTasks() const {
+    return num_map_tasks > 0 ? num_map_tasks : TotalMapSlots();
+  }
+  int EffectiveReduceTasks() const {
+    return num_reduce_tasks > 0 ? num_reduce_tasks : TotalReduceSlots();
+  }
+
+  /// A small configuration suitable for unit tests: 4 machines, 1 slot each,
+  /// negligible startup.
+  static ClusterConfig ForTesting() {
+    ClusterConfig c;
+    c.num_machines = 4;
+    c.map_slots_per_machine = 1;
+    c.reduce_slots_per_machine = 1;
+    c.num_threads = 2;
+    c.job_startup_seconds = 0.0;
+    return c;
+  }
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_MAPREDUCE_CLUSTER_H_

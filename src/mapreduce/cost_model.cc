@@ -1,0 +1,80 @@
+#include "mapreduce/cost_model.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace haten2 {
+
+double CostModel::Makespan(std::vector<double> task_costs, int workers) {
+  if (task_costs.empty()) return 0.0;
+  if (workers < 1) workers = 1;
+  std::sort(task_costs.begin(), task_costs.end(), std::greater<double>());
+  // Min-heap of worker loads.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> loads;
+  for (int w = 0; w < workers; ++w) loads.push(0.0);
+  for (double c : task_costs) {
+    double lightest = loads.top();
+    loads.pop();
+    loads.push(lightest + c);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+  return makespan;
+}
+
+double CostModel::SimulateJob(const JobStats& stats) const {
+  // Map tasks: CPU per record plus the task's share of spill I/O.
+  std::vector<double> map_costs;
+  map_costs.reserve(stats.map_task_records.size());
+  const double total_input =
+      std::max<double>(1.0, static_cast<double>(stats.map_input_records));
+  for (size_t t = 0; t < stats.map_task_records.size(); ++t) {
+    int64_t records = stats.map_task_records[t];
+    double share = static_cast<double>(records) / total_input;
+    double spill_bytes = share * static_cast<double>(stats.map_output_bytes);
+    double cost = static_cast<double>(records) *
+                      config_.map_seconds_per_record +
+                  spill_bytes / config_.disk_bytes_per_second;
+    // Failed attempts re-execute the task (failure injection).
+    if (t < stats.map_task_attempts.size()) {
+      cost *= static_cast<double>(std::max(1, stats.map_task_attempts[t]));
+    }
+    map_costs.push_back(cost);
+  }
+  double map_time = Makespan(std::move(map_costs), config_.TotalMapSlots());
+
+  // Shuffle: aggregate bytes across the cluster's aggregate bandwidth.
+  double shuffle_time =
+      static_cast<double>(stats.map_output_bytes) /
+      (config_.network_bytes_per_second *
+       static_cast<double>(std::max(1, config_.num_machines)));
+
+  // Reduce partitions: CPU per received record plus partition I/O.
+  std::vector<double> reduce_costs;
+  reduce_costs.reserve(stats.reduce_partition_records.size());
+  for (size_t p = 0; p < stats.reduce_partition_records.size(); ++p) {
+    double records =
+        static_cast<double>(stats.reduce_partition_records[p]);
+    double bytes =
+        p < stats.reduce_partition_bytes.size()
+            ? static_cast<double>(stats.reduce_partition_bytes[p])
+            : 0.0;
+    reduce_costs.push_back(records * config_.reduce_seconds_per_record +
+                           bytes / config_.disk_bytes_per_second);
+  }
+  double reduce_time =
+      Makespan(std::move(reduce_costs), config_.TotalReduceSlots());
+
+  return config_.job_startup_seconds + map_time + shuffle_time + reduce_time;
+}
+
+double CostModel::SimulatePipeline(const PipelineStats& stats) const {
+  double total = 0.0;
+  for (const JobStats& j : stats.jobs) total += SimulateJob(j);
+  return total;
+}
+
+}  // namespace haten2

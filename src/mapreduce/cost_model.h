@@ -1,0 +1,42 @@
+#ifndef HATEN2_MAPREDUCE_COST_MODEL_H_
+#define HATEN2_MAPREDUCE_COST_MODEL_H_
+
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/stats.h"
+
+namespace haten2 {
+
+/// \brief Converts measured job counters into the makespan the same job
+/// would have on a ClusterConfig-sized Hadoop cluster.
+///
+/// This is the substitution for the paper's 40-machine testbed (DESIGN.md):
+/// the in-process engine measures *what* each job moved and computed (records
+/// per map task, records/bytes per reduce partition); the cost model
+/// schedules those tasks onto M machines and adds the fixed per-job startup
+/// overhead. Because startup does not shrink with M while the work terms do,
+/// the simulated scale-up T_10/T_M flattens as machines are added — the
+/// behaviour of Figure 8.
+class CostModel {
+ public:
+  explicit CostModel(const ClusterConfig& config) : config_(config) {}
+
+  /// Simulated seconds for one job on the configured cluster.
+  double SimulateJob(const JobStats& stats) const;
+
+  /// Simulated seconds for a job sequence (jobs are serialized on Hadoop:
+  /// each waits for the previous to finish).
+  double SimulatePipeline(const PipelineStats& stats) const;
+
+  /// Greedy longest-processing-time makespan of `task_costs` on `workers`
+  /// parallel workers. Exposed for testing.
+  static double Makespan(std::vector<double> task_costs, int workers);
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_MAPREDUCE_COST_MODEL_H_

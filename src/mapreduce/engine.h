@@ -1,0 +1,531 @@
+#ifndef HATEN2_MAPREDUCE_ENGINE_H_
+#define HATEN2_MAPREDUCE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/hash.h"
+#include "mapreduce/stats.h"
+#include "util/memory_tracker.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace haten2 {
+
+/// Fixed-size record trait: byte accounting (and hence the o.o.m.
+/// semantics) needs sizeof(T) to be the serialized size. std::pair of
+/// fixed-size members qualifies even though the standard does not make it
+/// trivially copyable.
+template <typename T>
+struct IsFixedSizeRecord : std::is_trivially_copyable<T> {};
+template <typename A, typename B>
+struct IsFixedSizeRecord<std::pair<A, B>>
+    : std::conjunction<IsFixedSizeRecord<A>, IsFixedSizeRecord<B>> {};
+
+/// \brief Collects a map task's (key, value) emissions into per-reduce-
+/// partition buffers (the in-process equivalent of the Hadoop shuffle
+/// write path).
+///
+/// Emissions are charged incrementally against the engine's memory budget in
+/// chunks; once the budget is exhausted the emitter enters a failed state and
+/// silently drops further records — the engine then fails the whole job with
+/// kResourceExhausted. This reproduces the paper's intermediate-data
+/// explosion: a job whose shuffle exceeds cluster memory dies mid-flight.
+template <typename K, typename V>
+class ShuffleEmitter {
+ public:
+  using Record = std::pair<K, V>;
+  static constexpr int64_t kChargeChunkRecords = 4096;
+  static constexpr uint64_t kRecordBytes = sizeof(K) + sizeof(V);
+
+  /// `spill_prefix` empty disables spilling; otherwise a partition's buffer
+  /// is appended to "<spill_prefix>_p<partition>.spill" and cleared once it
+  /// holds `spill_threshold` records (Hadoop's sort-spill), bounding the
+  /// task's resident memory. Spilled records remain charged against the
+  /// budget: it models the cluster's total intermediate-data capacity.
+  ShuffleEmitter(int num_partitions, MemoryTracker* tracker,
+                 std::string spill_prefix = "",
+                 int64_t spill_threshold = 0)
+      : buffers_(static_cast<size_t>(num_partitions)),
+        spilled_counts_(static_cast<size_t>(num_partitions), 0),
+        tracker_(tracker),
+        spill_prefix_(std::move(spill_prefix)),
+        spill_threshold_(spill_threshold) {}
+
+  void Emit(const K& key, const V& value) {
+    if (failed_) return;
+    if (uncharged_records_ == kChargeChunkRecords) {
+      if (!ChargePending()) return;
+    }
+    size_t p = static_cast<size_t>(ShuffleHash<K>()(key) % buffers_.size());
+    buffers_[p].emplace_back(key, value);
+    ++uncharged_records_;
+    if (!spill_prefix_.empty() && spill_threshold_ > 0 &&
+        static_cast<int64_t>(buffers_[p].size()) >= spill_threshold_) {
+      SpillPartition(p);
+    }
+  }
+
+  /// Charges any pending records; returns false when the budget is blown.
+  bool Flush() { return ChargePending(); }
+
+  bool failed() const { return failed_; }
+  const Status& failure_status() const { return failure_status_; }
+  uint64_t charged_bytes() const { return charged_bytes_; }
+
+  int64_t TotalRecords() const {
+    int64_t n = TotalSpilledRecords();
+    for (const auto& b : buffers_) n += static_cast<int64_t>(b.size());
+    return n;
+  }
+
+  int64_t InMemoryRecords() const {
+    int64_t n = 0;
+    for (const auto& b : buffers_) n += static_cast<int64_t>(b.size());
+    return n;
+  }
+
+  int64_t TotalSpilledRecords() const {
+    int64_t n = 0;
+    for (int64_t c : spilled_counts_) n += c;
+    return n;
+  }
+
+  int64_t SpilledRecords(size_t partition) const {
+    return spilled_counts_[partition];
+  }
+
+  std::string SpillPath(size_t partition) const {
+    return spill_prefix_ + "_p" + std::to_string(partition) + ".spill";
+  }
+
+  /// Streams partition `p`'s spilled records (if any) into `consume`, then
+  /// removes the spill file. Returns false on a read error.
+  template <typename ConsumeFn>
+  bool DrainSpill(size_t p, ConsumeFn&& consume) {
+    if (spilled_counts_[p] == 0) return true;
+    std::ifstream in(SpillPath(p), std::ios::binary);
+    if (!in) return false;
+    Record rec;
+    for (int64_t i = 0; i < spilled_counts_[p]; ++i) {
+      in.read(reinterpret_cast<char*>(&rec), sizeof(Record));
+      if (in.gcount() != static_cast<std::streamsize>(sizeof(Record))) {
+        return false;
+      }
+      consume(rec);
+    }
+    in.close();
+    RemoveSpill(p);
+    return true;
+  }
+
+  void RemoveSpill(size_t p) {
+    if (spilled_counts_[p] > 0) {
+      std::remove(SpillPath(p).c_str());
+      spilled_counts_[p] = 0;
+    }
+  }
+
+  void RemoveAllSpills() {
+    for (size_t p = 0; p < spilled_counts_.size(); ++p) RemoveSpill(p);
+  }
+
+  std::vector<std::vector<Record>>& buffers() { return buffers_; }
+
+ private:
+  void SpillPartition(size_t p) {
+    std::ofstream out(SpillPath(p),
+                      std::ios::binary | std::ios::app);
+    if (out) {
+      out.write(reinterpret_cast<const char*>(buffers_[p].data()),
+                static_cast<std::streamsize>(buffers_[p].size() *
+                                             sizeof(Record)));
+      out.flush();
+    }
+    if (!out) {
+      failed_ = true;
+      failure_status_ = Status::IOError("spill write failed: " +
+                                        SpillPath(p));
+      return;
+    }
+    spilled_counts_[p] += static_cast<int64_t>(buffers_[p].size());
+    buffers_[p].clear();
+  }
+
+  bool ChargePending() {
+    if (failed_) return false;
+    if (uncharged_records_ == 0) return true;
+    uint64_t bytes = static_cast<uint64_t>(uncharged_records_) * kRecordBytes;
+    if (tracker_ != nullptr) {
+      Status s = tracker_->Charge(bytes);
+      if (!s.ok()) {
+        failed_ = true;
+        failure_status_ = Status::ResourceExhausted(s.message());
+        return false;
+      }
+    }
+    charged_bytes_ += bytes;
+    uncharged_records_ = 0;
+    return true;
+  }
+
+  std::vector<std::vector<Record>> buffers_;
+  std::vector<int64_t> spilled_counts_;
+  MemoryTracker* tracker_;
+  std::string spill_prefix_;
+  int64_t spill_threshold_ = 0;
+  int64_t uncharged_records_ = 0;
+  uint64_t charged_bytes_ = 0;
+  bool failed_ = false;
+  Status failure_status_;
+};
+
+/// \brief Collects reducer output records.
+template <typename K, typename V>
+class OutputEmitter {
+ public:
+  void Emit(const K& key, V value) {
+    out_.emplace_back(key, std::move(value));
+  }
+  std::vector<std::pair<K, V>>& records() { return out_; }
+
+ private:
+  std::vector<std::pair<K, V>> out_;
+};
+
+/// \brief In-process MapReduce engine with Hadoop-shaped semantics.
+///
+/// A job is (reader, reducer, optional combiner):
+///   - the reader is invoked once per input record index and emits
+///     intermediate (K, V) pairs — it plays the role of the MAP function
+///     over whatever input representation the caller holds (HaTen2 jobs map
+///     directly over SparseTensor entries plus factor-matrix rows, exactly
+///     as the paper's MAP pseudo-code reads tensor and matrix records);
+///   - intermediate pairs are hash-partitioned into
+///     ClusterConfig::EffectiveReduceTasks() partitions, grouped by key, and
+///     the reducer is invoked once per distinct key with all its values;
+///   - the optional combiner (an associative fold over V) runs at the end of
+///     each map task, like a Hadoop combiner.
+///
+/// Every job appends JobStats (shuffled records/bytes = the paper's
+/// *intermediate data*) to the engine's pipeline log. Shuffled bytes are
+/// charged against ClusterConfig::total_shuffle_memory_bytes; exceeding the
+/// budget fails the job with kResourceExhausted ("o.o.m."), reproducing the
+/// intermediate-data-explosion failures of Figures 1 and 7.
+class Engine {
+ public:
+  explicit Engine(const ClusterConfig& config)
+      : config_(config),
+        pool_(static_cast<size_t>(std::max(1, config.num_threads))),
+        tracker_(config.total_shuffle_memory_bytes == 0
+                     ? MemoryTracker::kUnlimited
+                     : config.total_shuffle_memory_bytes) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  MemoryTracker& memory() { return tracker_; }
+
+  /// Log of every job executed since the last ClearPipeline().
+  const PipelineStats& pipeline() const { return pipeline_; }
+  void ClearPipeline() { pipeline_.Clear(); }
+
+  /// Runs one MapReduce job.
+  ///
+  /// \tparam KMid/VMid intermediate key/value (trivially copyable);
+  ///         KOut/VOut output key/value.
+  /// \param name      job name for the stats log.
+  /// \param num_input_records  reader is called for indices [0, n).
+  /// \param reader    void(int64_t index, ShuffleEmitter<KMid, VMid>*).
+  /// \param reducer   void(const KMid&, std::vector<VMid>&,
+  ///                       OutputEmitter<KOut, VOut>*).
+  /// \param combiner  optional VMid(const VMid&, const VMid&), associative.
+  /// \returns the concatenated reducer outputs (order unspecified).
+  template <typename KMid, typename VMid, typename KOut, typename VOut,
+            typename ReaderFn, typename ReduceFn>
+  Result<std::vector<std::pair<KOut, VOut>>> Run(
+      const std::string& name, int64_t num_input_records, ReaderFn&& reader,
+      ReduceFn&& reducer,
+      std::function<VMid(const VMid&, const VMid&)> combiner = nullptr) {
+    // Byte accounting (and hence the o.o.m. semantics) relies on fixed-size
+    // intermediate records, mirroring Hadoop's serialized Writables.
+    static_assert(IsFixedSizeRecord<KMid>::value,
+                  "intermediate keys must be fixed-size records");
+    static_assert(IsFixedSizeRecord<VMid>::value,
+                  "intermediate values must be fixed-size records");
+    WallTimer timer;
+    JobStats stats;
+    stats.name = name;
+    stats.map_input_records = num_input_records;
+
+    const int num_partitions = config_.EffectiveReduceTasks();
+    int num_tasks = config_.EffectiveMapTasks();
+    if (num_input_records < num_tasks) {
+      num_tasks = static_cast<int>(std::max<int64_t>(1, num_input_records));
+    }
+
+    // ---- Map phase ----
+    const int64_t spill_job_seq =
+        job_sequence_.load(std::memory_order_relaxed);
+    std::vector<ShuffleEmitter<KMid, VMid>> emitters;
+    emitters.reserve(static_cast<size_t>(num_tasks));
+    for (int t = 0; t < num_tasks; ++t) {
+      std::string spill_prefix;
+      if (!config_.spill_directory.empty()) {
+        spill_prefix = config_.spill_directory + "/haten2_" +
+                       std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                       "_j" + std::to_string(spill_job_seq) + "_t" +
+                       std::to_string(t);
+      }
+      emitters.emplace_back(num_partitions, &tracker_,
+                            std::move(spill_prefix),
+                            config_.spill_threshold_records);
+    }
+    stats.map_task_records.assign(static_cast<size_t>(num_tasks), 0);
+    stats.map_task_attempts.assign(static_cast<size_t>(num_tasks), 1);
+
+    const int64_t job_seq =
+        job_sequence_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<bool> task_gave_up{false};
+    const int64_t chunk =
+        (num_input_records + num_tasks - 1) / std::max(num_tasks, 1);
+    pool_.ParallelFor(static_cast<size_t>(num_tasks), [&](size_t t) {
+      // Failure injection: a crashed attempt loses its (would-be) output
+      // and the task is re-executed, like a Hadoop task retry. Attempts are
+      // decided deterministically so runs are reproducible.
+      int attempt = 1;
+      while (attempt <= config_.max_task_attempts &&
+             ShouldFailAttempt(job_seq, t, attempt)) {
+        ++attempt;
+      }
+      stats.map_task_attempts[t] =
+          std::min(attempt, config_.max_task_attempts);
+      if (attempt > config_.max_task_attempts) {
+        task_gave_up.store(true, std::memory_order_relaxed);
+        return;
+      }
+      int64_t begin = static_cast<int64_t>(t) * chunk;
+      int64_t end = std::min(begin + chunk, num_input_records);
+      for (int64_t i = begin; i < end; ++i) {
+        reader(i, &emitters[t]);
+        if (emitters[t].failed()) break;
+      }
+      emitters[t].Flush();
+      stats.map_task_records[t] = std::max<int64_t>(0, end - begin);
+    });
+    for (int attempts : stats.map_task_attempts) {
+      stats.map_task_retries += attempts - 1;
+    }
+
+    // Total bytes charged so far; released when the job finishes.
+    auto release_all = [this, &emitters] {
+      for (auto& em : emitters) tracker_.Release(em.charged_bytes());
+    };
+
+    if (task_gave_up.load(std::memory_order_relaxed)) {
+      for (auto& em : emitters) em.RemoveAllSpills();
+      stats.wall_seconds = timer.ElapsedSeconds();
+      RecordJob(stats);
+      release_all();
+      return Status::Aborted(
+          "job '" + name + "': a map task exceeded max_task_attempts");
+    }
+
+    bool exploded = false;
+    for (auto& em : emitters) {
+      if (em.failed()) exploded = true;
+      stats.pre_combine_records += em.TotalRecords();
+    }
+    if (exploded) {
+      // Record what was shuffled before the explosion, then fail.
+      Status cause = Status::ResourceExhausted(
+          "o.o.m.: job '" + name +
+          "' exceeded the cluster shuffle-memory budget");
+      int64_t shuffled = 0;
+      for (auto& em : emitters) {
+        shuffled += em.TotalRecords();
+        if (em.failed() && em.failure_status().IsIOError()) {
+          cause = em.failure_status();
+        }
+        em.RemoveAllSpills();
+      }
+      stats.map_output_records = shuffled;
+      stats.map_output_bytes =
+          static_cast<uint64_t>(shuffled) *
+          ShuffleEmitter<KMid, VMid>::kRecordBytes;
+      stats.wall_seconds = timer.ElapsedSeconds();
+      RecordJob(stats);
+      release_all();
+      return cause;
+    }
+
+    // ---- Combine phase (per map task, per partition) ----
+    if (combiner) {
+      pool_.ParallelFor(static_cast<size_t>(num_tasks), [&](size_t t) {
+        for (auto& buf : emitters[t].buffers()) {
+          CombineBuffer<KMid, VMid>(&buf, combiner);
+        }
+      });
+    }
+
+    int64_t shuffled_records = 0;
+    for (auto& em : emitters) {
+      shuffled_records += em.TotalRecords();
+      stats.spilled_records += em.TotalSpilledRecords();
+    }
+    stats.map_output_records = shuffled_records;
+    stats.map_output_bytes = static_cast<uint64_t>(shuffled_records) *
+                             ShuffleEmitter<KMid, VMid>::kRecordBytes;
+
+    // ---- Shuffle + reduce phase (parallel over partitions) ----
+    using PartitionOutput = std::vector<std::pair<KOut, VOut>>;
+    std::vector<PartitionOutput> partition_outputs(
+        static_cast<size_t>(num_partitions));
+    std::vector<int64_t> partition_groups(static_cast<size_t>(num_partitions),
+                                          0);
+    stats.reduce_partition_records.assign(static_cast<size_t>(num_partitions),
+                                          0);
+    stats.reduce_partition_bytes.assign(static_cast<size_t>(num_partitions),
+                                        0);
+
+    struct StdHashAdapter {
+      size_t operator()(const KMid& k) const {
+        return static_cast<size_t>(ShuffleHash<KMid>()(k));
+      }
+    };
+
+    std::atomic<bool> spill_read_failed{false};
+    pool_.ParallelFor(static_cast<size_t>(num_partitions), [&](size_t p) {
+      std::unordered_map<KMid, std::vector<VMid>, StdHashAdapter> groups;
+      int64_t received = 0;
+      for (auto& em : emitters) {
+        if (!em.DrainSpill(p, [&groups, &received](
+                                  const std::pair<KMid, VMid>& rec) {
+              groups[rec.first].push_back(rec.second);
+              ++received;
+            })) {
+          spill_read_failed.store(true, std::memory_order_relaxed);
+        }
+        for (auto& rec : em.buffers()[p]) {
+          groups[rec.first].push_back(std::move(rec.second));
+          ++received;
+        }
+        em.buffers()[p].clear();
+        em.buffers()[p].shrink_to_fit();
+      }
+      stats.reduce_partition_records[p] = received;
+      stats.reduce_partition_bytes[p] =
+          static_cast<uint64_t>(received) *
+          ShuffleEmitter<KMid, VMid>::kRecordBytes;
+      OutputEmitter<KOut, VOut> out;
+      for (auto& [key, values] : groups) {
+        reducer(key, values, &out);
+      }
+      partition_groups[p] = static_cast<int64_t>(groups.size());
+      partition_outputs[p] = std::move(out.records());
+    });
+
+    if (spill_read_failed.load(std::memory_order_relaxed)) {
+      for (auto& em : emitters) em.RemoveAllSpills();
+      stats.wall_seconds = timer.ElapsedSeconds();
+      RecordJob(stats);
+      release_all();
+      return Status::IOError("job '" + name +
+                             "': reading a shuffle spill file failed");
+    }
+
+    std::vector<std::pair<KOut, VOut>> output;
+    {
+      size_t total = 0;
+      for (const auto& po : partition_outputs) total += po.size();
+      output.reserve(total);
+    }
+    for (auto& po : partition_outputs) {
+      for (auto& rec : po) output.push_back(std::move(rec));
+    }
+    for (int64_t g : partition_groups) stats.reduce_input_groups += g;
+    stats.reduce_output_records = static_cast<int64_t>(output.size());
+    stats.wall_seconds = timer.ElapsedSeconds();
+    RecordJob(stats);
+    release_all();
+    return output;
+  }
+
+  /// Convenience wrapper: runs a job whose input is an in-memory vector of
+  /// (key, value) pairs, with a classic map function signature.
+  template <typename KMid, typename VMid, typename KOut, typename VOut,
+            typename KIn, typename VIn, typename MapFn, typename ReduceFn>
+  Result<std::vector<std::pair<KOut, VOut>>> RunOnPairs(
+      const std::string& name, const std::vector<std::pair<KIn, VIn>>& input,
+      MapFn&& map_fn, ReduceFn&& reducer,
+      std::function<VMid(const VMid&, const VMid&)> combiner = nullptr) {
+    return Run<KMid, VMid, KOut, VOut>(
+        name, static_cast<int64_t>(input.size()),
+        [&input, &map_fn](int64_t i, ShuffleEmitter<KMid, VMid>* em) {
+          const auto& rec = input[static_cast<size_t>(i)];
+          map_fn(rec.first, rec.second, em);
+        },
+        std::forward<ReduceFn>(reducer), std::move(combiner));
+  }
+
+ private:
+  template <typename K, typename V>
+  static void CombineBuffer(std::vector<std::pair<K, V>>* buf,
+                            const std::function<V(const V&, const V&)>& fold) {
+    if (buf->size() <= 1) return;
+    struct StdHashAdapter {
+      size_t operator()(const K& k) const {
+        return static_cast<size_t>(ShuffleHash<K>()(k));
+      }
+    };
+    std::unordered_map<K, V, StdHashAdapter> merged;
+    merged.reserve(buf->size());
+    for (auto& rec : *buf) {
+      auto [it, inserted] = merged.try_emplace(rec.first, rec.second);
+      if (!inserted) it->second = fold(it->second, rec.second);
+    }
+    buf->clear();
+    buf->reserve(merged.size());
+    for (auto& [k, v] : merged) buf->emplace_back(k, std::move(v));
+  }
+
+  void RecordJob(const JobStats& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_.jobs.push_back(stats);
+  }
+
+  /// Deterministic per-(job, task, attempt) failure decision.
+  bool ShouldFailAttempt(int64_t job, size_t task, int attempt) const {
+    if (config_.task_failure_probability <= 0.0) return false;
+    uint64_t h = Mix64(config_.failure_seed ^
+                       Mix64(static_cast<uint64_t>(job) * 1000003ull +
+                             static_cast<uint64_t>(task) * 1009ull +
+                             static_cast<uint64_t>(attempt)));
+    double u = static_cast<double>(h >> 11) *
+               (1.0 / 9007199254740992.0);  // 53-bit uniform in [0, 1)
+    return u < config_.task_failure_probability;
+  }
+
+  ClusterConfig config_;
+  ThreadPool pool_;
+  MemoryTracker tracker_;
+  PipelineStats pipeline_;
+  std::mutex mu_;
+  std::atomic<int64_t> job_sequence_{0};
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_MAPREDUCE_ENGINE_H_

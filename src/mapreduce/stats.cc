@@ -1,0 +1,56 @@
+#include "mapreduce/stats.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace haten2 {
+
+int64_t PipelineStats::MaxIntermediateRecords() const {
+  int64_t m = 0;
+  for (const JobStats& j : jobs) m = std::max(m, j.map_output_records);
+  return m;
+}
+
+uint64_t PipelineStats::MaxIntermediateBytes() const {
+  uint64_t m = 0;
+  for (const JobStats& j : jobs) m = std::max(m, j.map_output_bytes);
+  return m;
+}
+
+int64_t PipelineStats::TotalIntermediateRecords() const {
+  int64_t t = 0;
+  for (const JobStats& j : jobs) t += j.map_output_records;
+  return t;
+}
+
+double PipelineStats::TotalWallSeconds() const {
+  double t = 0.0;
+  for (const JobStats& j : jobs) t += j.wall_seconds;
+  return t;
+}
+
+void PipelineStats::Append(const PipelineStats& other) {
+  jobs.insert(jobs.end(), other.jobs.begin(), other.jobs.end());
+}
+
+std::string PipelineStats::ToString() const {
+  std::string out = StrFormat(
+      "pipeline: %lld jobs, max intermediate %s records (%s), wall %s\n",
+      (long long)NumJobs(), HumanCount(MaxIntermediateRecords()).c_str(),
+      HumanBytes(MaxIntermediateBytes()).c_str(),
+      HumanSeconds(TotalWallSeconds()).c_str());
+  for (const JobStats& j : jobs) {
+    out += StrFormat(
+        "  [%s] in=%s shuffle=%s (%s) groups=%s out=%s wall=%s\n",
+        j.name.c_str(), HumanCount(j.map_input_records).c_str(),
+        HumanCount(j.map_output_records).c_str(),
+        HumanBytes(j.map_output_bytes).c_str(),
+        HumanCount(j.reduce_input_groups).c_str(),
+        HumanCount(j.reduce_output_records).c_str(),
+        HumanSeconds(j.wall_seconds).c_str());
+  }
+  return out;
+}
+
+}  // namespace haten2

@@ -1,0 +1,69 @@
+#ifndef HATEN2_MAPREDUCE_STATS_H_
+#define HATEN2_MAPREDUCE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace haten2 {
+
+/// \brief Counters collected while executing one MapReduce job.
+///
+/// `map_output_records` / `map_output_bytes` measure the job's *intermediate
+/// data* — the quantity Tables III and IV of the paper bound per method. The
+/// per-task vectors feed the CostModel's simulated makespan.
+struct JobStats {
+  std::string name;
+
+  int64_t map_input_records = 0;
+  /// Records emitted by mappers before the combiner (if any) ran.
+  int64_t pre_combine_records = 0;
+  /// Records actually shuffled (after combining).
+  int64_t map_output_records = 0;
+  uint64_t map_output_bytes = 0;
+
+  int64_t reduce_input_groups = 0;
+  int64_t reduce_output_records = 0;
+
+  /// Input records processed by each map task.
+  std::vector<int64_t> map_task_records;
+  /// Execution attempts per map task (1 = no retry; failure injection).
+  std::vector<int> map_task_attempts;
+  /// Total retried map-task attempts in this job.
+  int64_t map_task_retries = 0;
+  /// Records written to (and re-read from) spill files during the shuffle.
+  int64_t spilled_records = 0;
+  /// Shuffled records received by each reduce partition.
+  std::vector<int64_t> reduce_partition_records;
+  /// Shuffled bytes received by each reduce partition.
+  std::vector<uint64_t> reduce_partition_bytes;
+
+  /// Real in-process execution time of this job.
+  double wall_seconds = 0.0;
+};
+
+/// \brief Aggregate over the jobs of one logical operation (e.g. one
+/// evaluation of X ×₂ Bᵀ ×₃ Cᵀ, or one full decomposition).
+struct PipelineStats {
+  std::vector<JobStats> jobs;
+
+  int64_t NumJobs() const { return static_cast<int64_t>(jobs.size()); }
+
+  /// Max over jobs of shuffled records — the paper's "Max. Intermediate
+  /// Data" column.
+  int64_t MaxIntermediateRecords() const;
+  uint64_t MaxIntermediateBytes() const;
+
+  int64_t TotalIntermediateRecords() const;
+  double TotalWallSeconds() const;
+
+  void Append(const PipelineStats& other);
+  void Clear() { jobs.clear(); }
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_MAPREDUCE_STATS_H_

@@ -1,0 +1,166 @@
+#include "tensor/dense_tensor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+DenseTensor::DenseTensor(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  strides_.resize(dims_.size());
+  int64_t stride = 1;
+  for (size_t m = dims_.size(); m-- > 0;) {
+    strides_[m] = stride;
+    stride *= dims_[m];
+  }
+  data_.assign(static_cast<size_t>(stride), 0.0);
+}
+
+Result<DenseTensor> DenseTensor::Create(std::vector<int64_t> dims) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("tensor order must be >= 1");
+  }
+  int64_t cells = 1;
+  for (int64_t d : dims) {
+    if (d <= 0) {
+      return Status::InvalidArgument("every mode size must be positive");
+    }
+    cells *= d;
+    if (cells > (int64_t{1} << 31)) {
+      return Status::ResourceExhausted(
+          "dense tensor too large; use SparseTensor");
+    }
+  }
+  return DenseTensor(std::move(dims));
+}
+
+int64_t DenseTensor::Offset(const std::vector<int64_t>& idx) const {
+  HATEN2_CHECK(idx.size() == dims_.size()) << "offset arity mismatch";
+  return Offset(idx.data());
+}
+
+int64_t DenseTensor::Offset(const int64_t* idx) const {
+  int64_t off = 0;
+  for (size_t m = 0; m < dims_.size(); ++m) off += idx[m] * strides_[m];
+  return off;
+}
+
+double DenseTensor::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double DenseTensor::MaxAbsDiff(const DenseTensor& other) const {
+  HATEN2_CHECK(dims_ == other.dims_) << "shape mismatch in MaxAbsDiff";
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+DenseMatrix DenseTensor::Unfold(int mode) const {
+  HATEN2_CHECK(mode >= 0 && mode < order()) << "unfold mode out of range";
+  const int64_t rows = dims_[static_cast<size_t>(mode)];
+  const int64_t cols = size() / rows;
+  DenseMatrix mat(rows, cols);
+  // Kolda convention: column index j = sum_{m != mode} i_m * W_m where
+  // W_m = prod_{m' < m, m' != mode} I_{m'}; i.e. the first non-unfolded mode
+  // varies fastest... actually slowest: W grows with m, so later modes have
+  // larger weights and the first non-unfolded mode varies fastest in j.
+  std::vector<int64_t> weights(dims_.size(), 0);
+  {
+    int64_t w = 1;
+    for (size_t m = 0; m < dims_.size(); ++m) {
+      if (static_cast<int>(m) == mode) continue;
+      weights[m] = w;
+      w *= dims_[m];
+    }
+    // Reverse accumulation: Kolda's j = 1 + sum (i_k - 1) J_k with
+    // J_k = prod_{m < k, m != n} I_m means earlier modes have weight 1.
+    // The loop above already assigns weight 1 to the first non-mode index
+    // and increasing weights afterwards, matching the convention.
+  }
+  std::vector<int64_t> idx(dims_.size(), 0);
+  for (size_t lin = 0; lin < data_.size(); ++lin) {
+    int64_t col = 0;
+    for (size_t m = 0; m < dims_.size(); ++m) {
+      if (static_cast<int>(m) != mode) col += idx[m] * weights[m];
+    }
+    mat(idx[static_cast<size_t>(mode)], col) = data_[lin];
+    // Advance the multi-index (last mode fastest, matching row-major data_).
+    for (size_t m = dims_.size(); m-- > 0;) {
+      if (++idx[m] < dims_[m]) break;
+      idx[m] = 0;
+    }
+  }
+  return mat;
+}
+
+Result<DenseTensor> DenseTensor::Fold(const DenseMatrix& mat, int mode,
+                                      std::vector<int64_t> dims) {
+  HATEN2_ASSIGN_OR_RETURN(DenseTensor out, DenseTensor::Create(dims));
+  if (mode < 0 || mode >= out.order()) {
+    return Status::InvalidArgument("fold mode out of range");
+  }
+  if (mat.rows() != out.dim(mode) || mat.cols() != out.size() / out.dim(mode)) {
+    return Status::InvalidArgument(StrFormat(
+        "matrix shape %lldx%lld does not fold into the requested tensor",
+        (long long)mat.rows(), (long long)mat.cols()));
+  }
+  std::vector<int64_t> weights(out.dims_.size(), 0);
+  {
+    int64_t w = 1;
+    for (size_t m = 0; m < out.dims_.size(); ++m) {
+      if (static_cast<int>(m) == mode) continue;
+      weights[m] = w;
+      w *= out.dims_[m];
+    }
+  }
+  std::vector<int64_t> idx(out.dims_.size(), 0);
+  for (size_t lin = 0; lin < out.data_.size(); ++lin) {
+    int64_t col = 0;
+    for (size_t m = 0; m < out.dims_.size(); ++m) {
+      if (static_cast<int>(m) != mode) col += idx[m] * weights[m];
+    }
+    out.data_[lin] = mat(idx[static_cast<size_t>(mode)], col);
+    for (size_t m = out.dims_.size(); m-- > 0;) {
+      if (++idx[m] < out.dims_[m]) break;
+      idx[m] = 0;
+    }
+  }
+  return out;
+}
+
+DenseTensor DenseTensor::FromSparse(const SparseTensor& sparse) {
+  Result<DenseTensor> r = DenseTensor::Create(sparse.dims());
+  HATEN2_CHECK(r.ok()) << "FromSparse: " << r.status().ToString();
+  DenseTensor out = std::move(r).value();
+  for (int64_t e = 0; e < sparse.nnz(); ++e) {
+    out.data_[static_cast<size_t>(out.Offset(sparse.IndexPtr(e)))] +=
+        sparse.value(e);
+  }
+  return out;
+}
+
+SparseTensor DenseTensor::ToSparse() const {
+  Result<SparseTensor> r = SparseTensor::Create(dims_);
+  HATEN2_CHECK(r.ok()) << "ToSparse: " << r.status().ToString();
+  SparseTensor out = std::move(r).value();
+  std::vector<int64_t> idx(dims_.size(), 0);
+  for (size_t lin = 0; lin < data_.size(); ++lin) {
+    if (data_[lin] != 0.0) {
+      out.AppendUnchecked(idx.data(), data_[lin]);
+    }
+    for (size_t m = dims_.size(); m-- > 0;) {
+      if (++idx[m] < dims_[m]) break;
+      idx[m] = 0;
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace haten2

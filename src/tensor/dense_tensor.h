@@ -1,0 +1,81 @@
+#ifndef HATEN2_TENSOR_DENSE_TENSOR_H_
+#define HATEN2_TENSOR_DENSE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dense_matrix.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Small dense N-way tensor (row-major, last mode fastest).
+///
+/// Used for the Tucker core tensor G (P x Q x R with small P, Q, R) and for
+/// reconstructions in tests. Not intended for data-scale tensors — those are
+/// SparseTensor.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+
+  /// Zero-initialized tensor; every dim must be positive.
+  static Result<DenseTensor> Create(std::vector<int64_t> dims);
+
+  int order() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+  int64_t dim(int mode) const { return dims_[static_cast<size_t>(mode)]; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  /// Linear offset of a coordinate tuple.
+  int64_t Offset(const std::vector<int64_t>& idx) const;
+  int64_t Offset(const int64_t* idx) const;
+
+  double at(const std::vector<int64_t>& idx) const {
+    return data_[static_cast<size_t>(Offset(idx))];
+  }
+  double& at(const std::vector<int64_t>& idx) {
+    return data_[static_cast<size_t>(Offset(idx))];
+  }
+
+  /// 3-way convenience accessors.
+  double at3(int64_t i, int64_t j, int64_t k) const {
+    return data_[static_cast<size_t>((i * dims_[1] + j) * dims_[2] + k)];
+  }
+  double& at3(int64_t i, int64_t j, int64_t k) {
+    return data_[static_cast<size_t>((i * dims_[1] + j) * dims_[2] + k)];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  double FrobeniusNorm() const;
+  double MaxAbsDiff(const DenseTensor& other) const;
+
+  /// Mode-n matricization X_(n): rows indexed by mode n, columns by the
+  /// remaining modes with the paper's (Kolda) column ordering: column index
+  /// j = sum_{m != n} i_m * prod_{m' < m, m' != n} I_{m'}.
+  DenseMatrix Unfold(int mode) const;
+
+  /// Inverse of Unfold: rebuilds a tensor with the given dims from its mode-n
+  /// matricization.
+  static Result<DenseTensor> Fold(const DenseMatrix& mat, int mode,
+                                  std::vector<int64_t> dims);
+
+  /// Converts a sparse tensor to dense (test-scale only).
+  static DenseTensor FromSparse(const SparseTensor& sparse);
+
+  /// Converts to a sparse tensor, dropping exact zeros.
+  SparseTensor ToSparse() const;
+
+ private:
+  explicit DenseTensor(std::vector<int64_t> dims);
+
+  std::vector<int64_t> dims_;
+  std::vector<int64_t> strides_;
+  std::vector<double> data_;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_TENSOR_DENSE_TENSOR_H_

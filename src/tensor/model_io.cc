@@ -1,0 +1,116 @@
+#include "tensor/model_io.h"
+
+#include "tensor/dense_tensor.h"
+#include "tensor/tensor_io.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+std::string ModePath(const std::string& prefix, int mode) {
+  return StrFormat("%s.mode%d.txt", prefix.c_str(), mode);
+}
+
+Status SaveFactors(const std::vector<DenseMatrix>& factors,
+                   const std::string& prefix) {
+  for (size_t m = 0; m < factors.size(); ++m) {
+    HATEN2_RETURN_IF_ERROR(
+        WriteMatrixText(factors[m], ModePath(prefix, static_cast<int>(m))));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DenseMatrix>> LoadFactors(const std::string& prefix,
+                                             int order,
+                                             bool require_same_rank) {
+  if (order < 1) {
+    return Status::InvalidArgument("order must be >= 1");
+  }
+  std::vector<DenseMatrix> factors;
+  factors.reserve(static_cast<size_t>(order));
+  int64_t rank = -1;
+  for (int m = 0; m < order; ++m) {
+    HATEN2_ASSIGN_OR_RETURN(DenseMatrix f, ReadMatrixText(ModePath(prefix, m)));
+    if (rank == -1) {
+      rank = f.cols();
+    } else if (require_same_rank && f.cols() != rank) {
+      // Kruskal factors share one rank; Tucker factors may have distinct
+      // per-mode core sizes.
+      return Status::InvalidArgument(StrFormat(
+          "factor %d has %lld columns, expected %lld", m,
+          (long long)f.cols(), (long long)rank));
+    }
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+}  // namespace
+
+Status SaveKruskalModel(const KruskalModel& model,
+                        const std::string& prefix) {
+  if (model.factors.empty()) {
+    return Status::InvalidArgument("model has no factor matrices");
+  }
+  HATEN2_RETURN_IF_ERROR(SaveFactors(model.factors, prefix));
+  DenseMatrix lambda(static_cast<int64_t>(model.lambda.size()), 1);
+  for (size_t r = 0; r < model.lambda.size(); ++r) {
+    lambda(static_cast<int64_t>(r), 0) = model.lambda[r];
+  }
+  return WriteMatrixText(lambda, prefix + ".lambda.txt");
+}
+
+Result<KruskalModel> LoadKruskalModel(const std::string& prefix, int order) {
+  KruskalModel model;
+  HATEN2_ASSIGN_OR_RETURN(
+      model.factors, LoadFactors(prefix, order, /*require_same_rank=*/true));
+  HATEN2_ASSIGN_OR_RETURN(DenseMatrix lambda,
+                          ReadMatrixText(prefix + ".lambda.txt"));
+  if (lambda.cols() != 1 || lambda.rows() != model.factors[0].cols()) {
+    return Status::InvalidArgument(
+        "lambda file shape does not match the factors' rank");
+  }
+  model.lambda.resize(static_cast<size_t>(lambda.rows()));
+  for (int64_t r = 0; r < lambda.rows(); ++r) {
+    model.lambda[static_cast<size_t>(r)] = lambda(r, 0);
+  }
+  return model;
+}
+
+Status SaveTuckerModel(const TuckerModel& model, const std::string& prefix) {
+  if (model.factors.empty()) {
+    return Status::InvalidArgument("model has no factor matrices");
+  }
+  if (static_cast<int>(model.factors.size()) != model.core.order()) {
+    return Status::InvalidArgument(
+        "factor count does not match the core tensor order");
+  }
+  HATEN2_RETURN_IF_ERROR(SaveFactors(model.factors, prefix));
+  // The sparse text format preserves dims via its header, so even an
+  // all-zero core round-trips.
+  return WriteTensorText(model.core.ToSparse(), prefix + ".core.txt");
+}
+
+Result<TuckerModel> LoadTuckerModel(const std::string& prefix, int order) {
+  TuckerModel model;
+  HATEN2_ASSIGN_OR_RETURN(
+      model.factors, LoadFactors(prefix, order, /*require_same_rank=*/false));
+  HATEN2_ASSIGN_OR_RETURN(SparseTensor core_sparse,
+                          ReadTensorText(prefix + ".core.txt"));
+  if (core_sparse.order() != order) {
+    return Status::InvalidArgument("core tensor order mismatch");
+  }
+  for (int m = 0; m < order; ++m) {
+    if (core_sparse.dim(m) != model.factors[static_cast<size_t>(m)].cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "core mode %d size %lld does not match factor columns %lld", m,
+          (long long)core_sparse.dim(m),
+          (long long)model.factors[static_cast<size_t>(m)].cols()));
+    }
+  }
+  model.core = DenseTensor::FromSparse(core_sparse);
+  return model;
+}
+
+}  // namespace haten2

@@ -1,0 +1,30 @@
+#ifndef HATEN2_TENSOR_MODEL_IO_H_
+#define HATEN2_TENSOR_MODEL_IO_H_
+
+#include <string>
+
+#include "tensor/models.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// Serialization of fitted decomposition models, so long runs can be
+/// checkpointed and factors handed to downstream analyses.
+///
+/// A Kruskal model with N modes is saved as
+///   <prefix>.lambda.txt          column vector of weights
+///   <prefix>.mode<k>.txt         factor matrix of mode k (k = 0..N-1)
+/// and a Tucker model as
+///   <prefix>.core.txt            core tensor (sparse text format)
+///   <prefix>.mode<k>.txt         factor matrices
+/// using the matrix/tensor text formats of tensor_io.h.
+
+Status SaveKruskalModel(const KruskalModel& model, const std::string& prefix);
+Result<KruskalModel> LoadKruskalModel(const std::string& prefix, int order);
+
+Status SaveTuckerModel(const TuckerModel& model, const std::string& prefix);
+Result<TuckerModel> LoadTuckerModel(const std::string& prefix, int order);
+
+}  // namespace haten2
+
+#endif  // HATEN2_TENSOR_MODEL_IO_H_

@@ -1,0 +1,170 @@
+#include "tensor/tensor_binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "tensor/tensor_io.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'A', 'T', 'E', 'N', '2', 'T', '\0'};
+constexpr uint32_t kVersion = 1;
+// Refuse to allocate for absurd headers (corrupted/hostile files).
+constexpr int64_t kMaxReasonableNnz = int64_t{1} << 40;
+constexpr int32_t kMaxReasonableOrder = 64;
+
+/// XOR-fold of a byte range into 8 bytes — cheap corruption detection, not
+/// cryptographic.
+uint64_t Checksum(const char* data, size_t len) {
+  uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  size_t full = len / 8;
+  for (size_t i = 0; i < full; ++i) {
+    uint64_t word;
+    std::memcpy(&word, data + i * 8, 8);
+    acc ^= word + (acc << 7) + (acc >> 3);
+  }
+  for (size_t i = full * 8; i < len; ++i) {
+    acc ^= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+           << ((i % 8) * 8);
+  }
+  return acc;
+}
+
+template <typename T>
+void Put(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool Get(std::istream& in, T* value) {
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) return false;
+  std::memcpy(value, buf, sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+Status WriteTensorBinary(const SparseTensor& tensor,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  Put<uint32_t>(&header, kVersion);
+  Put<int32_t>(&header, tensor.order());
+  for (int m = 0; m < tensor.order(); ++m) {
+    Put<int64_t>(&header, tensor.dim(m));
+  }
+  Put<int64_t>(&header, tensor.nnz());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  std::string body;
+  body.reserve(static_cast<size_t>(tensor.nnz()) *
+               (static_cast<size_t>(tensor.order()) * 8 + 8));
+  for (int64_t e = 0; e < tensor.nnz(); ++e) {
+    for (int m = 0; m < tensor.order(); ++m) {
+      Put<int64_t>(&body, tensor.index(e, m));
+    }
+    Put<double>(&body, tensor.value(e));
+  }
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  uint64_t checksum = Checksum(body.data(), body.size());
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<SparseTensor> ReadTensorBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a haten2 binary tensor");
+  }
+  uint32_t version = 0;
+  int32_t order = 0;
+  if (!Get(in, &version) || !Get(in, &order)) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported format version %u", path.c_str(),
+                  version));
+  }
+  if (order < 1 || order > kMaxReasonableOrder) {
+    return Status::InvalidArgument(
+        StrFormat("%s: implausible order %d", path.c_str(), order));
+  }
+  std::vector<int64_t> dims(static_cast<size_t>(order));
+  for (int m = 0; m < order; ++m) {
+    if (!Get(in, &dims[static_cast<size_t>(m)])) {
+      return Status::InvalidArgument(path + ": truncated header");
+    }
+  }
+  int64_t nnz = 0;
+  if (!Get(in, &nnz) || nnz < 0 || nnz > kMaxReasonableNnz) {
+    return Status::InvalidArgument(path + ": implausible nnz");
+  }
+
+  HATEN2_ASSIGN_OR_RETURN(SparseTensor tensor, SparseTensor::Create(dims));
+  tensor.Reserve(nnz);
+  const size_t entry_bytes = static_cast<size_t>(order) * 8 + 8;
+  std::string body(static_cast<size_t>(nnz) * entry_bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(body.size()));
+  if (in.gcount() != static_cast<std::streamsize>(body.size())) {
+    return Status::InvalidArgument(path + ": truncated entries");
+  }
+  uint64_t stored_checksum = 0;
+  if (!Get(in, &stored_checksum) ||
+      stored_checksum != Checksum(body.data(), body.size())) {
+    return Status::InvalidArgument(path + ": checksum mismatch");
+  }
+
+  std::vector<int64_t> idx(static_cast<size_t>(order));
+  const char* cursor = body.data();
+  for (int64_t e = 0; e < nnz; ++e) {
+    for (int m = 0; m < order; ++m) {
+      std::memcpy(&idx[static_cast<size_t>(m)], cursor, 8);
+      cursor += 8;
+    }
+    double value;
+    std::memcpy(&value, cursor, 8);
+    cursor += 8;
+    HATEN2_RETURN_IF_ERROR(tensor.Append(idx.data(), order, value));
+  }
+  tensor.Canonicalize();
+  return tensor;
+}
+
+Result<SparseTensor> ReadTensorAuto(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  probe.read(magic, sizeof(magic));
+  probe.close();
+  if (probe.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    return ReadTensorBinary(path);
+  }
+  return ReadTensorText(path);
+}
+
+}  // namespace haten2

@@ -1,0 +1,51 @@
+#ifndef HATEN2_TENSOR_TENSOR_IO_H_
+#define HATEN2_TENSOR_TENSOR_IO_H_
+
+#include <string>
+
+#include "tensor/dense_matrix.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// Text serialization of sparse tensors: a header line
+/// `# haten2 tensor order=<N> dims=<d1>x<d2>x...` followed by one
+/// whitespace-separated `i_1 i_2 ... i_N value` record per nonzero
+/// (0-based indices). Lines starting with '#' are comments. This mirrors the
+/// HDFS input format HaTen2 consumes (one coordinate record per line).
+
+/// Writes `tensor` to `path`, overwriting any existing file.
+Status WriteTensorText(const SparseTensor& tensor, const std::string& path);
+
+/// Parsing options. `index_base` = 1 accepts FROSTT-style files whose
+/// coordinates are 1-based (the common interchange format for public sparse
+/// tensors); indices are shifted down to the library's 0-based convention.
+struct TensorTextOptions {
+  int index_base = 0;
+};
+
+/// Reads a tensor written by WriteTensorText. If the header is absent the
+/// dimensions are inferred as (max index + 1) per mode and the order from the
+/// first record.
+Result<SparseTensor> ReadTensorText(const std::string& path);
+Result<SparseTensor> ReadTensorText(const std::string& path,
+                                    const TensorTextOptions& options);
+
+/// Parses tensor text from an in-memory string (same format).
+Result<SparseTensor> ParseTensorText(const std::string& text);
+Result<SparseTensor> ParseTensorText(const std::string& text,
+                                     const TensorTextOptions& options);
+
+/// Serializes to an in-memory string (same format).
+std::string FormatTensorText(const SparseTensor& tensor);
+
+/// Dense-matrix text format (factor matrices): a header line
+/// `# haten2 matrix rows=<R> cols=<C>` followed by one whitespace-separated
+/// row of values per line.
+Status WriteMatrixText(const DenseMatrix& matrix, const std::string& path);
+Result<DenseMatrix> ReadMatrixText(const std::string& path);
+
+}  // namespace haten2
+
+#endif  // HATEN2_TENSOR_TENSOR_IO_H_

@@ -1,0 +1,83 @@
+#ifndef HATEN2_UTIL_LOGGING_H_
+#define HATEN2_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace haten2 {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Process-wide minimum level below which log lines are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits its accumulated message on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace haten2
+
+#define HATEN2_LOG_DEBUG                                              \
+  ::haten2::internal::LogMessage(::haten2::LogLevel::kDebug, __FILE__, \
+                                 __LINE__)
+#define HATEN2_LOG_INFO                                              \
+  ::haten2::internal::LogMessage(::haten2::LogLevel::kInfo, __FILE__, \
+                                 __LINE__)
+#define HATEN2_LOG_WARNING                                              \
+  ::haten2::internal::LogMessage(::haten2::LogLevel::kWarning, __FILE__, \
+                                 __LINE__)
+#define HATEN2_LOG_ERROR                                              \
+  ::haten2::internal::LogMessage(::haten2::LogLevel::kError, __FILE__, \
+                                 __LINE__)
+#define HATEN2_LOG_FATAL                                              \
+  ::haten2::internal::LogMessage(::haten2::LogLevel::kFatal, __FILE__, \
+                                 __LINE__)
+
+/// Unconditional invariant check; aborts with a message when violated.
+/// Used for programmer errors (not for data-dependent failures, which return
+/// Status).
+#define HATEN2_CHECK(cond)                                    \
+  if (!(cond))                                                \
+  HATEN2_LOG_FATAL << "Check failed: " #cond " "
+
+#define HATEN2_CHECK_OK(expr)                                       \
+  do {                                                              \
+    const ::haten2::Status _haten2_check_status = (expr);           \
+    if (!_haten2_check_status.ok()) {                               \
+      HATEN2_LOG_FATAL << "Status not OK: "                         \
+                       << _haten2_check_status.ToString();          \
+    }                                                               \
+  } while (false)
+
+#endif  // HATEN2_UTIL_LOGGING_H_

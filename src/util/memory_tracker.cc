@@ -1,0 +1,34 @@
+#include "util/memory_tracker.h"
+
+#include "util/string_util.h"
+
+namespace haten2 {
+
+Status MemoryTracker::Charge(uint64_t bytes) {
+  uint64_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+  uint64_t now = prev + bytes;
+  if (budget_ != kUnlimited && now > budget_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        StrFormat("o.o.m.: requested %s on top of %s exceeds budget %s",
+                  HumanBytes(bytes).c_str(), HumanBytes(prev).c_str(),
+                  HumanBytes(budget_).c_str()));
+  }
+  // Racy max update; the tiny undercount window is acceptable for reporting.
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::Reset() {
+  used_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace haten2

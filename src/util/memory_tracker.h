@@ -1,0 +1,89 @@
+#ifndef HATEN2_UTIL_MEMORY_TRACKER_H_
+#define HATEN2_UTIL_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "util/status.h"
+
+namespace haten2 {
+
+/// \brief Accounts bytes of live intermediate data against a budget.
+///
+/// The paper's central failure mode is the *intermediate data explosion*:
+/// naive implementations materialize more shuffle data than the cluster can
+/// hold and die with out-of-memory. We reproduce that behaviour by charging
+/// the byte size of every materialized intermediate (shuffle buffers in the
+/// MapReduce engine, densified temporaries in the Tensor-Toolbox baseline)
+/// against a MemoryTracker; when the budget is exceeded the operation fails
+/// with kResourceExhausted, which benchmark harnesses report as "o.o.m.".
+///
+/// Thread-safe; Charge/Release may be called concurrently from task threads.
+class MemoryTracker {
+ public:
+  /// Creates a tracker with the given budget. kUnlimited disables enforcement
+  /// (peak usage is still recorded).
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  explicit MemoryTracker(uint64_t budget_bytes = kUnlimited)
+      : budget_(budget_bytes) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Attempts to charge `bytes`; on over-budget leaves usage unchanged and
+  /// returns kResourceExhausted.
+  Status Charge(uint64_t bytes);
+
+  /// Releases a previous charge. Charging and releasing must balance.
+  void Release(uint64_t bytes);
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t budget() const { return budget_; }
+
+  /// Resets usage and peak to zero (budget is retained).
+  void Reset();
+
+ private:
+  const uint64_t budget_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// \brief RAII charge against a MemoryTracker.
+///
+/// On construction attempts the charge; callers must check ok() before
+/// relying on the guarded allocation. Releases on destruction when charged.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemoryTracker* tracker, uint64_t bytes)
+      : tracker_(tracker), bytes_(bytes), status_(Status::OK()) {
+    if (tracker_ != nullptr) {
+      status_ = tracker_->Charge(bytes_);
+      charged_ = status_.ok();
+    }
+  }
+
+  ~ScopedCharge() {
+    if (charged_) tracker_->Release(bytes_);
+  }
+
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  MemoryTracker* tracker_;
+  uint64_t bytes_;
+  Status status_;
+  bool charged_ = false;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,27 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace haten2 {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[k] = sum;
+    }
+    for (uint64_t k = 0; k < n; ++k) zipf_cdf_[k] /= sum;
+  }
+  double u = Uniform();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace haten2

@@ -1,0 +1,92 @@
+#ifndef HATEN2_UTIL_RESULT_H_
+#define HATEN2_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace haten2 {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// The moral equivalent of absl::StatusOr / arrow::Result. Constructing a
+/// Result from an OK status is a programming error (there would be no value);
+/// it is converted to an Internal error so misuse is observable rather than
+/// undefined.
+///
+/// \code
+///   Result<SparseTensor> r = SparseTensor::FromFile(path);
+///   if (!r.ok()) return r.status();
+///   SparseTensor t = std::move(r).value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when holding an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value into `lhs`. `lhs` may be a declaration
+/// (`HATEN2_ASSIGN_OR_RETURN(SparseTensor t, MakeTensor())`) or an existing
+/// variable. Expands to multiple statements, so it cannot be used as the
+/// single statement of an unbraced if/else.
+#define HATEN2_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HATEN2_ASSIGN_OR_RETURN_IMPL_(            \
+      HATEN2_RESULT_CONCAT_(_haten2_result_tmp_, __LINE__), lhs, rexpr)
+
+#define HATEN2_RESULT_CONCAT_INNER_(a, b) a##b
+#define HATEN2_RESULT_CONCAT_(a, b) HATEN2_RESULT_CONCAT_INNER_(a, b)
+#define HATEN2_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace haten2
+
+#endif  // HATEN2_UTIL_RESULT_H_

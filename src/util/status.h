@@ -1,0 +1,130 @@
+#ifndef HATEN2_UTIL_STATUS_H_
+#define HATEN2_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace haten2 {
+
+/// \brief Canonical error codes used throughout the library.
+///
+/// The library does not use exceptions (see DESIGN.md); every fallible
+/// operation returns a Status (or a Result<T>, see result.h). The codes follow
+/// the usual canonical-space conventions: kOk means success, every other code
+/// carries a human-readable message describing the failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,  ///< Out of (budgeted) memory: reported as "o.o.m.".
+  kFailedPrecondition = 5,
+  kAborted = 6,
+  kOutOfRange = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kIOError = 10,
+};
+
+/// \brief Returns the canonical name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A lightweight success-or-error value.
+///
+/// Status is cheap to construct in the success case (no allocation) and
+/// carries a code plus message otherwise. Typical use:
+///
+/// \code
+///   Status s = tensor.Validate();
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: rank must be > 0".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status from the current function.
+#define HATEN2_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::haten2::Status _haten2_status_tmp = (expr);      \
+    if (!_haten2_status_tmp.ok()) {                    \
+      return _haten2_status_tmp;                       \
+    }                                                  \
+  } while (false)
+
+}  // namespace haten2
+
+#endif  // HATEN2_UTIL_STATUS_H_

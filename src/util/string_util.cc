@@ -1,0 +1,150 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace haten2 {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    // C++11 guarantees contiguous storage; +1 for the terminating NUL that
+    // vsnprintf writes past the reported length.
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) parts.emplace_back(s.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  std::string buf(Trim(s));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  std::string buf(Trim(s));
+  if (buf.empty()) {
+    return Status::InvalidArgument("empty string is not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: " + buf);
+  }
+  return v;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%llu B", (unsigned long long)bytes);
+  return StrFormat("%.1f %s", v, kUnits[unit]);
+}
+
+std::string HumanCount(uint64_t count) {
+  if (count >= 1000000000ULL) {
+    return StrFormat("%.1fB", static_cast<double>(count) / 1e9);
+  }
+  if (count >= 1000000ULL) {
+    return StrFormat("%.1fM", static_cast<double>(count) / 1e6);
+  }
+  if (count >= 1000ULL) {
+    return StrFormat("%.1fK", static_cast<double>(count) / 1e3);
+  }
+  return StrFormat("%llu", (unsigned long long)count);
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 1e-3) return StrFormat("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.1f ms", seconds * 1e3);
+  if (seconds < 120.0) return StrFormat("%.2f s", seconds);
+  return StrFormat("%.1f min", seconds / 60.0);
+}
+
+}  // namespace haten2

@@ -1,0 +1,46 @@
+#ifndef HATEN2_UTIL_STRING_UTIL_H_
+#define HATEN2_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace haten2 {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a signed 64-bit integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// Renders a byte count as a human-readable string, e.g. "1.5 GB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders a count with K/M/B suffixes, e.g. "26M".
+std::string HumanCount(uint64_t count);
+
+/// Renders seconds with an adaptive unit, e.g. "12.3 ms" or "4.5 s".
+std::string HumanSeconds(double seconds);
+
+}  // namespace haten2
+
+#endif  // HATEN2_UTIL_STRING_UTIL_H_

@@ -1,0 +1,248 @@
+#include "workload/knowledge_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+std::vector<int64_t> SampleDistinct(int64_t universe, int64_t count,
+                                    std::unordered_set<int64_t>* used,
+                                    Rng* rng) {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(count));
+  while (static_cast<int64_t>(out.size()) < count) {
+    int64_t candidate =
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(universe)));
+    if (used != nullptr) {
+      if (used->count(candidate) > 0) continue;
+      used->insert(candidate);
+    }
+    out.push_back(candidate);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string KnowledgeBase::SubjectName(int64_t i) const {
+  const std::string& tag = subject_tags[static_cast<size_t>(i)];
+  return tag.empty() ? StrFormat("subject%lld", (long long)i) : tag;
+}
+
+std::string KnowledgeBase::ObjectName(int64_t i) const {
+  const std::string& tag = object_tags[static_cast<size_t>(i)];
+  return tag.empty() ? StrFormat("object%lld", (long long)i) : tag;
+}
+
+std::string KnowledgeBase::RelationName(int64_t i) const {
+  const std::string& tag = relation_tags[static_cast<size_t>(i)];
+  return tag.empty() ? StrFormat("relation%lld", (long long)i) : tag;
+}
+
+Result<KnowledgeBase> GenerateKnowledgeBase(const KnowledgeBaseSpec& spec) {
+  if (spec.num_concepts <= 0) {
+    return Status::InvalidArgument("num_concepts must be positive");
+  }
+  if (spec.subjects_per_concept > spec.num_subjects ||
+      spec.objects_per_concept > spec.num_objects ||
+      spec.relations_per_concept > spec.num_relations) {
+    return Status::InvalidArgument(
+        "per-concept group sizes exceed the entity universes");
+  }
+  if (static_cast<int64_t>(spec.num_concepts) * spec.subjects_per_concept >
+          spec.num_subjects ||
+      static_cast<int64_t>(spec.num_concepts) * spec.relations_per_concept >
+          spec.num_relations) {
+    return Status::InvalidArgument(
+        "not enough subjects/relations for disjoint concept groups");
+  }
+
+  KnowledgeBase kb;
+  HATEN2_ASSIGN_OR_RETURN(
+      kb.tensor, SparseTensor::Create({spec.num_subjects, spec.num_objects,
+                                       spec.num_relations}));
+  kb.subject_tags.assign(static_cast<size_t>(spec.num_subjects), "");
+  kb.object_tags.assign(static_cast<size_t>(spec.num_objects), "");
+  kb.relation_tags.assign(static_cast<size_t>(spec.num_relations), "");
+
+  Rng rng(spec.seed);
+  std::unordered_set<int64_t> used_subjects;
+  std::unordered_set<int64_t> used_objects;
+  std::unordered_set<int64_t> used_relations;
+
+  for (int c = 0; c < spec.num_concepts; ++c) {
+    KnowledgeBase::Concept group;
+    group.subjects = SampleDistinct(spec.num_subjects,
+                                      spec.subjects_per_concept,
+                                      &used_subjects, &rng);
+    if (spec.share_groups && c > 0 && c % 2 == 1) {
+      // Odd concepts reuse the previous concept's object group (overlap).
+      group.objects = kb.concepts[static_cast<size_t>(c - 1)].objects;
+    } else {
+      group.objects = SampleDistinct(spec.num_objects,
+                                       spec.objects_per_concept,
+                                       &used_objects, &rng);
+    }
+    group.relations = SampleDistinct(spec.num_relations,
+                                       spec.relations_per_concept,
+                                       &used_relations, &rng);
+    for (int64_t s : group.subjects) {
+      auto& tag = kb.subject_tags[static_cast<size_t>(s)];
+      if (tag.empty()) tag = StrFormat("c%d:subject%lld", c, (long long)s);
+    }
+    for (int64_t o : group.objects) {
+      auto& tag = kb.object_tags[static_cast<size_t>(o)];
+      if (tag.empty()) tag = StrFormat("c%d:object%lld", c, (long long)o);
+    }
+    for (int64_t r : group.relations) {
+      auto& tag = kb.relation_tags[static_cast<size_t>(r)];
+      if (tag.empty()) tag = StrFormat("c%d:relation%lld", c, (long long)r);
+    }
+
+    std::vector<int64_t> idx(3);
+    for (int64_t f = 0; f < spec.facts_per_concept; ++f) {
+      idx[0] = group.subjects[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(group.subjects.size())))];
+      idx[1] = group.objects[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(group.objects.size())))];
+      idx[2] = group.relations[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(group.relations.size())))];
+      kb.tensor.AppendUnchecked(idx.data(), 1.0);
+    }
+    kb.concepts.push_back(std::move(group));
+  }
+
+  // Zipf-skewed background facts: popular entities dominate, as the general
+  // terms do in real knowledge bases.
+  std::vector<int64_t> idx(3);
+  for (int64_t f = 0; f < spec.noise_facts; ++f) {
+    idx[0] = static_cast<int64_t>(rng.Zipf(
+        static_cast<uint64_t>(spec.num_subjects), spec.zipf_exponent));
+    idx[1] = static_cast<int64_t>(rng.Zipf(
+        static_cast<uint64_t>(spec.num_objects), spec.zipf_exponent));
+    idx[2] = static_cast<int64_t>(rng.Zipf(
+        static_cast<uint64_t>(spec.num_relations), spec.zipf_exponent));
+    kb.tensor.AppendUnchecked(idx.data(), 1.0);
+  }
+  kb.tensor.Canonicalize();
+  return kb;
+}
+
+Result<SparseTensor> PreprocessKnowledgeTensor(const SparseTensor& tensor,
+                                               const PreprocessOptions& opts) {
+  if (opts.relation_mode < 0 || opts.relation_mode >= tensor.order()) {
+    return Status::InvalidArgument("relation_mode out of range");
+  }
+  if (opts.max_relation_fraction <= 0.0 || opts.max_relation_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "max_relation_fraction must be in (0, 1]");
+  }
+  // links(z): number of facts per relation.
+  std::unordered_map<int64_t, int64_t> links;
+  for (int64_t e = 0; e < tensor.nnz(); ++e) {
+    ++links[tensor.index(e, opts.relation_mode)];
+  }
+  const double total = static_cast<double>(tensor.nnz());
+  int64_t alpha = 0;  // most frequent surviving relation's count
+  std::unordered_set<int64_t> dropped;
+  for (const auto& [relation, count] : links) {
+    if (count < opts.min_relation_count ||
+        static_cast<double>(count) > opts.max_relation_fraction * total) {
+      dropped.insert(relation);
+    } else {
+      alpha = std::max(alpha, count);
+    }
+  }
+  if (alpha == 0) {
+    return Status::FailedPrecondition(
+        "preprocessing dropped every relation; relax the thresholds");
+  }
+
+  HATEN2_ASSIGN_OR_RETURN(SparseTensor out,
+                          SparseTensor::Create(tensor.dims()));
+  out.Reserve(tensor.nnz());
+  for (int64_t e = 0; e < tensor.nnz(); ++e) {
+    int64_t relation = tensor.index(e, opts.relation_mode);
+    if (dropped.count(relation) > 0) continue;
+    double weight =
+        1.0 + std::log(static_cast<double>(alpha) /
+                       static_cast<double>(links[relation]));
+    out.AppendUnchecked(tensor.IndexPtr(e), weight);
+  }
+  out.Canonicalize();
+  return out;
+}
+
+std::vector<std::vector<int64_t>> TopKPerColumn(const DenseMatrix& factor,
+                                                int k) {
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(factor.cols()));
+  // Column sums for the paper's normalization (value / column sum). The
+  // normalization does not change intra-column ordering, but we apply it to
+  // match the described pipeline and to make printed scores comparable.
+  for (int64_t j = 0; j < factor.cols(); ++j) {
+    std::vector<int64_t> order(static_cast<size_t>(factor.rows()));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(
+        order.begin(),
+        order.begin() + std::min<int64_t>(k, factor.rows()), order.end(),
+        [&factor, j](int64_t a, int64_t b) {
+          return std::fabs(factor(a, j)) > std::fabs(factor(b, j));
+        });
+    order.resize(static_cast<size_t>(std::min<int64_t>(k, factor.rows())));
+    out[static_cast<size_t>(j)] = std::move(order);
+  }
+  return out;
+}
+
+std::vector<CoreEntry> TopCoreEntries(const DenseTensor& core, int k) {
+  std::vector<CoreEntry> entries;
+  std::vector<int64_t> idx(static_cast<size_t>(core.order()), 0);
+  for (int64_t lin = 0; lin < core.size(); ++lin) {
+    entries.push_back(
+        CoreEntry{idx, core.data()[static_cast<size_t>(lin)]});
+    for (size_t m = idx.size(); m-- > 0;) {
+      if (++idx[m] < core.dim(static_cast<int>(m))) break;
+      idx[m] = 0;
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CoreEntry& a, const CoreEntry& b) {
+              return std::fabs(a.value) > std::fabs(b.value);
+            });
+  if (static_cast<int>(entries.size()) > k) {
+    entries.resize(static_cast<size_t>(k));
+  }
+  return entries;
+}
+
+double RecoveryScore(const std::vector<std::vector<int64_t>>& topk,
+                     const std::vector<std::vector<int64_t>>& planted) {
+  if (planted.empty()) return 1.0;
+  double total = 0.0;
+  for (const std::vector<int64_t>& group : planted) {
+    std::unordered_set<int64_t> members(group.begin(), group.end());
+    double best = 0.0;
+    for (const std::vector<int64_t>& top : topk) {
+      int64_t hits = 0;
+      for (int64_t i : top) {
+        if (members.count(i) > 0) ++hits;
+      }
+      double denom = static_cast<double>(
+          std::min(top.size(), members.size()));
+      if (denom > 0) best = std::max(best, static_cast<double>(hits) / denom);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(planted.size());
+}
+
+}  // namespace haten2

@@ -1,0 +1,113 @@
+#ifndef HATEN2_WORKLOAD_KNOWLEDGE_BASE_H_
+#define HATEN2_WORKLOAD_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dense_matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Synthetic stand-in for the Freebase-music / NELL RDF tensors of
+/// the paper's discovery experiments (Tables VI-VIII).
+///
+/// Facts are (subject, object, relation) triples. Latent *concepts* are
+/// planted as dense-ish blocks: a group of subjects connected to a group of
+/// objects through a group of relations. When `share_groups` is set,
+/// consecutive concepts share their object group (and one relation group is
+/// reused), mirroring the overlap the paper highlights as Tucker's
+/// specialty in Table VIII ("the object group O1 appears in both of the
+/// concepts"). Background noise follows a Zipf popularity law, creating the
+/// dominant general terms the paper's preprocessing counteracts.
+struct KnowledgeBaseSpec {
+  int64_t num_subjects = 1500;
+  int64_t num_objects = 1500;
+  int64_t num_relations = 60;
+
+  int num_concepts = 4;
+  int64_t subjects_per_concept = 30;
+  int64_t objects_per_concept = 30;
+  int64_t relations_per_concept = 4;
+  int64_t facts_per_concept = 1200;
+
+  /// Background facts drawn with Zipf-skewed entity popularity.
+  int64_t noise_facts = 800;
+  double zipf_exponent = 1.1;
+
+  /// Make consecutive concepts share object groups (Tucker discovery).
+  bool share_groups = true;
+
+  uint64_t seed = 42;
+};
+
+struct KnowledgeBase {
+  /// subject x object x relation; entry value = number of times the triple
+  /// was asserted (>= 1).
+  SparseTensor tensor;
+
+  struct Concept {
+    std::vector<int64_t> subjects;
+    std::vector<int64_t> objects;
+    std::vector<int64_t> relations;
+  };
+  std::vector<Concept> concepts;
+
+  /// Human-readable labels ("c0:subject12", "noise:object77", ...) used by
+  /// the discovery harness to print Table VI/VIII-style output.
+  std::string SubjectName(int64_t i) const;
+  std::string ObjectName(int64_t i) const;
+  std::string RelationName(int64_t i) const;
+
+  std::vector<std::string> subject_tags;   // per planted subject, else empty
+  std::vector<std::string> object_tags;
+  std::vector<std::string> relation_tags;
+};
+
+Result<KnowledgeBase> GenerateKnowledgeBase(const KnowledgeBaseSpec& spec);
+
+/// The paper's pre-processing (Section IV-C): drops triples whose relation
+/// is too scarce (fewer than min_relation_count facts) or too frequent (more
+/// than max_relation_fraction of all facts), then reweights every remaining
+/// entry to 1 + log(alpha / links(z)) where alpha is the fact count of the
+/// most frequent surviving relation and links(z) that of the entry's
+/// relation.
+struct PreprocessOptions {
+  int64_t min_relation_count = 2;
+  double max_relation_fraction = 0.3;
+  /// Mode holding the relation/predicate (2 for (s, o, r) tensors).
+  int relation_mode = 2;
+};
+
+Result<SparseTensor> PreprocessKnowledgeTensor(const SparseTensor& tensor,
+                                               const PreprocessOptions& opts);
+
+// --- Concept reporting helpers (used by Tables VI-VIII harnesses) ---
+
+/// Normalizes each factor column to sum 1 (the paper's mitigation of
+/// dominant terms) and returns the top-k row indices per column, by value.
+std::vector<std::vector<int64_t>> TopKPerColumn(const DenseMatrix& factor,
+                                                int k);
+
+/// Largest-magnitude core tensor entries, as (multi-index, value) pairs —
+/// each one names a (subject-group, object-group, relation-group) concept
+/// combination (Table VIII).
+struct CoreEntry {
+  std::vector<int64_t> index;
+  double value;
+};
+std::vector<CoreEntry> TopCoreEntries(const DenseTensor& core, int k);
+
+/// How well `topk` columns recover `planted` groups: for each planted group,
+/// the best-matching column's overlap fraction |top ∩ group| / min(k,
+/// |group|); returns the mean over groups (1.0 = every group perfectly
+/// recovered by some component).
+double RecoveryScore(const std::vector<std::vector<int64_t>>& topk,
+                     const std::vector<std::vector<int64_t>>& planted);
+
+}  // namespace haten2
+
+#endif  // HATEN2_WORKLOAD_KNOWLEDGE_BASE_H_

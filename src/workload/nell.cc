@@ -1,0 +1,172 @@
+#include "workload/nell.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+const char* const kCategoryNames[] = {"city",    "country", "athlete",
+                                      "sport",   "company", "product",
+                                      "person",  "band",    "instrument",
+                                      "animal"};
+
+std::string CategoryName(int category) {
+  constexpr int kNamed =
+      static_cast<int>(sizeof(kCategoryNames) / sizeof(kCategoryNames[0]));
+  if (category < kNamed) return kCategoryNames[category];
+  return StrFormat("category%d", category);
+}
+
+}  // namespace
+
+std::string NellData::EntityName(int64_t entity) const {
+  int category = CategoryOf(entity);
+  return StrFormat("%s:%lld", CategoryName(category).c_str(),
+                   (long long)(entity - CategoryBegin(category)));
+}
+
+std::string NellData::ContextName(int64_t context) const {
+  const std::string& tag = context_tags[static_cast<size_t>(context)];
+  return tag.empty() ? StrFormat("ctx%lld", (long long)context) : tag;
+}
+
+Result<NellData> GenerateNell(const NellSpec& spec) {
+  if (spec.num_categories < 2) {
+    return Status::InvalidArgument("need at least two categories");
+  }
+  if (spec.entities_per_category <= 0 || spec.num_contexts <= 0) {
+    return Status::InvalidArgument(
+        "entities_per_category and num_contexts must be positive");
+  }
+  if (static_cast<int64_t>(spec.num_patterns) * spec.contexts_per_pattern >
+      spec.num_contexts) {
+    return Status::InvalidArgument(
+        "not enough contexts for disjoint pattern groups");
+  }
+
+  const int64_t num_entities =
+      static_cast<int64_t>(spec.num_categories) * spec.entities_per_category;
+  NellData data;
+  data.entities_per_category = spec.entities_per_category;
+  HATEN2_ASSIGN_OR_RETURN(
+      data.tensor,
+      SparseTensor::Create({num_entities, num_entities, spec.num_contexts}));
+  data.context_tags.assign(static_cast<size_t>(spec.num_contexts), "");
+
+  Rng rng(spec.seed);
+
+  // Assign each pattern a (subject, object) category pair and a disjoint
+  // context group.
+  std::vector<int64_t> context_pool(static_cast<size_t>(spec.num_contexts));
+  for (size_t i = 0; i < context_pool.size(); ++i) {
+    context_pool[i] = static_cast<int64_t>(i);
+  }
+  rng.Shuffle(&context_pool);
+  size_t next_context = 0;
+  std::unordered_set<int64_t> used_pairs;
+  for (int p = 0; p < spec.num_patterns; ++p) {
+    NellData::Pattern pattern;
+    // Distinct (subject, object) category pairs with subject != object.
+    do {
+      pattern.subject_category = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(spec.num_categories)));
+      pattern.object_category = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(spec.num_categories)));
+    } while (pattern.subject_category == pattern.object_category ||
+             used_pairs.count(pattern.subject_category * 1000 +
+                              pattern.object_category) > 0);
+    used_pairs.insert(pattern.subject_category * 1000 +
+                      pattern.object_category);
+    for (int64_t c = 0; c < spec.contexts_per_pattern; ++c) {
+      int64_t ctx = context_pool[next_context++];
+      pattern.contexts.push_back(ctx);
+      data.context_tags[static_cast<size_t>(ctx)] = StrFormat(
+          "p%d:%s-%s:ctx%lld", p,
+          CategoryName(pattern.subject_category).c_str(),
+          CategoryName(pattern.object_category).c_str(), (long long)ctx);
+    }
+    std::sort(pattern.contexts.begin(), pattern.contexts.end());
+
+    std::vector<int64_t> idx(3);
+    for (int64_t f = 0; f < spec.facts_per_pattern; ++f) {
+      idx[0] = data.CategoryBegin(pattern.subject_category) +
+               static_cast<int64_t>(rng.UniformInt(
+                   static_cast<uint64_t>(spec.entities_per_category)));
+      idx[1] = data.CategoryBegin(pattern.object_category) +
+               static_cast<int64_t>(rng.UniformInt(
+                   static_cast<uint64_t>(spec.entities_per_category)));
+      idx[2] = pattern.contexts[static_cast<size_t>(rng.UniformInt(
+          static_cast<uint64_t>(pattern.contexts.size())))];
+      data.tensor.AppendUnchecked(idx.data(), 1.0);
+    }
+    data.patterns.push_back(std::move(pattern));
+  }
+
+  // Background noise: uniformly random malformed extractions.
+  std::vector<int64_t> idx(3);
+  for (int64_t f = 0; f < spec.noise_facts; ++f) {
+    idx[0] = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_entities)));
+    idx[1] = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_entities)));
+    idx[2] = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(spec.num_contexts)));
+    data.tensor.AppendUnchecked(idx.data(), 1.0);
+  }
+  data.tensor.Canonicalize();
+  return data;
+}
+
+NellRecovery ScoreNellRecovery(
+    const NellData& data, const std::vector<std::vector<int64_t>>& top_np1,
+    const std::vector<std::vector<int64_t>>& top_np2,
+    const std::vector<std::vector<int64_t>>& top_ctx, double threshold) {
+  NellRecovery out;
+  out.component_of_pattern.assign(data.patterns.size(), -1);
+  if (top_np1.empty()) return out;
+  int recovered = 0;
+  for (size_t p = 0; p < data.patterns.size(); ++p) {
+    const NellData::Pattern& pattern = data.patterns[p];
+    std::unordered_set<int64_t> contexts(pattern.contexts.begin(),
+                                         pattern.contexts.end());
+    for (size_t r = 0; r < top_np1.size(); ++r) {
+      auto fraction_in_category = [&](const std::vector<int64_t>& top,
+                                      int category) {
+        if (top.empty()) return 0.0;
+        int64_t hits = 0;
+        for (int64_t e : top) {
+          if (data.CategoryOf(e) == category) ++hits;
+        }
+        return static_cast<double>(hits) / static_cast<double>(top.size());
+      };
+      auto fraction_in_contexts = [&](const std::vector<int64_t>& top) {
+        if (top.empty()) return 0.0;
+        int64_t hits = 0;
+        for (int64_t c : top) hits += contexts.count(c) > 0 ? 1 : 0;
+        return static_cast<double>(hits) / static_cast<double>(top.size());
+      };
+      if (fraction_in_category(top_np1[r], pattern.subject_category) >=
+              threshold &&
+          fraction_in_category(top_np2[r], pattern.object_category) >=
+              threshold &&
+          fraction_in_contexts(top_ctx[r]) >= threshold) {
+        out.component_of_pattern[p] = static_cast<int>(r);
+        ++recovered;
+        break;
+      }
+    }
+  }
+  out.patterns_recovered =
+      data.patterns.empty()
+          ? 1.0
+          : static_cast<double>(recovered) /
+                static_cast<double>(data.patterns.size());
+  return out;
+}
+
+}  // namespace haten2

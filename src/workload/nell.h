@@ -1,0 +1,92 @@
+#ifndef HATEN2_WORKLOAD_NELL_H_
+#define HATEN2_WORKLOAD_NELL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Synthetic stand-in for the NELL "Read the Web" tensor: facts of
+/// the form (noun-phrase-1, noun-phrase-2, context), e.g. ('George
+/// Harrison', 'guitars', 'plays').
+///
+/// Structurally different from the Freebase-style KnowledgeBase generator:
+/// here every noun phrase belongs to a *category* (city, country, athlete,
+/// sport, ...) and the latent structure is a set of *relational patterns*,
+/// each connecting a subject category to an object category through a group
+/// of context phrases ("located-in": city x country via {'is in', 'lies
+/// in'}). Because a category participates in many patterns (cities are both
+/// 'located in' countries and 'home of' teams), factor overlap arises from
+/// the schema itself rather than from explicitly shared groups — the kind
+/// of structure the paper's NELL supplementary results discuss.
+struct NellSpec {
+  int num_categories = 6;
+  int64_t entities_per_category = 150;
+  int64_t num_contexts = 60;
+
+  /// Relational patterns; each picks a (subject-category, object-category)
+  /// pair and a disjoint group of contexts.
+  int num_patterns = 5;
+  int64_t contexts_per_pattern = 5;
+  int64_t facts_per_pattern = 2500;
+
+  /// Uniform background facts (malformed extractions, noise).
+  int64_t noise_facts = 1000;
+
+  uint64_t seed = 42;
+};
+
+struct NellData {
+  /// noun-phrase-1 x noun-phrase-2 x context; values are extraction counts.
+  SparseTensor tensor;
+
+  struct Pattern {
+    int subject_category;
+    int object_category;
+    std::vector<int64_t> contexts;
+  };
+  std::vector<Pattern> patterns;
+
+  /// Entity e belongs to category e / entities_per_category.
+  int64_t entities_per_category = 0;
+  int CategoryOf(int64_t entity) const {
+    return static_cast<int>(entity / entities_per_category);
+  }
+  /// Entity ids of one category, [first, last).
+  int64_t CategoryBegin(int category) const {
+    return static_cast<int64_t>(category) * entities_per_category;
+  }
+  int64_t CategoryEnd(int category) const {
+    return CategoryBegin(category) + entities_per_category;
+  }
+
+  std::string EntityName(int64_t entity) const;
+  std::string ContextName(int64_t context) const;
+
+  std::vector<std::string> context_tags;  // per planted context, else empty
+};
+
+Result<NellData> GenerateNell(const NellSpec& spec);
+
+/// Scores how well PARAFAC components recover the planted patterns: for
+/// each pattern, the best component must concentrate its top-k mode-0
+/// loadings in the subject category, top-k mode-1 loadings in the object
+/// category, and top contexts in the pattern's context group; returns the
+/// fraction of patterns recovered (see the supplementary-NELL harness).
+struct NellRecovery {
+  double patterns_recovered = 0.0;  // fraction in [0, 1]
+  std::vector<int> component_of_pattern;  // -1 when unrecovered
+};
+NellRecovery ScoreNellRecovery(const NellData& data,
+                               const std::vector<std::vector<int64_t>>& top_np1,
+                               const std::vector<std::vector<int64_t>>& top_np2,
+                               const std::vector<std::vector<int64_t>>& top_ctx,
+                               double threshold = 0.6);
+
+}  // namespace haten2
+
+#endif  // HATEN2_WORKLOAD_NELL_H_

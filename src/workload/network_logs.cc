@@ -1,0 +1,114 @@
+#include "workload/network_logs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+std::vector<int64_t> SampleDistinct(int64_t universe, int64_t count,
+                                    Rng* rng) {
+  std::unordered_set<int64_t> picked;
+  while (static_cast<int64_t>(picked.size()) < count) {
+    picked.insert(static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(universe))));
+  }
+  std::vector<int64_t> out(picked.begin(), picked.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<NetworkLogs> GenerateNetworkLogs(const NetworkLogSpec& spec) {
+  if (spec.num_services <= 0) {
+    return Status::InvalidArgument("num_services must be positive");
+  }
+  if (spec.clients_per_service > spec.num_sources ||
+      spec.servers_per_service > spec.num_targets) {
+    return Status::InvalidArgument(
+        "per-service group sizes exceed the address universes");
+  }
+  if (spec.scan_ports > spec.num_ports ||
+      spec.scan_window > spec.num_timestamps) {
+    return Status::InvalidArgument("scan exceeds the port/time universes");
+  }
+
+  NetworkLogs logs;
+  std::vector<int64_t> dims = {spec.num_sources, spec.num_targets,
+                               spec.num_ports};
+  if (spec.include_time_mode) dims.push_back(spec.num_timestamps);
+  HATEN2_ASSIGN_OR_RETURN(logs.tensor, SparseTensor::Create(dims));
+
+  Rng rng(spec.seed);
+  const int order = static_cast<int>(dims.size());
+  std::vector<int64_t> idx(static_cast<size_t>(order));
+
+  for (int s = 0; s < spec.num_services; ++s) {
+    NetworkLogs::Service service;
+    service.clients = SampleDistinct(spec.num_sources,
+                                     spec.clients_per_service, &rng);
+    service.servers = SampleDistinct(spec.num_targets,
+                                     spec.servers_per_service, &rng);
+    // One or two well-known ports per service.
+    int64_t base_port = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(spec.num_ports - 1)));
+    service.ports = {base_port};
+    if (rng.Bernoulli(0.5)) service.ports.push_back(base_port + 1);
+
+    for (int64_t f = 0; f < spec.flows_per_service; ++f) {
+      idx[0] = service.clients[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(service.clients.size())))];
+      idx[1] = service.servers[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(service.servers.size())))];
+      idx[2] = service.ports[static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(service.ports.size())))];
+      if (spec.include_time_mode) {
+        idx[3] = static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(spec.num_timestamps)));
+      }
+      logs.tensor.AppendUnchecked(idx.data(), 1.0);
+    }
+    logs.services.push_back(std::move(service));
+  }
+
+  // Planted port scan.
+  logs.scanner_source = static_cast<int64_t>(
+      rng.UniformInt(static_cast<uint64_t>(spec.num_sources)));
+  logs.scan_target = static_cast<int64_t>(
+      rng.UniformInt(static_cast<uint64_t>(spec.num_targets)));
+  int64_t port_base = static_cast<int64_t>(rng.UniformInt(
+      static_cast<uint64_t>(spec.num_ports - spec.scan_ports + 1)));
+  int64_t time_base =
+      spec.include_time_mode
+          ? static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(
+                spec.num_timestamps - spec.scan_window + 1)))
+          : 0;
+  for (int64_t p = 0; p < spec.scan_ports; ++p) {
+    logs.scan_ports.push_back(port_base + p);
+  }
+  for (int64_t t = 0; t < spec.scan_window; ++t) {
+    logs.scan_times.push_back(time_base + t);
+  }
+  for (int64_t p : logs.scan_ports) {
+    idx[0] = logs.scanner_source;
+    idx[1] = logs.scan_target;
+    idx[2] = p;
+    if (spec.include_time_mode) {
+      for (int64_t t : logs.scan_times) {
+        idx[3] = t;
+        logs.tensor.AppendUnchecked(idx.data(), spec.scan_intensity);
+      }
+    } else {
+      logs.tensor.AppendUnchecked(idx.data(), spec.scan_intensity);
+    }
+  }
+  logs.tensor.Canonicalize();
+  return logs;
+}
+
+}  // namespace haten2

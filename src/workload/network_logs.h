@@ -1,0 +1,67 @@
+#ifndef HATEN2_WORKLOAD_NETWORK_LOGS_H_
+#define HATEN2_WORKLOAD_NETWORK_LOGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Synthetic network-intrusion logs — the paper's motivating example:
+/// (source-ip, target-ip, port-number, timestamp) records.
+///
+/// Normal traffic is generated per *service* (web, dns, mail, ...): a set of
+/// client sources talking to a set of servers on one or two service ports,
+/// across all timestamps. A port-scan anomaly is planted: one source probing
+/// many consecutive ports of one target within a short time window. PARAFAC
+/// components then separate the services, and the scan shows up as a
+/// component concentrating on a single source/target with broad port
+/// support (the anomaly-detection use of [3], [17] cited by the paper).
+struct NetworkLogSpec {
+  int64_t num_sources = 400;
+  int64_t num_targets = 300;
+  int64_t num_ports = 120;
+  int64_t num_timestamps = 24;
+
+  int num_services = 3;
+  int64_t clients_per_service = 40;
+  int64_t servers_per_service = 10;
+  int64_t flows_per_service = 3000;
+
+  /// Planted scan: `scan_ports` consecutive ports of one target probed by
+  /// one source during `scan_window` consecutive timestamps, each probed
+  /// `scan_intensity` times (SYN retries make repeated probes realistic).
+  int64_t scan_ports = 60;
+  int64_t scan_window = 2;
+  double scan_intensity = 1.0;
+
+  /// Collapse the timestamp mode for 3-way consumers.
+  bool include_time_mode = true;
+
+  uint64_t seed = 42;
+};
+
+struct NetworkLogs {
+  /// Counts tensor: (source, target, port[, time]).
+  SparseTensor tensor;
+
+  struct Service {
+    std::vector<int64_t> clients;
+    std::vector<int64_t> servers;
+    std::vector<int64_t> ports;
+  };
+  std::vector<Service> services;
+
+  int64_t scanner_source = -1;
+  int64_t scan_target = -1;
+  std::vector<int64_t> scan_ports;
+  std::vector<int64_t> scan_times;
+};
+
+Result<NetworkLogs> GenerateNetworkLogs(const NetworkLogSpec& spec);
+
+}  // namespace haten2
+
+#endif  // HATEN2_WORKLOAD_NETWORK_LOGS_H_

@@ -1,0 +1,102 @@
+#include "workload/random_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace haten2 {
+
+Result<SparseTensor> GenerateRandomTensor(const RandomTensorSpec& spec) {
+  if (spec.nnz < 0) {
+    return Status::InvalidArgument("nnz must be non-negative");
+  }
+  if (spec.max_value < spec.min_value) {
+    return Status::InvalidArgument("max_value must be >= min_value");
+  }
+  HATEN2_ASSIGN_OR_RETURN(SparseTensor t, SparseTensor::Create(spec.dims));
+  Rng rng(spec.seed);
+  t.Reserve(spec.nnz);
+  std::vector<int64_t> idx(spec.dims.size());
+  for (int64_t e = 0; e < spec.nnz; ++e) {
+    for (size_t m = 0; m < spec.dims.size(); ++m) {
+      idx[m] = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(spec.dims[m])));
+    }
+    t.AppendUnchecked(idx.data(),
+                      rng.Uniform(spec.min_value, spec.max_value));
+  }
+  t.Canonicalize();
+  return t;
+}
+
+Result<SparseTensor> GenerateRandomCubicTensor(int64_t dim, double density,
+                                               uint64_t seed) {
+  if (dim <= 0) {
+    return Status::InvalidArgument("dim must be positive");
+  }
+  if (density < 0.0 || density > 1.0) {
+    return Status::InvalidArgument("density must be in [0, 1]");
+  }
+  double cells = static_cast<double>(dim) * static_cast<double>(dim) *
+                 static_cast<double>(dim);
+  RandomTensorSpec spec;
+  spec.dims = {dim, dim, dim};
+  spec.nnz = static_cast<int64_t>(std::llround(cells * density));
+  spec.seed = seed;
+  return GenerateRandomTensor(spec);
+}
+
+Result<PlantedTensor> GenerateLowRankTensor(const LowRankTensorSpec& spec) {
+  if (spec.rank <= 0 || spec.block_size <= 0 || spec.nnz_per_component < 0) {
+    return Status::InvalidArgument(
+        "rank and block_size must be positive, nnz_per_component >= 0");
+  }
+  for (int64_t d : spec.dims) {
+    if (d < spec.block_size) {
+      return Status::InvalidArgument(
+          "every mode must be at least block_size long");
+    }
+  }
+  PlantedTensor out;
+  HATEN2_ASSIGN_OR_RETURN(out.tensor, SparseTensor::Create(spec.dims));
+  Rng rng(spec.seed);
+  const size_t order = spec.dims.size();
+
+  out.memberships.resize(static_cast<size_t>(spec.rank));
+  for (int64_t r = 0; r < spec.rank; ++r) {
+    auto& per_mode = out.memberships[static_cast<size_t>(r)];
+    per_mode.resize(order);
+    for (size_t m = 0; m < order; ++m) {
+      // Sample a block of distinct indices for this component and mode.
+      std::vector<int64_t> all(static_cast<size_t>(spec.dims[m]));
+      for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+      rng.Shuffle(&all);
+      all.resize(static_cast<size_t>(spec.block_size));
+      std::sort(all.begin(), all.end());
+      per_mode[m] = std::move(all);
+    }
+    std::vector<int64_t> idx(order);
+    for (int64_t e = 0; e < spec.nnz_per_component; ++e) {
+      for (size_t m = 0; m < order; ++m) {
+        const auto& block = per_mode[m];
+        idx[m] = block[static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(block.size())))];
+      }
+      out.tensor.AppendUnchecked(idx.data(), rng.Uniform(0.8, 1.2));
+    }
+  }
+  std::vector<int64_t> idx(order);
+  for (int64_t e = 0; e < spec.noise_nnz; ++e) {
+    for (size_t m = 0; m < order; ++m) {
+      idx[m] = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(spec.dims[m])));
+    }
+    out.tensor.AppendUnchecked(idx.data(), spec.noise_value);
+  }
+  out.tensor.Canonicalize();
+  return out;
+}
+
+}  // namespace haten2

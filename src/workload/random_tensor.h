@@ -1,0 +1,59 @@
+#ifndef HATEN2_WORKLOAD_RANDOM_TENSOR_H_
+#define HATEN2_WORKLOAD_RANDOM_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// \brief Generator for the paper's "Random" dataset family (Table V):
+/// synthetic tensors of size I x I x I (or arbitrary dims) with a target
+/// number of nonzeros at uniformly random coordinates.
+struct RandomTensorSpec {
+  std::vector<int64_t> dims;
+  /// Number of coordinate draws; the realized nnz can be slightly lower
+  /// after duplicate coordinates merge.
+  int64_t nnz = 0;
+  /// Values are Uniform(min_value, max_value).
+  double min_value = 0.5;
+  double max_value = 1.5;
+  uint64_t seed = 42;
+};
+
+Result<SparseTensor> GenerateRandomTensor(const RandomTensorSpec& spec);
+
+/// Convenience: cubic I x I x I tensor with nnz = density · I³ (the density
+/// sweep of Figures 1(b) and 7(b)).
+Result<SparseTensor> GenerateRandomCubicTensor(int64_t dim, double density,
+                                               uint64_t seed);
+
+/// \brief A tensor with known latent structure, for recovery tests: a
+/// rank-`rank` Kruskal model sampled sparsely, plus optional noise entries.
+struct LowRankTensorSpec {
+  std::vector<int64_t> dims;
+  int64_t rank = 3;
+  /// Size of each component's index block per mode.
+  int64_t block_size = 8;
+  /// Nonzeros sampled inside each component's block.
+  int64_t nnz_per_component = 200;
+  /// Uniform random entries added outside the structure.
+  int64_t noise_nnz = 0;
+  double noise_value = 0.05;
+  uint64_t seed = 42;
+};
+
+struct PlantedTensor {
+  SparseTensor tensor;
+  /// memberships[r][m] = sorted indices of component r's block in mode m.
+  std::vector<std::vector<std::vector<int64_t>>> memberships;
+};
+
+Result<PlantedTensor> GenerateLowRankTensor(const LowRankTensorSpec& spec);
+
+}  // namespace haten2
+
+#endif  // HATEN2_WORKLOAD_RANDOM_TENSOR_H_

@@ -1,0 +1,87 @@
+// Tests for ClusterConfig's derived quantities and defaults (the knobs
+// every benchmark harness turns).
+
+#include "mapreduce/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.h"
+#include "test_util.h"
+
+namespace haten2 {
+namespace {
+
+TEST(ClusterConfigTest, DerivedSlotCounts) {
+  ClusterConfig config;
+  config.num_machines = 10;
+  config.map_slots_per_machine = 4;
+  config.reduce_slots_per_machine = 2;
+  EXPECT_EQ(config.TotalMapSlots(), 40);
+  EXPECT_EQ(config.TotalReduceSlots(), 20);
+  EXPECT_EQ(config.EffectiveMapTasks(), 40);
+  EXPECT_EQ(config.EffectiveReduceTasks(), 20);
+  config.num_map_tasks = 7;
+  config.num_reduce_tasks = 3;
+  EXPECT_EQ(config.EffectiveMapTasks(), 7);
+  EXPECT_EQ(config.EffectiveReduceTasks(), 3);
+}
+
+TEST(ClusterConfigTest, DefaultsMatchThePaperTestbed) {
+  ClusterConfig config;
+  EXPECT_EQ(config.num_machines, 40);
+  EXPECT_EQ(config.map_slots_per_machine, 4);
+  EXPECT_EQ(config.reduce_slots_per_machine, 4);
+  EXPECT_GT(config.job_startup_seconds, 0.0);
+  EXPECT_EQ(config.total_shuffle_memory_bytes, 0u);  // unlimited
+  EXPECT_DOUBLE_EQ(config.task_failure_probability, 0.0);
+  EXPECT_TRUE(config.spill_directory.empty());
+}
+
+TEST(ClusterConfigTest, ForTestingIsSmallAndFast) {
+  ClusterConfig config = ClusterConfig::ForTesting();
+  EXPECT_LE(config.TotalMapSlots(), 8);
+  EXPECT_DOUBLE_EQ(config.job_startup_seconds, 0.0);
+}
+
+TEST(ClusterConfigTest, ExplicitTaskCountsShapeTheJob) {
+  // The engine honors num_map_tasks / num_reduce_tasks exactly.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 5;
+  Engine engine(config);
+  std::vector<int64_t> words(1000, 1);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "shaped", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_OK(result.status());
+  const JobStats& stats = engine.pipeline().jobs[0];
+  EXPECT_EQ(stats.map_task_records.size(), 3u);
+  EXPECT_EQ(stats.reduce_partition_records.size(), 5u);
+}
+
+TEST(ClusterConfigTest, FewerInputRecordsThanTasksShrinksTheTaskCount) {
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.num_map_tasks = 64;
+  Engine engine(config);
+  std::vector<int64_t> words = {1, 2};
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "tiny", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_OK(result.status());
+  EXPECT_EQ(engine.pipeline().jobs[0].map_task_records.size(), 2u);
+}
+
+}  // namespace
+}  // namespace haten2

@@ -1,0 +1,275 @@
+// Unit and property tests for the dense linear-algebra kernels.
+
+#include "linalg/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace haten2 {
+namespace {
+
+TEST(MatMulOp, HandComputedAndShapes) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{5, 6, 7}, {8, 9, 10}});
+  Result<DenseMatrix> c = MatMul(a, b);
+  ASSERT_OK(c.status());
+  EXPECT_DOUBLE_EQ((*c)(0, 0), 21.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 2), 61.0);
+  EXPECT_TRUE(MatMul(b, a).status().IsInvalidArgument());
+}
+
+TEST(MatMulTransAOp, EqualsExplicitTranspose) {
+  Rng rng(41);
+  DenseMatrix a = DenseMatrix::RandomNormal(7, 4, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(7, 3, &rng);
+  Result<DenseMatrix> fast = MatMulTransA(a, b);
+  Result<DenseMatrix> slow = MatMul(a.Transposed(), b);
+  ASSERT_OK(fast.status());
+  ASSERT_OK(slow.status());
+  EXPECT_LT(fast->MaxAbsDiff(*slow), 1e-12);
+}
+
+TEST(GramOp, SymmetricAndCorrect) {
+  Rng rng(42);
+  DenseMatrix a = DenseMatrix::RandomNormal(10, 4, &rng);
+  DenseMatrix g = Gram(a);
+  Result<DenseMatrix> want = MatMulTransA(a, a);
+  ASSERT_OK(want.status());
+  EXPECT_LT(g.MaxAbsDiff(*want), 1e-12);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+class QrPropertyTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrPropertyTest, ReconstructsAndOrthonormal) {
+  auto [m, n] = GetParam();
+  Rng rng(100 + m * 13 + n);
+  DenseMatrix a = DenseMatrix::RandomNormal(m, n, &rng);
+  Result<QrResult> qr = QrDecompose(a);
+  ASSERT_OK(qr.status());
+  EXPECT_TRUE(HasOrthonormalColumns(qr->q, 1e-10));
+  Result<DenseMatrix> recon = MatMul(qr->q, qr->r);
+  ASSERT_OK(recon.status());
+  EXPECT_LT(recon->MaxAbsDiff(a), 1e-10);
+  // R upper triangular.
+  for (int64_t i = 0; i < qr->r.rows(); ++i) {
+    for (int64_t j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(qr->r(i, j), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrPropertyTest,
+                         ::testing::Values(std::pair<int, int>{1, 1},
+                                           std::pair<int, int>{5, 5},
+                                           std::pair<int, int>{8, 3},
+                                           std::pair<int, int>{20, 7},
+                                           std::pair<int, int>{50, 10}));
+
+TEST(QrOp, RejectsWideMatrix) {
+  Rng rng(43);
+  DenseMatrix a = DenseMatrix::RandomNormal(3, 5, &rng);
+  EXPECT_TRUE(QrDecompose(a).status().IsInvalidArgument());
+}
+
+TEST(QrOp, HandlesRankDeficiency) {
+  // Two identical columns.
+  DenseMatrix a = DenseMatrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Result<QrResult> qr = QrDecompose(a);
+  ASSERT_OK(qr.status());
+  Result<DenseMatrix> recon = MatMul(qr->q, qr->r);
+  ASSERT_OK(recon.status());
+  EXPECT_LT(recon->MaxAbsDiff(a), 1e-10);
+}
+
+TEST(SymmetricEigenOp, DiagonalizesKnownMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  DenseMatrix a = DenseMatrix::FromRows({{2, 1}, {1, 2}});
+  Result<EigResult> eig = SymmetricEigen(a);
+  ASSERT_OK(eig.status());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-10);
+  EXPECT_TRUE(HasOrthonormalColumns(eig->eigenvectors, 1e-10));
+}
+
+TEST(SymmetricEigenOp, PropertyAVEqualsVLambda) {
+  Rng rng(44);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t n = 3 + trial * 2;
+    DenseMatrix b = DenseMatrix::RandomNormal(n + 2, n, &rng);
+    DenseMatrix a = Gram(b);  // symmetric PSD
+    Result<EigResult> eig = SymmetricEigen(a);
+    ASSERT_OK(eig.status());
+    Result<DenseMatrix> av = MatMul(a, eig->eigenvectors);
+    ASSERT_OK(av.status());
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR((*av)(i, j),
+                    eig->eigenvalues[static_cast<size_t>(j)] *
+                        eig->eigenvectors(i, j),
+                    1e-8)
+            << "trial " << trial;
+      }
+    }
+    // Descending order.
+    for (int64_t j = 1; j < n; ++j) {
+      EXPECT_GE(eig->eigenvalues[static_cast<size_t>(j - 1)],
+                eig->eigenvalues[static_cast<size_t>(j)] - 1e-12);
+    }
+  }
+}
+
+TEST(SymmetricEigenOp, RejectsNonSymmetric) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(SymmetricEigen(a).status().IsInvalidArgument());
+  DenseMatrix rect(2, 3);
+  EXPECT_TRUE(SymmetricEigen(rect).status().IsInvalidArgument());
+}
+
+class SvdPropertyTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(SvdPropertyTest, ReconstructsInput) {
+  auto [m, n] = GetParam();
+  Rng rng(200 + m * 7 + n);
+  DenseMatrix a = DenseMatrix::RandomNormal(m, n, &rng);
+  Result<SvdResult> svd = Svd(a);
+  ASSERT_OK(svd.status());
+  // a == u diag(s) vᵀ
+  const int64_t k = static_cast<int64_t>(svd->singular.size());
+  DenseMatrix us(m, k);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      us(i, j) = svd->u(i, j) * svd->singular[static_cast<size_t>(j)];
+    }
+  }
+  Result<DenseMatrix> recon = MatMul(us, svd->v.Transposed());
+  ASSERT_OK(recon.status());
+  EXPECT_LT(recon->MaxAbsDiff(a), 1e-8);
+  // Singular values descending and nonnegative.
+  for (size_t j = 1; j < svd->singular.size(); ++j) {
+    EXPECT_GE(svd->singular[j - 1], svd->singular[j] - 1e-12);
+    EXPECT_GE(svd->singular[j], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdPropertyTest,
+                         ::testing::Values(std::pair<int, int>{4, 4},
+                                           std::pair<int, int>{10, 3},
+                                           std::pair<int, int>{3, 10},
+                                           std::pair<int, int>{25, 6}));
+
+TEST(PseudoInverseOp, SatisfiesPenroseConditions) {
+  Rng rng(45);
+  DenseMatrix a = DenseMatrix::RandomNormal(6, 4, &rng);
+  Result<DenseMatrix> pinv = PseudoInverse(a);
+  ASSERT_OK(pinv.status());
+  // A A⁺ A == A and A⁺ A A⁺ == A⁺.
+  Result<DenseMatrix> ap = MatMul(a, *pinv);
+  ASSERT_OK(ap.status());
+  Result<DenseMatrix> apa = MatMul(*ap, a);
+  ASSERT_OK(apa.status());
+  EXPECT_LT(apa->MaxAbsDiff(a), 1e-8);
+  Result<DenseMatrix> pa = MatMul(*pinv, a);
+  ASSERT_OK(pa.status());
+  Result<DenseMatrix> pap = MatMul(*pa, *pinv);
+  ASSERT_OK(pap.status());
+  EXPECT_LT(pap->MaxAbsDiff(*pinv), 1e-8);
+}
+
+TEST(PseudoInverseOp, HandlesSingularMatrix) {
+  // Rank-1 matrix.
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {2, 4}});
+  Result<DenseMatrix> pinv = PseudoInverse(a);
+  ASSERT_OK(pinv.status());
+  Result<DenseMatrix> ap = MatMul(a, *pinv);
+  ASSERT_OK(ap.status());
+  Result<DenseMatrix> apa = MatMul(*ap, a);
+  ASSERT_OK(apa.status());
+  EXPECT_LT(apa->MaxAbsDiff(a), 1e-10);
+}
+
+TEST(LeadingLeftSingularVectorsOp, SpansDominantSubspace) {
+  Rng rng(46);
+  // Build a matrix with known dominant directions.
+  DenseMatrix a = DenseMatrix::RandomNormal(20, 6, &rng);
+  Result<DenseMatrix> lead = LeadingLeftSingularVectors(a, 3);
+  ASSERT_OK(lead.status());
+  EXPECT_TRUE(HasOrthonormalColumns(*lead, 1e-9));
+  Result<SvdResult> svd = Svd(a);
+  ASSERT_OK(svd.status());
+  // Projection of each leading u_j onto span(lead) must be ~1.
+  for (int64_t j = 0; j < 3; ++j) {
+    double proj = 0.0;
+    for (int64_t c = 0; c < 3; ++c) {
+      double dot = 0.0;
+      for (int64_t i = 0; i < 20; ++i) dot += svd->u(i, j) * (*lead)(i, c);
+      proj += dot * dot;
+    }
+    EXPECT_NEAR(proj, 1.0, 1e-8);
+  }
+}
+
+TEST(LeadingLeftSingularVectorsOp, CompletesRankDeficientBasis) {
+  // Rank-1 matrix, ask for 3 orthonormal columns.
+  DenseMatrix a(10, 4);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      a(i, j) = static_cast<double>(i + 1);  // identical columns
+    }
+  }
+  Result<DenseMatrix> lead = LeadingLeftSingularVectors(a, 3);
+  ASSERT_OK(lead.status());
+  EXPECT_TRUE(HasOrthonormalColumns(*lead, 1e-8));
+}
+
+TEST(LeadingLeftSingularVectorsOp, Validation) {
+  Rng rng(47);
+  DenseMatrix a = DenseMatrix::RandomNormal(4, 3, &rng);
+  EXPECT_TRUE(LeadingLeftSingularVectors(a, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(LeadingLeftSingularVectors(a, 5).status().IsInvalidArgument());
+}
+
+TEST(NormalizeColumnsOp, UnitNormsAndStoredValues) {
+  DenseMatrix m = DenseMatrix::FromRows({{3, 0}, {4, 0}});
+  std::vector<double> norms;
+  NormalizeColumns(&m, &norms);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.0);  // zero column untouched
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.8);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(SolveRightPinvOp, SolvesWellConditionedSystem) {
+  Rng rng(48);
+  DenseMatrix x_true = DenseMatrix::RandomNormal(5, 3, &rng);
+  DenseMatrix basis = DenseMatrix::RandomNormal(3, 3, &rng);
+  DenseMatrix a = Gram(basis);  // SPD, invertible w.h.p.
+  Result<DenseMatrix> b = MatMul(x_true, a);
+  ASSERT_OK(b.status());
+  Result<DenseMatrix> solved = SolveRightPinv(*b, a);
+  ASSERT_OK(solved.status());
+  EXPECT_LT(solved->MaxAbsDiff(x_true), 1e-7);
+}
+
+TEST(RelativeErrorOp, ZeroForIdenticalMatrices) {
+  Rng rng(49);
+  DenseMatrix a = DenseMatrix::RandomNormal(4, 4, &rng);
+  Result<double> err = RelativeError(a, a);
+  ASSERT_OK(err.status());
+  EXPECT_DOUBLE_EQ(*err, 0.0);
+  DenseMatrix b(3, 3);
+  EXPECT_TRUE(RelativeError(a, b).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace haten2

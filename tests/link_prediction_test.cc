@@ -1,0 +1,152 @@
+// Tests for link prediction: held-out facts from planted structure must
+// surface in the top predictions, and the API must respect observedness,
+// ordering and validation.
+
+#include "core/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/parafac.h"
+#include "test_util.h"
+#include "util/string_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+struct HoldoutFixture {
+  SparseTensor train;                           // tensor minus held-out cells
+  std::vector<std::vector<int64_t>> held_out;   // removed coordinates
+};
+
+// Plants dense low-rank blocks, then removes `holdout` block cells from the
+// training tensor.
+HoldoutFixture MakeFixture(int holdout, uint64_t seed) {
+  LowRankTensorSpec spec;
+  spec.dims = {50, 45, 40};
+  spec.rank = 2;
+  spec.block_size = 8;
+  spec.nnz_per_component = 2000;  // ~dense blocks (8^3 = 512 cells)
+  spec.seed = seed;
+  Result<PlantedTensor> planted = GenerateLowRankTensor(spec);
+  HATEN2_CHECK(planted.ok());
+
+  HoldoutFixture fx;
+  Result<SparseTensor> train = SparseTensor::Create(spec.dims);
+  HATEN2_CHECK(train.ok());
+  fx.train = std::move(train).value();
+  Rng rng(seed + 1);
+  std::unordered_set<int64_t> drop;
+  while (static_cast<int>(drop.size()) < holdout) {
+    drop.insert(static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(planted->tensor.nnz()))));
+  }
+  for (int64_t e = 0; e < planted->tensor.nnz(); ++e) {
+    if (drop.count(e) > 0) {
+      fx.held_out.push_back({planted->tensor.index(e, 0),
+                             planted->tensor.index(e, 1),
+                             planted->tensor.index(e, 2)});
+    } else {
+      fx.train.AppendUnchecked(planted->tensor.IndexPtr(e),
+                               planted->tensor.value(e));
+    }
+  }
+  fx.train.Canonicalize();
+  return fx;
+}
+
+TEST(LinkPrediction, RecoversHeldOutFactsFromPlantedBlocks) {
+  HoldoutFixture fx = MakeFixture(/*holdout=*/15, 7);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 30;
+  options.nonnegative = true;
+  Result<KruskalModel> model = Haten2ParafacAls(&engine, fx.train, 2,
+                                                options);
+  ASSERT_OK(model.status());
+
+  LinkPredictionOptions lp;
+  lp.beam = 10;
+  Result<std::vector<PredictedEntry>> predicted =
+      PredictTopEntries(*model, fx.train, 200, lp);
+  ASSERT_OK(predicted.status());
+  ASSERT_FALSE(predicted->empty());
+
+  std::unordered_set<std::string> held;
+  for (const auto& idx : fx.held_out) {
+    held.insert(StrFormat("%lld/%lld/%lld", (long long)idx[0],
+                          (long long)idx[1], (long long)idx[2]));
+  }
+  int hits = 0;
+  for (const PredictedEntry& p : *predicted) {
+    std::string key =
+        StrFormat("%lld/%lld/%lld", (long long)p.index[0],
+                  (long long)p.index[1], (long long)p.index[2]);
+    if (held.count(key) > 0) ++hits;
+    // No predicted cell may be observed.
+    EXPECT_DOUBLE_EQ(fx.train.Get(p.index), 0.0);
+  }
+  // Held-out cells live inside the planted blocks where the model puts its
+  // mass; a substantial fraction must surface among 200 predictions (random
+  // guessing over 90K cells would find ~0).
+  EXPECT_GE(hits, 5) << "recovered " << hits << " of "
+                     << fx.held_out.size();
+}
+
+TEST(LinkPrediction, ResultsAreSortedAndBounded) {
+  HoldoutFixture fx = MakeFixture(5, 11);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 10;
+  options.nonnegative = true;
+  Result<KruskalModel> model = Haten2ParafacAls(&engine, fx.train, 2,
+                                                options);
+  ASSERT_OK(model.status());
+  Result<std::vector<PredictedEntry>> predicted =
+      PredictTopEntries(*model, fx.train, 25);
+  ASSERT_OK(predicted.status());
+  EXPECT_LE(predicted->size(), 25u);
+  for (size_t i = 1; i < predicted->size(); ++i) {
+    EXPECT_GE((*predicted)[i - 1].score, (*predicted)[i].score);
+  }
+  // Distinct coordinates.
+  std::unordered_set<std::string> keys;
+  for (const PredictedEntry& p : *predicted) {
+    keys.insert(StrFormat("%lld/%lld/%lld", (long long)p.index[0],
+                          (long long)p.index[1], (long long)p.index[2]));
+  }
+  EXPECT_EQ(keys.size(), predicted->size());
+}
+
+TEST(LinkPrediction, Validation) {
+  Rng rng(12);
+  SparseTensor x = haten2::testing::RandomSparseTensor({6, 6, 6}, 20, &rng);
+  KruskalModel model;
+  model.lambda = {1.0};
+  model.factors.assign(3, DenseMatrix(6, 1));
+  EXPECT_TRUE(PredictTopEntries(model, x, 0).status().IsInvalidArgument());
+  LinkPredictionOptions bad;
+  bad.beam = 0;
+  EXPECT_TRUE(
+      PredictTopEntries(model, x, 5, bad).status().IsInvalidArgument());
+  KruskalModel wrong;
+  wrong.lambda = {1.0};
+  wrong.factors.assign(2, DenseMatrix(6, 1));
+  EXPECT_TRUE(PredictTopEntries(wrong, x, 5).status().IsInvalidArgument());
+  KruskalModel wrong_rows;
+  wrong_rows.lambda = {1.0};
+  wrong_rows.factors.assign(3, DenseMatrix(5, 1));
+  EXPECT_TRUE(
+      PredictTopEntries(wrong_rows, x, 5).status().IsInvalidArgument());
+  // Non-canonical observed tensor.
+  Result<SparseTensor> nc = SparseTensor::Create3(6, 6, 6);
+  ASSERT_OK(nc.status());
+  ASSERT_OK(nc->Append({0, 0, 0}, 1.0));
+  EXPECT_TRUE(
+      PredictTopEntries(model, *nc, 5).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace haten2

@@ -1,0 +1,119 @@
+// Tests for model checkpointing: Kruskal and Tucker models must round-trip
+// exactly through their on-disk representation.
+
+#include "tensor/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tensor/tensor_io.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace haten2 {
+namespace {
+
+std::string Prefix(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void Cleanup(const std::string& prefix, int order, bool tucker) {
+  for (int m = 0; m < order; ++m) {
+    std::remove((prefix + ".mode" + std::to_string(m) + ".txt").c_str());
+  }
+  std::remove((prefix + (tucker ? ".core.txt" : ".lambda.txt")).c_str());
+}
+
+TEST(ModelIo, KruskalRoundTrip) {
+  Rng rng(701);
+  KruskalModel model;
+  model.lambda = {3.25, 1.0, 0.125};
+  model.factors.push_back(DenseMatrix::RandomNormal(6, 3, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(5, 3, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(4, 3, &rng));
+
+  std::string prefix = Prefix("kruskal");
+  ASSERT_OK(SaveKruskalModel(model, prefix));
+  Result<KruskalModel> back = LoadKruskalModel(prefix, 3);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->lambda, model.lambda);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(back->factors[m].MaxAbsDiff(model.factors[m]), 0.0);
+  }
+  Cleanup(prefix, 3, false);
+}
+
+TEST(ModelIo, TuckerRoundTripIncludingZeroCoreCells) {
+  Rng rng(702);
+  TuckerModel model;
+  Result<DenseTensor> core = DenseTensor::Create({2, 3, 2});
+  ASSERT_OK(core.status());
+  model.core = std::move(core).value();
+  model.core.at({0, 0, 0}) = 1.5;
+  model.core.at({1, 2, 1}) = -2.25;  // everything else stays zero
+  model.factors.push_back(DenseMatrix::RandomNormal(7, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(6, 3, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(5, 2, &rng));
+
+  std::string prefix = Prefix("tucker");
+  ASSERT_OK(SaveTuckerModel(model, prefix));
+  Result<TuckerModel> back = LoadTuckerModel(prefix, 3);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->core.dims(), model.core.dims());
+  EXPECT_DOUBLE_EQ(back->core.MaxAbsDiff(model.core), 0.0);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(back->factors[m].MaxAbsDiff(model.factors[m]), 0.0);
+  }
+  Cleanup(prefix, 3, true);
+}
+
+TEST(ModelIo, ReconstructionSurvivesRoundTrip) {
+  // The quantity users care about: the model's predictions are unchanged.
+  Rng rng(703);
+  KruskalModel model;
+  model.lambda = {2.0, 1.0};
+  model.factors.push_back(DenseMatrix::RandomUniform(5, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomUniform(4, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomUniform(3, 2, &rng));
+  Result<DenseTensor> before =
+      ReconstructKruskal(model.lambda, model.FactorPtrs());
+  ASSERT_OK(before.status());
+
+  std::string prefix = Prefix("recon");
+  ASSERT_OK(SaveKruskalModel(model, prefix));
+  Result<KruskalModel> loaded = LoadKruskalModel(prefix, 3);
+  ASSERT_OK(loaded.status());
+  Result<DenseTensor> after =
+      ReconstructKruskal(loaded->lambda, loaded->FactorPtrs());
+  ASSERT_OK(after.status());
+  EXPECT_DOUBLE_EQ(after->MaxAbsDiff(*before), 0.0);
+  Cleanup(prefix, 3, false);
+}
+
+TEST(ModelIo, Errors) {
+  EXPECT_TRUE(LoadKruskalModel("/nonexistent/model", 3).status().IsIOError());
+  EXPECT_TRUE(LoadTuckerModel("/nonexistent/model", 3).status().IsIOError());
+  KruskalModel empty;
+  EXPECT_TRUE(SaveKruskalModel(empty, Prefix("x")).IsInvalidArgument());
+  TuckerModel no_factors;
+  EXPECT_TRUE(SaveTuckerModel(no_factors, Prefix("x")).IsInvalidArgument());
+  EXPECT_TRUE(LoadKruskalModel(Prefix("x"), 0).status().IsInvalidArgument());
+
+  // Mismatched lambda length.
+  Rng rng(704);
+  KruskalModel model;
+  model.lambda = {1.0, 2.0};
+  model.factors.assign(2, DenseMatrix::RandomNormal(3, 2, &rng));
+  std::string prefix = Prefix("mismatch");
+  ASSERT_OK(SaveKruskalModel(model, prefix));
+  // Corrupt lambda: overwrite with wrong length.
+  DenseMatrix wrong(3, 1);
+  ASSERT_OK(WriteMatrixText(wrong, prefix + ".lambda.txt"));
+  EXPECT_TRUE(LoadKruskalModel(prefix, 2).status().IsInvalidArgument());
+  Cleanup(prefix, 2, false);
+}
+
+}  // namespace
+}  // namespace haten2

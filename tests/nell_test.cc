@@ -1,0 +1,132 @@
+// Tests for the NELL-style workload generator and its recovery scorer.
+
+#include "workload/nell.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+
+namespace haten2 {
+namespace {
+
+NellSpec SmallSpec() {
+  NellSpec spec;
+  spec.num_categories = 4;
+  spec.entities_per_category = 30;
+  spec.num_contexts = 20;
+  spec.num_patterns = 3;
+  spec.contexts_per_pattern = 3;
+  spec.facts_per_pattern = 400;
+  spec.noise_facts = 100;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(NellGen, ShapeAndDeterminism) {
+  Result<NellData> a = GenerateNell(SmallSpec());
+  Result<NellData> b = GenerateNell(SmallSpec());
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  EXPECT_TRUE(a->tensor.IdenticalTo(b->tensor));
+  EXPECT_EQ(a->tensor.dims(), (std::vector<int64_t>{120, 120, 20}));
+  EXPECT_EQ(a->patterns.size(), 3u);
+  EXPECT_OK(a->tensor.Validate());
+}
+
+TEST(NellGen, PatternsAreWellFormed) {
+  Result<NellData> data = GenerateNell(SmallSpec());
+  ASSERT_OK(data.status());
+  std::unordered_set<int64_t> all_contexts;
+  std::unordered_set<int> pairs;
+  for (const auto& p : data->patterns) {
+    EXPECT_NE(p.subject_category, p.object_category);
+    EXPECT_TRUE(pairs.insert(p.subject_category * 1000 + p.object_category)
+                    .second)
+        << "duplicate category pair";
+    EXPECT_EQ(p.contexts.size(), 3u);
+    for (int64_t c : p.contexts) {
+      EXPECT_TRUE(all_contexts.insert(c).second)
+          << "context " << c << " reused across patterns";
+      EXPECT_FALSE(data->ContextName(c).empty());
+      EXPECT_NE(data->ContextName(c).find("p"), std::string::npos);
+    }
+  }
+}
+
+TEST(NellGen, CategoryHelpers) {
+  Result<NellData> data = GenerateNell(SmallSpec());
+  ASSERT_OK(data.status());
+  EXPECT_EQ(data->CategoryOf(0), 0);
+  EXPECT_EQ(data->CategoryOf(29), 0);
+  EXPECT_EQ(data->CategoryOf(30), 1);
+  EXPECT_EQ(data->CategoryBegin(2), 60);
+  EXPECT_EQ(data->CategoryEnd(2), 90);
+  // Entity names carry the category.
+  EXPECT_EQ(data->EntityName(0), "city:0");
+  EXPECT_EQ(data->EntityName(31), "country:1");
+}
+
+TEST(NellGen, PatternFactsRespectCategories) {
+  Result<NellData> data = GenerateNell(SmallSpec());
+  ASSERT_OK(data.status());
+  // Count facts whose (category pair, context) matches some pattern; with
+  // 1200 pattern facts vs 100 noise facts, most entries must match.
+  int64_t matching = 0;
+  for (int64_t e = 0; e < data->tensor.nnz(); ++e) {
+    int cat1 = data->CategoryOf(data->tensor.index(e, 0));
+    int cat2 = data->CategoryOf(data->tensor.index(e, 1));
+    int64_t ctx = data->tensor.index(e, 2);
+    for (const auto& p : data->patterns) {
+      if (p.subject_category == cat1 && p.object_category == cat2 &&
+          std::binary_search(p.contexts.begin(), p.contexts.end(), ctx)) {
+        ++matching;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(matching, data->tensor.nnz() * 7 / 10);
+}
+
+TEST(NellGen, Validation) {
+  NellSpec spec = SmallSpec();
+  spec.num_categories = 1;
+  EXPECT_TRUE(GenerateNell(spec).status().IsInvalidArgument());
+  spec = SmallSpec();
+  spec.contexts_per_pattern = 10;  // 3 * 10 > 20 contexts
+  EXPECT_TRUE(GenerateNell(spec).status().IsInvalidArgument());
+  spec = SmallSpec();
+  spec.entities_per_category = 0;
+  EXPECT_TRUE(GenerateNell(spec).status().IsInvalidArgument());
+}
+
+TEST(NellRecoveryScore, PerfectAndImperfectAnswers) {
+  Result<NellData> data = GenerateNell(SmallSpec());
+  ASSERT_OK(data.status());
+  // Construct an oracle answer: one component per pattern.
+  std::vector<std::vector<int64_t>> np1;
+  std::vector<std::vector<int64_t>> np2;
+  std::vector<std::vector<int64_t>> ctx;
+  for (const auto& p : data->patterns) {
+    np1.push_back({data->CategoryBegin(p.subject_category),
+                   data->CategoryBegin(p.subject_category) + 1});
+    np2.push_back({data->CategoryBegin(p.object_category),
+                   data->CategoryBegin(p.object_category) + 1});
+    ctx.push_back(p.contexts);
+  }
+  NellRecovery perfect = ScoreNellRecovery(*data, np1, np2, ctx);
+  EXPECT_DOUBLE_EQ(perfect.patterns_recovered, 1.0);
+  for (int c : perfect.component_of_pattern) EXPECT_GE(c, 0);
+
+  // Garbage answer: everything from the wrong category/context.
+  std::vector<std::vector<int64_t>> junk(
+      data->patterns.size(), {data->CategoryEnd(3) - 1});
+  std::vector<std::vector<int64_t>> junk_ctx(data->patterns.size(),
+                                             {int64_t{19}});
+  NellRecovery bad = ScoreNellRecovery(*data, junk, junk, junk_ctx);
+  EXPECT_LT(bad.patterns_recovered, 1.0);
+}
+
+}  // namespace
+}  // namespace haten2

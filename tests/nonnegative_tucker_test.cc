@@ -1,0 +1,117 @@
+// Tests for nonnegative Tucker (NTD): nonnegativity invariants, monotone
+// fit on nonnegative data, approximate recovery of a planted nonnegative
+// Tucker tensor, and validation.
+
+#include "core/nonnegative_tucker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace haten2 {
+namespace {
+
+// An exactly nonnegative multilinear-rank-(2,2,2) tensor.
+SparseTensor NonnegativeTuckerTensor(Rng* rng) {
+  Result<DenseTensor> core = DenseTensor::Create({2, 2, 2});
+  HATEN2_CHECK(core.ok());
+  for (double& v : core->data()) v = rng->Uniform(0.2, 1.5);
+  DenseMatrix a = DenseMatrix::RandomUniform(9, 2, rng);
+  DenseMatrix b = DenseMatrix::RandomUniform(8, 2, rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(7, 2, rng);
+  Result<DenseTensor> dense = ReconstructTucker(*core, {&a, &b, &c});
+  HATEN2_CHECK(dense.ok());
+  return dense->ToSparse();
+}
+
+TEST(NonnegativeTucker, FactorsAndCoreStayNonnegative) {
+  Rng rng(801);
+  SparseTensor x =
+      haten2::testing::RandomSparseTensor({12, 10, 9}, 150, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 8;
+  Result<TuckerModel> model =
+      Haten2NonnegativeTuckerAls(&engine, x, {3, 3, 3}, options);
+  ASSERT_OK(model.status());
+  for (const DenseMatrix& f : model->factors) {
+    for (double v : f.data()) EXPECT_GE(v, 0.0);
+  }
+  for (double g : model->core.data()) EXPECT_GE(g, 0.0);
+  EXPECT_GT(model->fit, 0.0);
+}
+
+TEST(NonnegativeTucker, FitImprovesOnStructuredData) {
+  Rng rng(802);
+  SparseTensor x = NonnegativeTuckerTensor(&rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 40;
+  options.tolerance = 0.0;
+  Result<TuckerModel> model =
+      Haten2NonnegativeTuckerAls(&engine, x, {2, 2, 2}, options);
+  ASSERT_OK(model.status());
+  // Multiplicative updates converge slowly but must fit a genuinely
+  // nonnegative low-rank tensor well.
+  EXPECT_GT(model->fit, 0.95);
+  // Reconstruction error agrees with the reported fit.
+  Result<DenseTensor> recon =
+      ReconstructTucker(model->core, model->FactorPtrs());
+  ASSERT_OK(recon.status());
+  DenseTensor dense = DenseTensor::FromSparse(x);
+  double resid_sq = 0.0;
+  for (size_t i = 0; i < dense.data().size(); ++i) {
+    double d = dense.data()[i] - recon->data()[i];
+    resid_sq += d * d;
+  }
+  double fit_check = 1.0 - std::sqrt(resid_sq / x.SumSquares());
+  EXPECT_NEAR(model->fit, fit_check, 1e-6);
+}
+
+TEST(NonnegativeTucker, AllVariantsAgree) {
+  Rng rng(803);
+  SparseTensor x = haten2::testing::RandomSparseTensor({8, 7, 6}, 60, &rng);
+  Haten2Options options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+  std::vector<double> fits;
+  for (Variant v : {Variant::kDnn, Variant::kDrn, Variant::kDri}) {
+    Engine engine(ClusterConfig::ForTesting());
+    options.variant = v;
+    Result<TuckerModel> model =
+        Haten2NonnegativeTuckerAls(&engine, x, {2, 2, 2}, options);
+    ASSERT_OK(model.status());
+    fits.push_back(model->fit);
+  }
+  EXPECT_NEAR(fits[0], fits[1], 1e-9);
+  EXPECT_NEAR(fits[1], fits[2], 1e-9);
+}
+
+TEST(NonnegativeTucker, Validation) {
+  Rng rng(804);
+  SparseTensor x = haten2::testing::RandomSparseTensor({5, 5, 5}, 20, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  EXPECT_TRUE(Haten2NonnegativeTuckerAls(nullptr, x, {2, 2, 2})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Haten2NonnegativeTuckerAls(&engine, x, {2, 2})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Haten2NonnegativeTuckerAls(&engine, x, {2, 2, 9})
+                  .status()
+                  .IsInvalidArgument());
+  // Negative entries are rejected.
+  Result<SparseTensor> neg = SparseTensor::Create3(3, 3, 3);
+  ASSERT_OK(neg.status());
+  ASSERT_OK(neg->Append({0, 0, 0}, -1.0));
+  neg->Canonicalize();
+  EXPECT_TRUE(Haten2NonnegativeTuckerAls(&engine, *neg, {1, 1, 1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace haten2

@@ -1,0 +1,159 @@
+// Tests for the ParCube comparison method: sampling internals, sub-tensor
+// extraction, and end-to-end approximate recovery of planted structure.
+
+#include "baseline/parcube.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+TEST(ParCubeMarginals, SliceMasses) {
+  Result<SparseTensor> t = SparseTensor::Create3(3, 4, 2);
+  ASSERT_OK(t.status());
+  ASSERT_OK(t->Append({0, 1, 0}, 2.0));
+  ASSERT_OK(t->Append({0, 3, 1}, -3.0));
+  ASSERT_OK(t->Append({2, 1, 1}, 1.0));
+  t->Canonicalize();
+  std::vector<std::vector<double>> marginals = ComputeMarginals(*t);
+  ASSERT_EQ(marginals.size(), 3u);
+  EXPECT_EQ(marginals[0], (std::vector<double>{5.0, 0.0, 1.0}));
+  EXPECT_EQ(marginals[1], (std::vector<double>{0.0, 3.0, 0.0, 3.0}));
+  EXPECT_EQ(marginals[2], (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(ParCubeBiasedSample, IncludesAnchorsAndRespectsCount) {
+  Rng rng(811);
+  std::vector<double> weights = {0.0, 5.0, 1.0, 0.0, 10.0, 2.0, 0.5, 0.0};
+  std::vector<int64_t> anchors = {4, 1};
+  std::vector<int64_t> sample = BiasedSample(weights, 5, anchors, &rng);
+  EXPECT_EQ(sample.size(), 5u);
+  std::unordered_set<int64_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 5u);  // distinct
+  EXPECT_TRUE(set.count(4) > 0);
+  EXPECT_TRUE(set.count(1) > 0);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  // count > n clamps.
+  std::vector<int64_t> all = BiasedSample(weights, 100, {}, &rng);
+  EXPECT_EQ(all.size(), weights.size());
+}
+
+TEST(ParCubeBiasedSample, PrefersHeavyIndices) {
+  Rng rng(812);
+  std::vector<double> weights(100, 0.01);
+  weights[7] = 100.0;
+  weights[42] = 100.0;
+  int hits_7 = 0;
+  int hits_42 = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int64_t> sample = BiasedSample(weights, 5, {}, &rng);
+    std::unordered_set<int64_t> set(sample.begin(), sample.end());
+    hits_7 += set.count(7) > 0 ? 1 : 0;
+    hits_42 += set.count(42) > 0 ? 1 : 0;
+  }
+  EXPECT_GT(hits_7, 190);
+  EXPECT_GT(hits_42, 190);
+}
+
+TEST(ParCubeExtract, RemapsAndFilters) {
+  Result<SparseTensor> t = SparseTensor::Create3(5, 5, 5);
+  ASSERT_OK(t.status());
+  ASSERT_OK(t->Append({0, 0, 0}, 1.0));
+  ASSERT_OK(t->Append({2, 3, 4}, 2.0));
+  ASSERT_OK(t->Append({4, 4, 4}, 3.0));
+  t->Canonicalize();
+  std::vector<std::vector<int64_t>> kept = {{2, 4}, {3, 4}, {4}};
+  Result<SparseTensor> sub = ExtractSubTensor(*t, kept);
+  ASSERT_OK(sub.status());
+  EXPECT_EQ(sub->dims(), (std::vector<int64_t>{2, 2, 1}));
+  EXPECT_EQ(sub->nnz(), 2);
+  EXPECT_DOUBLE_EQ(sub->Get({0, 0, 0}), 2.0);  // (2,3,4) -> (0,0,0)
+  EXPECT_DOUBLE_EQ(sub->Get({1, 1, 0}), 3.0);  // (4,4,4) -> (1,1,0)
+
+  EXPECT_TRUE(ExtractSubTensor(*t, {{0}, {0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(ExtractSubTensor(*t, {{0}, {}, {0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ExtractSubTensor(*t, {{0}, {9}, {0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParCubeEndToEnd, FullSamplingMatchesPlainNonnegativeAls) {
+  LowRankTensorSpec spec;
+  spec.dims = {40, 35, 30};
+  spec.rank = 2;
+  spec.block_size = 8;
+  spec.nnz_per_component = 300;
+  spec.seed = 4;
+  Result<PlantedTensor> planted = GenerateLowRankTensor(spec);
+  ASSERT_OK(planted.status());
+
+  ParCubeOptions options;
+  options.sample_fraction = 1.0;  // keep everything: exact sub-problem
+  options.num_samples = 1;
+  options.max_iterations = 25;
+  options.seed = 9;
+  Result<KruskalModel> parcube =
+      ParCubeParafac(planted->tensor, 2, options);
+  ASSERT_OK(parcube.status());
+
+  BaselineOptions als;
+  als.max_iterations = 25;
+  als.nonnegative = true;
+  als.seed = options.seed + 31u * 0;  // ParCube's per-sample seed
+  Result<KruskalModel> direct =
+      ToolboxParafacAls(planted->tensor, 2, als);
+  ASSERT_OK(direct.status());
+  EXPECT_NEAR(parcube->fit, direct->fit, 1e-6);
+}
+
+TEST(ParCubeEndToEnd, ApproximatesPlantedStructureFromSamples) {
+  LowRankTensorSpec spec;
+  spec.dims = {80, 70, 60};
+  spec.rank = 3;
+  spec.block_size = 12;
+  spec.nnz_per_component = 800;
+  spec.seed = 6;
+  Result<PlantedTensor> planted = GenerateLowRankTensor(spec);
+  ASSERT_OK(planted.status());
+
+  ParCubeOptions options;
+  options.sample_fraction = 0.5;
+  options.num_samples = 6;
+  options.max_iterations = 30;
+  options.seed = 12;
+  Result<KruskalModel> model = ParCubeParafac(planted->tensor, 3, options);
+  ASSERT_OK(model.status());
+  EXPECT_EQ(model->factors.size(), 3u);
+  EXPECT_EQ(model->rank(), 3);
+  // Approximate: positive fit, well below exact but clearly above zero.
+  EXPECT_GT(model->fit, 0.05);
+  // Nonnegative pipeline end to end.
+  for (const DenseMatrix& f : model->factors) {
+    for (double v : f.data()) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ParCubeEndToEnd, Validation) {
+  Rng rng(813);
+  SparseTensor x = haten2::testing::RandomSparseTensor({6, 6, 6}, 20, &rng);
+  EXPECT_TRUE(ParCubeParafac(x, 0).status().IsInvalidArgument());
+  ParCubeOptions bad;
+  bad.sample_fraction = 0.0;
+  EXPECT_TRUE(ParCubeParafac(x, 2, bad).status().IsInvalidArgument());
+  bad = ParCubeOptions();
+  bad.num_samples = 0;
+  EXPECT_TRUE(ParCubeParafac(x, 2, bad).status().IsInvalidArgument());
+  Result<SparseTensor> empty = SparseTensor::Create3(3, 3, 3);
+  ASSERT_OK(empty.status());
+  EXPECT_TRUE(ParCubeParafac(*empty, 2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace haten2

@@ -1,0 +1,137 @@
+// Randomized property sweeps (parameterized over seeds): the algebraic
+// identities of the paper must hold on arbitrary random sparse tensors, not
+// just the hand-picked shapes of the unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contract.h"
+#include "core/tucker.h"
+#include "linalg/linalg.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace haten2 {
+namespace {
+
+using ::haten2::testing::RandomSparseTensor;
+
+class SeededPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Lemma 1: CrossMerge(T', T'') == X ×₂ Bᵀ ×₃ Cᵀ, via the DRI path against
+// the sequential sparse computation, on random shapes.
+TEST_P(SeededPropertyTest, Lemma1CrossMergeEquivalence) {
+  int seed = GetParam();
+  Rng rng(9000 + seed);
+  std::vector<int64_t> dims = {
+      4 + static_cast<int64_t>(rng.UniformInt(uint64_t{8})),
+      4 + static_cast<int64_t>(rng.UniformInt(uint64_t{8})),
+      4 + static_cast<int64_t>(rng.UniformInt(uint64_t{8}))};
+  int64_t nnz = 10 + static_cast<int64_t>(rng.UniformInt(uint64_t{60}));
+  SparseTensor x = RandomSparseTensor(dims, nnz, &rng);
+  int64_t q = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{4}));
+  int64_t r = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{4}));
+  DenseMatrix b = DenseMatrix::RandomNormal(dims[1], q, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(dims[2], r, &rng);
+  std::vector<const DenseMatrix*> factors = {nullptr, &b, &c};
+
+  Engine engine(ClusterConfig::ForTesting());
+  Result<SliceBlocks> merged = MultiModeContract(
+      &engine, x, factors, 0, MergeKind::kCross, Variant::kDri);
+  ASSERT_OK(merged.status());
+
+  Result<SparseTensor> t = TtmTransposed(x, b, 1);
+  ASSERT_OK(t.status());
+  Result<SparseTensor> y = TtmTransposed(*t, c, 2);
+  ASSERT_OK(y.status());
+  DenseMatrix want = DenseTensor::FromSparse(*y).Unfold(0);
+  EXPECT_LT(merged->ToDenseMatrix().MaxAbsDiff(want), 1e-9) << "seed "
+                                                            << seed;
+}
+
+// Lemma 2: PairwiseMerge(F', T'') == X₍₁₎ (C ⊙ B) on random shapes.
+TEST_P(SeededPropertyTest, Lemma2PairwiseMergeEquivalence) {
+  int seed = GetParam();
+  Rng rng(9100 + seed);
+  std::vector<int64_t> dims = {
+      4 + static_cast<int64_t>(rng.UniformInt(uint64_t{8})),
+      4 + static_cast<int64_t>(rng.UniformInt(uint64_t{8})),
+      4 + static_cast<int64_t>(rng.UniformInt(uint64_t{8}))};
+  int64_t nnz = 10 + static_cast<int64_t>(rng.UniformInt(uint64_t{60}));
+  SparseTensor x = RandomSparseTensor(dims, nnz, &rng);
+  int64_t rank = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{5}));
+  DenseMatrix a = DenseMatrix::RandomNormal(dims[0], rank, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(dims[1], rank, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(dims[2], rank, &rng);
+  std::vector<const DenseMatrix*> factors = {&a, &b, &c};
+
+  Engine engine(ClusterConfig::ForTesting());
+  Result<SliceBlocks> merged = MultiModeContract(
+      &engine, x, factors, 0, MergeKind::kPairwise, Variant::kDri);
+  ASSERT_OK(merged.status());
+
+  DenseMatrix x1 = DenseTensor::FromSparse(x).Unfold(0);
+  Result<DenseMatrix> kr = KhatriRao(c, b);
+  ASSERT_OK(kr.status());
+  Result<DenseMatrix> want = MatMul(x1, *kr);
+  ASSERT_OK(want.status());
+  EXPECT_LT(merged->ToDenseMatrix().MaxAbsDiff(*want), 1e-9) << "seed "
+                                                             << seed;
+}
+
+// Collapse/Hadamard identity: Collapse(X ∗̄₂ v)₂ == X ×̄₂ v (the DNN
+// decoupling of Section III-B2) on random tensors.
+TEST_P(SeededPropertyTest, DecouplingIdentity) {
+  int seed = GetParam();
+  Rng rng(9200 + seed);
+  SparseTensor x = RandomSparseTensor({6, 7, 5}, 40, &rng);
+  std::vector<double> v(7);
+  for (double& e : v) e = rng.Normal();
+  Result<SparseTensor> hadamard = NModeVectorHadamard(x, v, 1);
+  ASSERT_OK(hadamard.status());
+  Result<SparseTensor> collapsed = hadamard->CollapseMode(1);
+  ASSERT_OK(collapsed.status());
+  Result<SparseTensor> direct = Ttv(x, v, 1);
+  ASSERT_OK(direct.status());
+  // Same cells up to float noise.
+  EXPECT_EQ(collapsed->nnz(), direct->nnz()) << "seed " << seed;
+  for (int64_t e = 0; e < direct->nnz(); ++e) {
+    std::vector<int64_t> idx = {direct->index(e, 0), direct->index(e, 1)};
+    EXPECT_NEAR(collapsed->Get(idx), direct->value(e), 1e-12);
+  }
+}
+
+// Tucker invariant on random tensors: ||X||² = ||G||² + ||X - recon||²
+// (orthonormal factors), verified through the full MR driver.
+TEST_P(SeededPropertyTest, TuckerEnergySplit) {
+  int seed = GetParam();
+  Rng rng(9300 + seed);
+  SparseTensor x = RandomSparseTensor({8, 7, 6}, 60, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 3;
+  options.seed = static_cast<uint64_t>(seed);
+  Result<TuckerModel> model = Haten2TuckerAls(&engine, x, {2, 2, 2},
+                                              options);
+  ASSERT_OK(model.status());
+  Result<DenseTensor> recon =
+      ReconstructTucker(model->core, model->FactorPtrs());
+  ASSERT_OK(recon.status());
+  DenseTensor dense = DenseTensor::FromSparse(x);
+  double resid_sq = 0.0;
+  for (size_t i = 0; i < dense.data().size(); ++i) {
+    double d = dense.data()[i] - recon->data()[i];
+    resid_sq += d * d;
+  }
+  double core_sq = 0.0;
+  for (double g : model->core.data()) core_sq += g * g;
+  EXPECT_NEAR(x.SumSquares(), core_sq + resid_sq,
+              1e-8 * std::max(1.0, x.SumSquares()))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace haten2

@@ -1,0 +1,212 @@
+// Tests for shuffle spilling: output equivalence with and without spills,
+// resident-memory bounding, spill counters, interaction with combiners and
+// decompositions, and cleanup.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "core/parafac.h"
+#include "mapreduce/engine.h"
+#include "test_util.h"
+
+namespace haten2 {
+namespace {
+
+std::string SpillDir() {
+  std::string dir = std::string(::testing::TempDir()) + "/haten2_spills";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+int64_t SpillFilesIn(const std::string& dir) {
+  int64_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".spill") ++n;
+  }
+  return n;
+}
+
+std::map<int64_t, int64_t> WordCount(Engine* engine,
+                                     const std::vector<int64_t>& words) {
+  auto result = engine->Run<int64_t, int64_t, int64_t, int64_t>(
+      "wc", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        int64_t sum = 0;
+        for (int64_t v : vs) sum += v;
+        out->Emit(w, sum);
+      });
+  HATEN2_CHECK(result.ok()) << result.status().ToString();
+  std::map<int64_t, int64_t> histogram;
+  for (auto& [w, c] : *result) histogram[w] = c;
+  return histogram;
+}
+
+TEST(Spill, OutputIdenticalWithAndWithoutSpilling) {
+  std::vector<int64_t> words;
+  Rng rng(821);
+  for (int i = 0; i < 20000; ++i) {
+    words.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{64})));
+  }
+  ClusterConfig plain = ClusterConfig::ForTesting();
+  Engine reference(plain);
+  std::map<int64_t, int64_t> want = WordCount(&reference, words);
+
+  ClusterConfig spilling = plain;
+  spilling.spill_directory = SpillDir();
+  spilling.spill_threshold_records = 64;  // force many spills
+  Engine engine(spilling);
+  std::map<int64_t, int64_t> got = WordCount(&engine, words);
+  EXPECT_EQ(got, want);
+  // Spills happened and were counted...
+  EXPECT_GT(engine.pipeline().jobs[0].spilled_records, 0);
+  EXPECT_EQ(engine.pipeline().jobs[0].map_output_records, 20000);
+  // ...and every spill file was removed afterwards.
+  EXPECT_EQ(SpillFilesIn(spilling.spill_directory), 0);
+}
+
+TEST(Spill, NoSpillBelowThreshold) {
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.spill_directory = SpillDir();
+  config.spill_threshold_records = 1 << 20;
+  Engine engine(config);
+  std::vector<int64_t> words(100, 1);
+  WordCount(&engine, words);
+  EXPECT_EQ(engine.pipeline().jobs[0].spilled_records, 0);
+}
+
+TEST(Spill, CombinerAppliesToResidentRecordsOnly) {
+  // With spilling, pre-spilled records bypass the end-of-task combiner but
+  // the reducer still aggregates them; results are unchanged.
+  std::vector<int64_t> words(5000, 42);
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.spill_directory = SpillDir();
+  config.spill_threshold_records = 128;
+  Engine engine(config);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "wc-combine", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        int64_t sum = 0;
+        for (int64_t v : vs) sum += v;
+        out->Emit(w, sum);
+      },
+      [](const int64_t& a, const int64_t& b) { return a + b; });
+  ASSERT_OK(result.status());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].second, 5000);
+}
+
+TEST(Spill, SpilledRecordsStillCountAgainstBudget) {
+  // Spilling bounds resident memory but not the intermediate-data budget:
+  // the o.o.m. semantics (the paper's failure mode) are unchanged.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.spill_directory = SpillDir();
+  config.spill_threshold_records = 64;
+  config.total_shuffle_memory_bytes = 16 * 1024;
+  Engine engine(config);
+  std::vector<int64_t> words(100000, 1);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "overflow", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_EQ(SpillFilesIn(config.spill_directory), 0);  // cleaned up
+  EXPECT_EQ(engine.memory().used(), 0u);
+}
+
+TEST(Spill, DecompositionUnchangedUnderSpilling) {
+  Rng rng(822);
+  SparseTensor x =
+      haten2::testing::RandomSparseTensor({15, 12, 10}, 300, &rng);
+  Haten2Options options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+
+  ClusterConfig plain = ClusterConfig::ForTesting();
+  Engine reference(plain);
+  Result<KruskalModel> want = Haten2ParafacAls(&reference, x, 3, options);
+  ASSERT_OK(want.status());
+
+  ClusterConfig spilling = plain;
+  spilling.spill_directory = SpillDir();
+  spilling.spill_threshold_records = 32;
+  Engine engine(spilling);
+  Result<KruskalModel> got = Haten2ParafacAls(&engine, x, 3, options);
+  ASSERT_OK(got.status());
+  EXPECT_DOUBLE_EQ(got->fit, want->fit);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(got->factors[m].MaxAbsDiff(want->factors[m]), 0.0);
+  }
+  int64_t total_spilled = 0;
+  for (const JobStats& j : engine.pipeline().jobs) {
+    total_spilled += j.spilled_records;
+  }
+  EXPECT_GT(total_spilled, 0);
+  EXPECT_EQ(SpillFilesIn(spilling.spill_directory), 0);
+}
+
+TEST(Spill, AbortedJobCleansUpSpillFiles) {
+  // Some tasks spill, another exhausts its retries: the abort path must
+  // remove every spill file that was written.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.num_machines = 8;  // several map tasks
+  config.spill_directory = SpillDir();
+  config.spill_threshold_records = 16;
+  config.task_failure_probability = 0.4;
+  config.max_task_attempts = 1;  // any sampled failure aborts the job
+  config.failure_seed = 5;
+  Engine engine(config);
+  std::vector<int64_t> words(5000, 1);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "abort-spill", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  // With p=0.4 over 8 tasks, an abort is near-certain for this seed.
+  if (!result.ok()) {
+    EXPECT_TRUE(result.status().IsAborted());
+  }
+  EXPECT_EQ(SpillFilesIn(config.spill_directory), 0);
+  EXPECT_EQ(engine.memory().used(), 0u);
+}
+
+TEST(Spill, UnwritableSpillDirectoryFailsLoudly) {
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.spill_directory = "/nonexistent/spills";
+  config.spill_threshold_records = 8;
+  Engine engine(config);
+  std::vector<int64_t> words(1000, 1);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "badspill", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace haten2

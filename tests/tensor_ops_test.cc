@@ -1,0 +1,267 @@
+// Unit and property tests for the direct tensor algebra in
+// tensor/tensor_ops.h — the ground-truth layer everything else is verified
+// against, so it gets checked against hand-computed values and algebraic
+// identities (including Lemma 3's nnz estimate).
+
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/linalg.h"
+#include "test_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+using ::haten2::testing::RandomSparseTensor;
+
+SparseTensor SmallTensor() {
+  Result<SparseTensor> t = SparseTensor::Create3(2, 3, 2);
+  HATEN2_CHECK(t.ok());
+  // X(0,0,0)=1, X(0,1,1)=2, X(1,2,0)=3, X(1,0,1)=4
+  HATEN2_CHECK_OK(t->Append({0, 0, 0}, 1.0));
+  HATEN2_CHECK_OK(t->Append({0, 1, 1}, 2.0));
+  HATEN2_CHECK_OK(t->Append({1, 2, 0}, 3.0));
+  HATEN2_CHECK_OK(t->Append({1, 0, 1}, 4.0));
+  t->Canonicalize();
+  return std::move(t).value();
+}
+
+TEST(Ttv, HandComputed) {
+  SparseTensor x = SmallTensor();
+  // v over mode 1 (J = 3).
+  std::vector<double> v = {1.0, 10.0, 100.0};
+  Result<SparseTensor> y = Ttv(x, v, 1);
+  ASSERT_OK(y.status());
+  EXPECT_EQ(y->dims(), (std::vector<int64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(y->Get({0, 0}), 1.0);         // X(0,0,0)*1
+  EXPECT_DOUBLE_EQ(y->Get({0, 1}), 20.0);        // X(0,1,1)*10
+  EXPECT_DOUBLE_EQ(y->Get({1, 0}), 300.0);       // X(1,2,0)*100
+  EXPECT_DOUBLE_EQ(y->Get({1, 1}), 4.0);         // X(1,0,1)*1
+}
+
+TEST(Ttv, RejectsBadArgs) {
+  SparseTensor x = SmallTensor();
+  std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_TRUE(Ttv(x, wrong, 1).status().IsInvalidArgument());
+  std::vector<double> v = {1, 1, 1};
+  EXPECT_TRUE(Ttv(x, v, 3).status().IsInvalidArgument());
+}
+
+TEST(Ttm, AgreesWithDenseComputation) {
+  Rng rng(31);
+  SparseTensor x = RandomSparseTensor({6, 5, 4}, 25, &rng);
+  DenseMatrix u = DenseMatrix::RandomNormal(3, 5, &rng);  // 3 x J
+  Result<SparseTensor> y = Ttm(x, u, 1);
+  ASSERT_OK(y.status());
+  // Check one cell by brute force.
+  DenseTensor xd = DenseTensor::FromSparse(x);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t f = 0; f < 3; ++f) {
+      for (int64_t k = 0; k < 4; ++k) {
+        double want = 0.0;
+        for (int64_t j = 0; j < 5; ++j) want += xd.at3(i, j, k) * u(f, j);
+        EXPECT_NEAR(y->Get({i, f, k}), want, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TtmTransposed, EqualsTtmOfTranspose) {
+  Rng rng(32);
+  SparseTensor x = RandomSparseTensor({5, 6, 4}, 30, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(6, 3, &rng);  // J x F
+  Result<SparseTensor> via_t = TtmTransposed(x, b, 1);
+  Result<SparseTensor> direct = Ttm(x, b.Transposed(), 1);
+  ASSERT_OK(via_t.status());
+  ASSERT_OK(direct.status());
+  EXPECT_TRUE(via_t->IdenticalTo(*direct));
+}
+
+TEST(NModeVectorHadamard, ScalesEntriesAlongMode) {
+  SparseTensor x = SmallTensor();
+  std::vector<double> v = {2.0, 0.0, 5.0};  // mode 1
+  Result<SparseTensor> y = NModeVectorHadamard(x, v, 1);
+  ASSERT_OK(y.status());
+  EXPECT_EQ(y->dims(), x.dims());
+  EXPECT_DOUBLE_EQ(y->Get({0, 0, 0}), 2.0);    // *2
+  EXPECT_DOUBLE_EQ(y->Get({0, 1, 1}), 0.0);    // *0 dropped
+  EXPECT_DOUBLE_EQ(y->Get({1, 2, 0}), 15.0);   // *5
+  EXPECT_EQ(y->nnz(), 3);
+}
+
+TEST(NModeMatrixHadamard, AddsTrailingMode) {
+  SparseTensor x = SmallTensor();
+  Rng rng(33);
+  DenseMatrix u = DenseMatrix::RandomNormal(2, 3, &rng);  // Q x J
+  Result<SparseTensor> y = NModeMatrixHadamard(x, u, 1);
+  ASSERT_OK(y.status());
+  EXPECT_EQ(y->order(), 4);
+  EXPECT_EQ(y->dim(3), 2);
+  for (int64_t e = 0; e < x.nnz(); ++e) {
+    for (int64_t q = 0; q < 2; ++q) {
+      std::vector<int64_t> idx = {x.index(e, 0), x.index(e, 1),
+                                  x.index(e, 2), q};
+      EXPECT_NEAR(y->Get(idx), x.value(e) * u(q, x.index(e, 1)), 1e-12);
+    }
+  }
+}
+
+TEST(MttkrpOp, MatchesUnfoldingTimesKhatriRao) {
+  Rng rng(34);
+  SparseTensor x = RandomSparseTensor({6, 5, 4}, 40, &rng);
+  DenseMatrix a = DenseMatrix::RandomNormal(6, 3, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(5, 3, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(4, 3, &rng);
+  Result<DenseMatrix> m = Mttkrp(x, {&a, &b, &c}, 0);
+  ASSERT_OK(m.status());
+  // Reference: X_(1) (C ⊙ B) with the matching unfolding convention.
+  DenseMatrix x1 = DenseTensor::FromSparse(x).Unfold(0);
+  Result<DenseMatrix> kr = KhatriRao(c, b);
+  ASSERT_OK(kr.status());
+  Result<DenseMatrix> want = MatMul(x1, *kr);
+  ASSERT_OK(want.status());
+  EXPECT_LT(m->MaxAbsDiff(*want), 1e-10);
+}
+
+TEST(MttkrpOp, ValidatesFactors) {
+  Rng rng(35);
+  SparseTensor x = RandomSparseTensor({4, 4, 4}, 10, &rng);
+  DenseMatrix good = DenseMatrix::RandomNormal(4, 2, &rng);
+  DenseMatrix bad_rows = DenseMatrix::RandomNormal(5, 2, &rng);
+  DenseMatrix bad_rank = DenseMatrix::RandomNormal(4, 3, &rng);
+  EXPECT_TRUE(Mttkrp(x, {&good, &good}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Mttkrp(x, {&good, &bad_rows, &good}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Mttkrp(x, {&good, &bad_rank, &good}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Mttkrp(x, {&good, nullptr, &good}, 0).status().IsInvalidArgument());
+}
+
+TEST(KhatriRaoOp, HandComputed) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}, {3, 4}});
+  DenseMatrix b = DenseMatrix::FromRows({{5, 6}, {7, 8}, {9, 10}});
+  Result<DenseMatrix> kr = KhatriRao(a, b);
+  ASSERT_OK(kr.status());
+  EXPECT_EQ(kr->rows(), 6);
+  EXPECT_EQ(kr->cols(), 2);
+  // Row (i*3 + j) = a_i * b_j elementwise.
+  EXPECT_DOUBLE_EQ((*kr)(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ((*kr)(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ((*kr)(2, 0), 9.0);
+  EXPECT_DOUBLE_EQ((*kr)(5, 1), 40.0);
+  DenseMatrix c = DenseMatrix::FromRows({{1, 2, 3}});
+  EXPECT_TRUE(KhatriRao(a, c).status().IsInvalidArgument());
+}
+
+TEST(KroneckerOp, HandComputed) {
+  DenseMatrix a = DenseMatrix::FromRows({{1, 2}});
+  DenseMatrix b = DenseMatrix::FromRows({{0, 1}, {2, 3}});
+  DenseMatrix k = Kronecker(a, b);
+  EXPECT_EQ(k.rows(), 2);
+  EXPECT_EQ(k.cols(), 4);
+  EXPECT_DOUBLE_EQ(k(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(k(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(k(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(k(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(k(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(k(1, 3), 6.0);
+}
+
+TEST(ReconstructOps, KruskalRoundTrip) {
+  Rng rng(36);
+  std::vector<double> lambda = {2.0, 0.5};
+  DenseMatrix a = DenseMatrix::RandomNormal(4, 2, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(3, 2, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(5, 2, &rng);
+  Result<DenseTensor> t = ReconstructKruskal(lambda, {&a, &b, &c});
+  ASSERT_OK(t.status());
+  // Check a cell by hand.
+  double want = 0.0;
+  for (int r = 0; r < 2; ++r) {
+    want += lambda[static_cast<size_t>(r)] * a(1, r) * b(2, r) * c(3, r);
+  }
+  EXPECT_NEAR(t->at({1, 2, 3}), want, 1e-12);
+  // Inner product identity: <X, model> == ||X||² when X == model.
+  SparseTensor xs = t->ToSparse();
+  Result<double> inner = InnerProductKruskal(xs, lambda, {&a, &b, &c});
+  ASSERT_OK(inner.status());
+  EXPECT_NEAR(*inner, xs.SumSquares(), 1e-9);
+  Result<double> norm_sq = KruskalNormSquared(lambda, {&a, &b, &c});
+  ASSERT_OK(norm_sq.status());
+  EXPECT_NEAR(*norm_sq, xs.SumSquares(), 1e-9);
+}
+
+TEST(ReconstructOps, TuckerMatchesUnfoldingIdentity) {
+  Rng rng(37);
+  Result<DenseTensor> core = DenseTensor::Create({2, 3, 2});
+  ASSERT_OK(core.status());
+  for (double& v : core->data()) v = rng.Normal();
+  DenseMatrix a = DenseMatrix::RandomNormal(4, 2, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(5, 3, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(3, 2, &rng);
+  Result<DenseTensor> t = ReconstructTucker(*core, {&a, &b, &c});
+  ASSERT_OK(t.status());
+  // X_(1) = A · G_(1) · (C ⊗ B)ᵀ.
+  DenseMatrix g1 = core->Unfold(0);
+  DenseMatrix kron = Kronecker(c, b);
+  Result<DenseMatrix> ag1 = MatMul(a, g1);
+  ASSERT_OK(ag1.status());
+  Result<DenseMatrix> want = MatMul(*ag1, kron.Transposed());
+  ASSERT_OK(want.status());
+  EXPECT_LT(t->Unfold(0).MaxAbsDiff(*want), 1e-10);
+}
+
+TEST(SparseUnfoldOp, MatchesDenseUnfold) {
+  Rng rng(38);
+  SparseTensor x = RandomSparseTensor({5, 4, 6}, 30, &rng);
+  for (int mode = 0; mode < 3; ++mode) {
+    Result<SparseTensor> su = SparseUnfold(x, mode);
+    ASSERT_OK(su.status());
+    DenseMatrix dense_unfold = DenseTensor::FromSparse(x).Unfold(mode);
+    for (int64_t e = 0; e < su->nnz(); ++e) {
+      EXPECT_DOUBLE_EQ(su->value(e),
+                       dense_unfold(su->index(e, 0), su->index(e, 1)))
+          << "mode " << mode;
+    }
+    EXPECT_EQ(su->dim(0), x.dim(mode));
+    EXPECT_EQ(su->dim(1), dense_unfold.cols());
+  }
+}
+
+TEST(FoldUnfold, RoundTripsAllModes) {
+  Rng rng(39);
+  Result<DenseTensor> t = DenseTensor::Create({3, 4, 2, 3});
+  ASSERT_OK(t.status());
+  for (double& v : t->data()) v = rng.Normal();
+  for (int mode = 0; mode < 4; ++mode) {
+    DenseMatrix unfolded = t->Unfold(mode);
+    Result<DenseTensor> back = DenseTensor::Fold(unfolded, mode, t->dims());
+    ASSERT_OK(back.status());
+    EXPECT_LT(back->MaxAbsDiff(*t), 1e-15) << "mode " << mode;
+  }
+}
+
+// Lemma 3: nnz(X ×₂ B) ≈ nnz(X)·Q for sparse X and fully dense B.
+TEST(Lemma3, NnzEstimateHoldsForSparseTensors) {
+  Rng rng(40);
+  const int64_t dim = 40;
+  const int64_t nnz = 200;  // density 200/64000 — sparse
+  const int64_t q = 5;
+  SparseTensor x = RandomSparseTensor({dim, dim, dim}, nnz, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(q, dim, &rng);  // fully dense
+  Result<SparseTensor> y = Ttm(x, b, 1);
+  ASSERT_OK(y.status());
+  double predicted = static_cast<double>(x.nnz()) * static_cast<double>(q);
+  double actual = static_cast<double>(y->nnz());
+  // Collisions only reduce nnz; for this density the estimate is tight.
+  EXPECT_LE(actual, predicted + 0.5);
+  EXPECT_GT(actual, 0.9 * predicted);
+}
+
+}  // namespace
+}  // namespace haten2

@@ -1,0 +1,235 @@
+// Tests for the single-machine Tensor-Toolbox baseline: algorithmic
+// correctness, MET vs naive-chain equivalence, and the memory-budget
+// ("o.o.m.") behaviour that defines the Toolbox's failure points in
+// Figures 1 and 7.
+
+#include "baseline/toolbox.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/linalg.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace haten2 {
+namespace {
+
+using ::haten2::testing::RandomSparseTensor;
+
+TEST(MetProjectedUnfoldingOp, MatchesTtmChain) {
+  Rng rng(61);
+  SparseTensor x = RandomSparseTensor({8, 7, 6}, 50, &rng);
+  DenseMatrix a = DenseMatrix::RandomNormal(8, 2, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(7, 3, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(6, 2, &rng);
+  std::vector<const DenseMatrix*> factors = {&a, &b, &c};
+  for (int skip = 0; skip < 3; ++skip) {
+    Result<DenseMatrix> met =
+        MetProjectedUnfolding(x, factors, skip, nullptr);
+    ASSERT_OK(met.status());
+    Result<SparseTensor> chain = NaiveTtmChain(x, factors, skip, nullptr);
+    ASSERT_OK(chain.status());
+    DenseMatrix want = DenseTensor::FromSparse(*chain).Unfold(skip);
+    ASSERT_TRUE(met->SameShape(want)) << "skip=" << skip;
+    EXPECT_LT(met->MaxAbsDiff(want), 1e-10) << "skip=" << skip;
+  }
+}
+
+TEST(MetProjectedUnfoldingOp, ChargesMemory) {
+  Rng rng(62);
+  SparseTensor x = RandomSparseTensor({50, 50, 50}, 100, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(50, 10, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(50, 10, &rng);
+  std::vector<const DenseMatrix*> factors = {nullptr, &b, &c};
+  // Output would be 50 x 100 doubles = 40000 bytes > budget.
+  MemoryTracker tight(10000);
+  Result<DenseMatrix> r = MetProjectedUnfolding(x, factors, 0, &tight);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+  EXPECT_EQ(tight.used(), 0u);  // rolled back
+  MemoryTracker roomy(1 << 20);
+  EXPECT_OK(MetProjectedUnfolding(x, factors, 0, &roomy).status());
+  EXPECT_EQ(roomy.used(), 0u);  // released on return
+}
+
+TEST(NaiveTtmChainOp, ExplodesUnderBudget) {
+  Rng rng(63);
+  // Dense-ish factor contraction: intermediate is nnz * 10 entries.
+  SparseTensor x = RandomSparseTensor({40, 40, 40}, 2000, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(40, 10, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(40, 10, &rng);
+  std::vector<const DenseMatrix*> factors = {nullptr, &b, &c};
+  MemoryTracker tight(64 * 1024);
+  Result<SparseTensor> r = NaiveTtmChain(x, factors, 0, &tight);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+  EXPECT_EQ(tight.used(), 0u);
+}
+
+TEST(ToolboxParafac, RecoversExactRankTwo) {
+  Rng rng(64);
+  std::vector<double> lambda = {4.0, 1.0};
+  DenseMatrix a = DenseMatrix::RandomNormal(9, 2, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(8, 2, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(7, 2, &rng);
+  Result<DenseTensor> dense = ReconstructKruskal(lambda, {&a, &b, &c});
+  ASSERT_OK(dense.status());
+  SparseTensor x = dense->ToSparse();
+
+  BaselineOptions options;
+  options.max_iterations = 100;
+  options.tolerance = 1e-12;
+  Result<KruskalModel> model = ToolboxParafacAls(x, 2, options);
+  ASSERT_OK(model.status());
+  EXPECT_GT(model->fit, 0.999);
+  // Factors have unit-norm columns.
+  for (const DenseMatrix& f : model->factors) {
+    std::vector<double> norms;
+    DenseMatrix copy = f;
+    NormalizeColumns(&copy, &norms);
+    for (double n : norms) EXPECT_NEAR(n, 1.0, 1e-9);
+  }
+}
+
+TEST(ToolboxParafac, NWayTensorsBeyondMrLimit) {
+  // 5-way: beyond the MapReduce path's kMaxMrOrder, supported here.
+  Rng rng(65);
+  SparseTensor x = RandomSparseTensor({4, 4, 4, 4, 4}, 40, &rng);
+  BaselineOptions options;
+  options.max_iterations = 4;
+  Result<KruskalModel> model = ToolboxParafacAls(x, 2, options);
+  ASSERT_OK(model.status());
+  EXPECT_EQ(model->factors.size(), 5u);
+}
+
+TEST(ToolboxParafac, OomUnderSmallBudget) {
+  Rng rng(66);
+  SparseTensor x = RandomSparseTensor({100, 100, 100}, 3000, &rng);
+  MemoryTracker tiny(1024);
+  BaselineOptions options;
+  options.memory = &tiny;
+  Result<KruskalModel> model = ToolboxParafacAls(x, 10, options);
+  EXPECT_TRUE(model.status().IsResourceExhausted());
+}
+
+TEST(ToolboxParafac, Validation) {
+  Rng rng(67);
+  SparseTensor x = RandomSparseTensor({5, 5, 5}, 20, &rng);
+  EXPECT_TRUE(ToolboxParafacAls(x, 0).status().IsInvalidArgument());
+  Result<SparseTensor> empty = SparseTensor::Create3(3, 3, 3);
+  ASSERT_OK(empty.status());
+  EXPECT_TRUE(ToolboxParafacAls(*empty, 2).status().IsInvalidArgument());
+}
+
+TEST(ToolboxTucker, RecoversExactLowMultilinearRank) {
+  Rng rng(68);
+  Result<DenseTensor> core = DenseTensor::Create({2, 2, 2});
+  ASSERT_OK(core.status());
+  for (double& v : core->data()) v = rng.Uniform(0.5, 2.0);
+  DenseMatrix a = DenseMatrix::RandomUniform(8, 2, &rng);
+  DenseMatrix b = DenseMatrix::RandomUniform(7, 2, &rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(6, 2, &rng);
+  Result<DenseTensor> dense = ReconstructTucker(*core, {&a, &b, &c});
+  ASSERT_OK(dense.status());
+  SparseTensor x = dense->ToSparse();
+
+  BaselineOptions options;
+  options.max_iterations = 30;
+  Result<TuckerModel> model = ToolboxTuckerAls(x, {2, 2, 2}, options);
+  ASSERT_OK(model.status());
+  EXPECT_GT(model->fit, 0.9999);
+  for (const DenseMatrix& f : model->factors) {
+    EXPECT_TRUE(HasOrthonormalColumns(f, 1e-8));
+  }
+}
+
+TEST(ToolboxTucker, MetAndNaiveChainAgree) {
+  Rng rng(69);
+  SparseTensor x = RandomSparseTensor({9, 8, 7}, 60, &rng);
+  BaselineOptions met;
+  met.max_iterations = 4;
+  met.tolerance = 0.0;
+  met.seed = 3;
+  BaselineOptions naive = met;
+  naive.use_met = false;
+  Result<TuckerModel> a = ToolboxTuckerAls(x, {3, 2, 2}, met);
+  Result<TuckerModel> b = ToolboxTuckerAls(x, {3, 2, 2}, naive);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  EXPECT_NEAR(a->fit, b->fit, 1e-9);
+  EXPECT_LT(a->core.MaxAbsDiff(b->core), 1e-8);
+}
+
+TEST(ToolboxTucker, CoreNormMonotonicAndFitConsistent) {
+  Rng rng(70);
+  SparseTensor x = RandomSparseTensor({12, 10, 9}, 150, &rng);
+  BaselineOptions options;
+  options.max_iterations = 8;
+  options.tolerance = 0.0;
+  Result<TuckerModel> model = ToolboxTuckerAls(x, {3, 3, 3}, options);
+  ASSERT_OK(model.status());
+  for (size_t i = 1; i < model->core_norm_history.size(); ++i) {
+    EXPECT_GE(model->core_norm_history[i],
+              model->core_norm_history[i - 1] - 1e-9);
+  }
+  // fit = 1 - sqrt(||X||² - ||G||²)/||X||.
+  double want = 1.0 - std::sqrt(x.SumSquares() -
+                                std::pow(model->core.FrobeniusNorm(), 2)) /
+                          x.FrobeniusNorm();
+  EXPECT_NEAR(model->fit, want, 1e-9);
+}
+
+TEST(ToolboxTucker, OomUnderSmallBudgetMetVsNoMet) {
+  Rng rng(71);
+  SparseTensor x = RandomSparseTensor({60, 60, 60}, 4000, &rng);
+  // A budget that MET fits in (dense Y: 60 x 100 doubles ≈ 48 KB) but the
+  // naive chain (nnz·Q ≈ 40000 entries x 32 B ≈ 1.3 MB) does not — the gap
+  // MET was invented for.
+  uint64_t budget = x.ApproxBytes() +
+                    3 * 60 * 10 * sizeof(double) +  // factors
+                    1000 * sizeof(double) +         // core
+                    256 * 1024;                     // workspace
+  {
+    MemoryTracker tracker(budget);
+    BaselineOptions options;
+    options.memory = &tracker;
+    options.max_iterations = 2;
+    EXPECT_OK(ToolboxTuckerAls(x, {10, 10, 10}, options).status());
+  }
+  {
+    MemoryTracker tracker(budget);
+    BaselineOptions options;
+    options.memory = &tracker;
+    options.max_iterations = 2;
+    options.use_met = false;
+    Result<TuckerModel> r = ToolboxTuckerAls(x, {10, 10, 10}, options);
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  }
+}
+
+TEST(ToolboxTucker, Validation) {
+  Rng rng(72);
+  SparseTensor x = RandomSparseTensor({5, 5, 5}, 20, &rng);
+  EXPECT_TRUE(ToolboxTuckerAls(x, {2, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(ToolboxTuckerAls(x, {2, 2, 6}).status().IsInvalidArgument());
+  EXPECT_TRUE(ToolboxTuckerAls(x, {0, 2, 2}).status().IsInvalidArgument());
+}
+
+TEST(ToolboxMttkrpOp, MatchesDirectMttkrp) {
+  Rng rng(73);
+  SparseTensor x = RandomSparseTensor({7, 6, 5}, 40, &rng);
+  DenseMatrix a = DenseMatrix::RandomNormal(7, 3, &rng);
+  DenseMatrix b = DenseMatrix::RandomNormal(6, 3, &rng);
+  DenseMatrix c = DenseMatrix::RandomNormal(5, 3, &rng);
+  std::vector<const DenseMatrix*> factors = {&a, &b, &c};
+  Result<DenseMatrix> guarded = ToolboxMttkrp(x, factors, 1, nullptr);
+  Result<DenseMatrix> direct = Mttkrp(x, factors, 1);
+  ASSERT_OK(guarded.status());
+  ASSERT_OK(direct.status());
+  EXPECT_LT(guarded->MaxAbsDiff(*direct), 1e-12);
+  EXPECT_TRUE(ToolboxMttkrp(x, factors, 5, nullptr).status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace haten2

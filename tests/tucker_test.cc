@@ -1,0 +1,180 @@
+// Tests for the HaTen2-Tucker driver: orthonormality, ||G|| monotonicity,
+// exact recovery of low-multilinear-rank tensors, variant equivalence and
+// agreement with the MET baseline.
+
+#include "core/tucker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/toolbox.h"
+#include "linalg/linalg.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+using ::haten2::testing::RandomSparseTensor;
+
+// An exact multilinear-rank (2,2,2) tensor.
+SparseTensor ExactTuckerTensor(Rng* rng) {
+  Result<DenseTensor> core = DenseTensor::Create({2, 2, 2});
+  HATEN2_CHECK(core.ok());
+  for (double& v : core->data()) v = rng->Uniform(0.5, 2.0);
+  DenseMatrix a = DenseMatrix::RandomUniform(8, 2, rng);
+  DenseMatrix b = DenseMatrix::RandomUniform(7, 2, rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(6, 2, rng);
+  Result<DenseTensor> dense = ReconstructTucker(*core, {&a, &b, &c});
+  HATEN2_CHECK(dense.ok());
+  return dense->ToSparse();
+}
+
+TEST(Haten2Tucker, RecoversExactLowRankTensor) {
+  Rng rng(21);
+  SparseTensor x = ExactTuckerTensor(&rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 30;
+  options.tolerance = 1e-13;
+  Result<TuckerModel> model = Haten2TuckerAls(&engine, x, {2, 2, 2}, options);
+  ASSERT_OK(model.status());
+  EXPECT_GT(model->fit, 0.9999);
+  // Reconstruction must match the input entrywise.
+  Result<DenseTensor> recon =
+      ReconstructTucker(model->core, model->FactorPtrs());
+  ASSERT_OK(recon.status());
+  DenseTensor original = DenseTensor::FromSparse(x);
+  EXPECT_LT(recon->MaxAbsDiff(original), 1e-6);
+}
+
+TEST(Haten2Tucker, FactorsAreOrthonormal) {
+  Rng rng(22);
+  SparseTensor x = RandomSparseTensor({12, 11, 10}, 150, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 5;
+  Result<TuckerModel> model = Haten2TuckerAls(&engine, x, {3, 4, 2}, options);
+  ASSERT_OK(model.status());
+  for (const DenseMatrix& f : model->factors) {
+    EXPECT_TRUE(HasOrthonormalColumns(f, 1e-8));
+  }
+  EXPECT_EQ(model->core.dims(), (std::vector<int64_t>{3, 4, 2}));
+}
+
+TEST(Haten2Tucker, CoreNormIsNonDecreasing) {
+  Rng rng(23);
+  SparseTensor x = RandomSparseTensor({10, 10, 10}, 120, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 8;
+  options.tolerance = 0.0;
+  Result<TuckerModel> model = Haten2TuckerAls(&engine, x, {3, 3, 3}, options);
+  ASSERT_OK(model.status());
+  ASSERT_GE(model->core_norm_history.size(), 2u);
+  for (size_t i = 1; i < model->core_norm_history.size(); ++i) {
+    EXPECT_GE(model->core_norm_history[i],
+              model->core_norm_history[i - 1] - 1e-9)
+        << "||G|| decreased at iteration " << i;
+  }
+}
+
+TEST(Haten2Tucker, AllVariantsProduceTheSameModel) {
+  Rng rng(24);
+  SparseTensor x = RandomSparseTensor({8, 7, 6}, 60, &rng);
+  Haten2Options options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+  std::vector<TuckerModel> models;
+  for (Variant v : kAllVariants) {
+    Engine engine(ClusterConfig::ForTesting());
+    options.variant = v;
+    Result<TuckerModel> m = Haten2TuckerAls(&engine, x, {2, 3, 2}, options);
+    ASSERT_OK(m.status());
+    models.push_back(std::move(m).value());
+  }
+  for (size_t v = 1; v < models.size(); ++v) {
+    EXPECT_NEAR(models[v].fit, models[0].fit, 1e-8) << "variant " << v;
+    EXPECT_LT(models[v].core.MaxAbsDiff(models[0].core), 1e-7)
+        << "variant " << v;
+  }
+}
+
+TEST(Haten2Tucker, MatchesMetBaselineFit) {
+  Rng rng(25);
+  SparseTensor x = RandomSparseTensor({10, 9, 8}, 100, &rng);
+  Haten2Options mr_options;
+  mr_options.max_iterations = 6;
+  mr_options.tolerance = 0.0;
+  mr_options.seed = 5;
+  BaselineOptions tb_options;
+  tb_options.max_iterations = 6;
+  tb_options.tolerance = 0.0;
+  tb_options.seed = 5;
+
+  Engine engine(ClusterConfig::ForTesting());
+  Result<TuckerModel> mr = Haten2TuckerAls(&engine, x, {3, 3, 3}, mr_options);
+  Result<TuckerModel> tb = ToolboxTuckerAls(x, {3, 3, 3}, tb_options);
+  ASSERT_OK(mr.status());
+  ASSERT_OK(tb.status());
+  // Same initialization and the same HOOI math => identical fits; factors
+  // can differ by column sign/rotation, so compare the invariant quantities.
+  EXPECT_NEAR(mr->fit, tb->fit, 1e-8);
+  EXPECT_NEAR(mr->core.FrobeniusNorm(), tb->core.FrobeniusNorm(), 1e-7);
+}
+
+TEST(Haten2Tucker, FourWayTensor) {
+  Rng rng(26);
+  SparseTensor x = RandomSparseTensor({6, 5, 4, 5}, 50, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 3;
+  Result<TuckerModel> model =
+      Haten2TuckerAls(&engine, x, {2, 2, 2, 2}, options);
+  ASSERT_OK(model.status());
+  EXPECT_EQ(model->factors.size(), 4u);
+  EXPECT_EQ(model->core.order(), 4);
+  for (const DenseMatrix& f : model->factors) {
+    EXPECT_TRUE(HasOrthonormalColumns(f, 1e-8));
+  }
+}
+
+TEST(Haten2Tucker, DegenerateCoreSizeOne) {
+  Rng rng(27);
+  SparseTensor x = RandomSparseTensor({8, 8, 8}, 60, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  Result<TuckerModel> model = Haten2TuckerAls(&engine, x, {1, 1, 1});
+  ASSERT_OK(model.status());
+  EXPECT_EQ(model->core.size(), 1);
+  EXPECT_GT(std::fabs(model->core.data()[0]), 0.0);
+}
+
+TEST(Haten2Tucker, RejectsBadInput) {
+  Rng rng(28);
+  SparseTensor x = RandomSparseTensor({5, 5, 5}, 20, &rng);
+  Engine engine(ClusterConfig::ForTesting());
+  EXPECT_TRUE(
+      Haten2TuckerAls(nullptr, x, {2, 2, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Haten2TuckerAls(&engine, x, {2, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Haten2TuckerAls(&engine, x, {2, 2, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Haten2TuckerAls(&engine, x, {2, 2, 9}).status().IsInvalidArgument());
+}
+
+TEST(Haten2Tucker, PropagatesOom) {
+  Rng rng(29);
+  SparseTensor x = RandomSparseTensor({30, 30, 30}, 400, &rng);
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.total_shuffle_memory_bytes = 4 * 1024;
+  Engine engine(config);
+  Result<TuckerModel> model = Haten2TuckerAls(&engine, x, {3, 3, 3});
+  ASSERT_FALSE(model.ok());
+  EXPECT_TRUE(model.status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace haten2

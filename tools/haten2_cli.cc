@@ -1,0 +1,252 @@
+// haten2 — command-line front end to the library, for downstream users who
+// just want factors out of a tensor file.
+//
+// Usage:
+//   haten2_cli <tensor-file> [flags]
+//
+// Flags:
+//   --method=parafac|tucker|parafac-nn|tucker-nn
+//                                        decomposition (default parafac;
+//                                        *-nn = nonnegative variants)
+//   --rank=R                             PARAFAC rank (default 10)
+//   --core=PxQxR                         Tucker core size (default 10 per
+//                                        mode)
+//   --variant=dri|drn|dnn|naive          HaTen2 variant (default dri)
+//   --iterations=N                       max ALS iterations (default 20)
+//   --tolerance=T                        convergence tolerance (default 1e-6)
+//   --seed=S                             initialization seed (default 17)
+//   --machines=M                         simulated cluster size (default 40)
+//   --threads=T                          execution threads (default 2)
+//   --budget-mb=B                        shuffle-memory budget (0=unlimited)
+//   --output=PREFIX                      write factors to PREFIX.mode<k>.txt
+//                                        (and PREFIX.lambda.txt / .core.txt)
+//   --resume=PREFIX                      warm-start from a model previously
+//                                        written with --output (continues
+//                                        the exact iterate sequence)
+//   --one-based                          read FROSTT-style 1-based indices
+//   --stats                              print the MapReduce job log
+//
+// Exit code 0 on success; on o.o.m. prints the paper-style diagnosis and
+// exits 2.
+
+#include <cstdio>
+
+#include "core/nonnegative_tucker.h"
+#include "core/parafac.h"
+#include "core/tucker.h"
+#include "tensor/model_io.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/engine.h"
+#include "tensor/tensor_binary_io.h"
+#include "tensor/tensor_io.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace haten2 {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: haten2_cli <tensor-file>\n"
+    "       [--method=parafac|tucker|parafac-nn|tucker-nn]\n"
+    "       [--rank=R] [--core=PxQxR] [--variant=dri|drn|dnn|naive]\n"
+    "       [--iterations=N] [--tolerance=T] [--seed=S] [--machines=M]\n"
+    "       [--threads=T] [--budget-mb=B] [--output=PREFIX]\n"
+    "       [--resume=PREFIX] [--stats]\n";
+
+Result<Variant> ParseVariant(const std::string& name) {
+  if (name == "dri") return Variant::kDri;
+  if (name == "drn") return Variant::kDrn;
+  if (name == "dnn") return Variant::kDnn;
+  if (name == "naive") return Variant::kNaive;
+  return Status::InvalidArgument("unknown variant: " + name);
+}
+
+Status WriteFactors(const std::vector<DenseMatrix>& factors,
+                    const std::string& prefix) {
+  for (size_t m = 0; m < factors.size(); ++m) {
+    HATEN2_RETURN_IF_ERROR(WriteMatrixText(
+        factors[m], StrFormat("%s.mode%zu.txt", prefix.c_str(), m)));
+  }
+  return Status::OK();
+}
+
+int RealMain(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  Status valid = flags.Validate({"method", "rank", "core", "variant",
+                                 "iterations", "tolerance", "seed",
+                                 "machines", "threads", "budget-mb",
+                                 "output", "resume", "stats", "one-based", "help"});
+  if (!valid.ok() || flags.GetBool("help", false) ||
+      flags.positional().size() != 1) {
+    if (!valid.ok()) std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    std::fputs(kUsage, stderr);
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+
+  const std::string path = flags.positional()[0];
+  Result<SparseTensor> tensor =
+      flags.GetBool("one-based", false)
+          ? ReadTensorText(path, TensorTextOptions{.index_base = 1})
+          : ReadTensorAuto(path);  // text or binary
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "reading %s: %s\n", path.c_str(),
+                 tensor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %s\n", path.c_str(),
+              tensor->DebugString().c_str());
+
+  Result<Variant> variant = ParseVariant(flags.GetString("variant", "dri"));
+  Result<int64_t> rank = flags.GetInt("rank", 10);
+  Result<int64_t> iterations = flags.GetInt("iterations", 20);
+  Result<double> tolerance = flags.GetDouble("tolerance", 1e-6);
+  Result<int64_t> seed = flags.GetInt("seed", 17);
+  Result<int64_t> machines = flags.GetInt("machines", 40);
+  Result<int64_t> threads = flags.GetInt("threads", 2);
+  Result<int64_t> budget_mb = flags.GetInt("budget-mb", 0);
+  Result<std::vector<int64_t>> core =
+      flags.GetDims("core", std::vector<int64_t>(
+                                static_cast<size_t>(tensor->order()), 10));
+  for (const Status& s :
+       {variant.status(), rank.status(), iterations.status(),
+        tolerance.status(), seed.status(), machines.status(),
+        threads.status(), budget_mb.status(), core.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ClusterConfig config;
+  config.num_machines = static_cast<int>(*machines);
+  config.num_threads = static_cast<int>(*threads);
+  config.total_shuffle_memory_bytes =
+      static_cast<uint64_t>(*budget_mb) << 20;
+  Engine engine(config);
+
+  Haten2Options options;
+  options.variant = *variant;
+  options.max_iterations = static_cast<int>(*iterations);
+  options.tolerance = *tolerance;
+  options.seed = static_cast<uint64_t>(*seed);
+
+  const std::string method = flags.GetString("method", "parafac");
+  const std::string output = flags.GetString("output", "");
+  const std::string resume = flags.GetString("resume", "");
+  WallTimer timer;
+  Status run_status = Status::OK();
+
+  // Warm starts: load the checkpoint matching the method family.
+  KruskalModel resume_kruskal;
+  TuckerModel resume_tucker;
+  if (!resume.empty()) {
+    if (method == "parafac" || method == "parafac-nn") {
+      Result<KruskalModel> loaded =
+          LoadKruskalModel(resume, tensor->order());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "--resume: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      resume_kruskal = std::move(loaded).value();
+      options.initial_kruskal = &resume_kruskal;
+      std::printf("resuming from %s (rank %lld)\n", resume.c_str(),
+                  (long long)resume_kruskal.rank());
+    } else {
+      Result<TuckerModel> loaded = LoadTuckerModel(resume, tensor->order());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "--resume: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      resume_tucker = std::move(loaded).value();
+      options.initial_tucker = &resume_tucker;
+      std::printf("resuming from %s\n", resume.c_str());
+    }
+  }
+
+  if (method == "parafac" || method == "parafac-nn") {
+    options.nonnegative = method == "parafac-nn";
+    Result<KruskalModel> model =
+        Haten2ParafacAls(&engine, *tensor, *rank, options);
+    run_status = model.status();
+    if (model.ok()) {
+      std::printf("%s rank %lld: fit %.4f in %d iterations (%s wall)\n",
+                  method.c_str(), (long long)*rank, model->fit,
+                  model->iterations,
+                  HumanSeconds(timer.ElapsedSeconds()).c_str());
+      if (!output.empty()) {
+        Status io = WriteFactors(model->factors, output);
+        if (io.ok()) {
+          DenseMatrix lambda(static_cast<int64_t>(model->lambda.size()), 1);
+          for (size_t r = 0; r < model->lambda.size(); ++r) {
+            lambda(static_cast<int64_t>(r), 0) = model->lambda[r];
+          }
+          io = WriteMatrixText(lambda, output + ".lambda.txt");
+        }
+        if (!io.ok()) {
+          std::fprintf(stderr, "%s\n", io.ToString().c_str());
+          return 1;
+        }
+        std::printf("wrote %s.mode*.txt and %s.lambda.txt\n",
+                    output.c_str(), output.c_str());
+      }
+    }
+  } else if (method == "tucker" || method == "tucker-nn") {
+    Result<TuckerModel> model =
+        method == "tucker"
+            ? Haten2TuckerAls(&engine, *tensor, *core, options)
+            : Haten2NonnegativeTuckerAls(&engine, *tensor, *core, options);
+    run_status = model.status();
+    if (model.ok()) {
+      std::printf("%s: fit %.4f, ||G|| %.4f in %d iterations (%s "
+                  "wall)\n", method.c_str(),
+                  model->fit, model->core.FrobeniusNorm(),
+                  model->iterations,
+                  HumanSeconds(timer.ElapsedSeconds()).c_str());
+      if (!output.empty()) {
+        Status io = WriteFactors(model->factors, output);
+        if (io.ok()) {
+          io = WriteTensorText(model->core.ToSparse(),
+                               output + ".core.txt");
+        }
+        if (!io.ok()) {
+          std::fprintf(stderr, "%s\n", io.ToString().c_str());
+          return 1;
+        }
+        std::printf("wrote %s.mode*.txt and %s.core.txt\n", output.c_str(),
+                    output.c_str());
+      }
+    }
+  } else {
+    std::fprintf(stderr, "unknown --method=%s\n%s", method.c_str(), kUsage);
+    return 1;
+  }
+
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "%s\n", run_status.ToString().c_str());
+    if (run_status.IsResourceExhausted()) {
+      std::fprintf(stderr,
+                   "the intermediate data exceeded the cluster budget; try "
+                   "--variant=dri (least intermediate data) or raise "
+                   "--budget-mb\n");
+      return 2;
+    }
+    return 1;
+  }
+
+  if (flags.GetBool("stats", false)) {
+    std::printf("\n%s", engine.pipeline().ToString().c_str());
+    std::printf("simulated %d-machine time: %s\n", config.num_machines,
+                HumanSeconds(CostModel(config).SimulatePipeline(
+                                 engine.pipeline()))
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace haten2
+
+int main(int argc, char** argv) { return haten2::RealMain(argc, argv); }

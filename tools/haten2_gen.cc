@@ -1,0 +1,133 @@
+// haten2_gen — dataset generator companion to haten2_cli: writes the
+// synthetic workloads of the paper's evaluation (Table V) as tensor text
+// files.
+//
+// Usage:
+//   haten2_gen <output-file> [flags]
+//
+// Flags:
+//   --kind=random|lowrank|kb|network   workload family (default random)
+//   --dims=IxJxK                       tensor shape (random/lowrank;
+//                                      default 1000x1000x1000)
+//   --nnz=N                            nonzeros (random; default 10000)
+//   --density=D                        alternative to --nnz for cubic dims
+//   --rank=R  --block=B                planted components (lowrank)
+//   --concepts=C                       planted concepts (kb)
+//   --preprocess                       apply the paper's KB preprocessing
+//   --seed=S                           generator seed (default 42)
+//   --binary                           write the compact binary format
+//
+// Examples:
+//   haten2_gen random.tns --dims=100000x100000x100000 --nnz=1000000
+//   haten2_gen kb.tns --kind=kb --concepts=6 --preprocess
+
+#include <cstdio>
+
+#include "tensor/tensor_binary_io.h"
+#include "tensor/tensor_io.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "workload/knowledge_base.h"
+#include "workload/network_logs.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: haten2_gen <output-file> [--kind=random|lowrank|kb|network]\n"
+    "       [--dims=IxJxK] [--nnz=N] [--density=D] [--rank=R] [--block=B]\n"
+    "       [--concepts=C] [--preprocess] [--seed=S]\n";
+
+Result<SparseTensor> Generate(const FlagParser& flags) {
+  const std::string kind = flags.GetString("kind", "random");
+  HATEN2_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  HATEN2_ASSIGN_OR_RETURN(
+      std::vector<int64_t> dims,
+      flags.GetDims("dims", {1000, 1000, 1000}));
+
+  if (kind == "random") {
+    HATEN2_ASSIGN_OR_RETURN(double density, flags.GetDouble("density", 0.0));
+    if (density > 0.0) {
+      if (dims.size() != 3 || dims[0] != dims[1] || dims[1] != dims[2]) {
+        return Status::InvalidArgument(
+            "--density requires cubic --dims=IxIxI");
+      }
+      return GenerateRandomCubicTensor(dims[0], density,
+                                       static_cast<uint64_t>(seed));
+    }
+    RandomTensorSpec spec;
+    spec.dims = dims;
+    HATEN2_ASSIGN_OR_RETURN(spec.nnz, flags.GetInt("nnz", 10000));
+    spec.seed = static_cast<uint64_t>(seed);
+    return GenerateRandomTensor(spec);
+  }
+  if (kind == "lowrank") {
+    LowRankTensorSpec spec;
+    spec.dims = dims;
+    HATEN2_ASSIGN_OR_RETURN(spec.rank, flags.GetInt("rank", 3));
+    HATEN2_ASSIGN_OR_RETURN(spec.block_size, flags.GetInt("block", 10));
+    HATEN2_ASSIGN_OR_RETURN(spec.nnz_per_component,
+                            flags.GetInt("nnz", 1000));
+    spec.seed = static_cast<uint64_t>(seed);
+    HATEN2_ASSIGN_OR_RETURN(PlantedTensor planted,
+                            GenerateLowRankTensor(spec));
+    return planted.tensor;
+  }
+  if (kind == "kb") {
+    KnowledgeBaseSpec spec;
+    HATEN2_ASSIGN_OR_RETURN(int64_t concepts, flags.GetInt("concepts", 4));
+    spec.num_concepts = static_cast<int>(concepts);
+    spec.seed = static_cast<uint64_t>(seed);
+    HATEN2_ASSIGN_OR_RETURN(KnowledgeBase kb, GenerateKnowledgeBase(spec));
+    if (flags.GetBool("preprocess", false)) {
+      return PreprocessKnowledgeTensor(kb.tensor, PreprocessOptions());
+    }
+    return kb.tensor;
+  }
+  if (kind == "network") {
+    NetworkLogSpec spec;
+    spec.seed = static_cast<uint64_t>(seed);
+    HATEN2_ASSIGN_OR_RETURN(NetworkLogs logs, GenerateNetworkLogs(spec));
+    std::fprintf(stderr,
+                 "planted scan: source %lld -> target %lld over %zu ports\n",
+                 (long long)logs.scanner_source, (long long)logs.scan_target,
+                 logs.scan_ports.size());
+    return logs.tensor;
+  }
+  return Status::InvalidArgument("unknown --kind=" + kind);
+}
+
+int RealMain(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  Status valid = flags.Validate({"kind", "dims", "nnz", "density", "rank",
+                                 "block", "concepts", "preprocess", "seed",
+                                 "binary", "help"});
+  if (!valid.ok() || flags.GetBool("help", false) ||
+      flags.positional().size() != 1) {
+    if (!valid.ok()) std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    std::fputs(kUsage, stderr);
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+  Result<SparseTensor> tensor = Generate(flags);
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& path = flags.positional()[0];
+  Status write_status = flags.GetBool("binary", false)
+                            ? WriteTensorBinary(*tensor, path)
+                            : WriteTensorText(*tensor, path);
+  if (Status s = write_status; !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s\n", path.c_str(),
+              tensor->DebugString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace haten2
+
+int main(int argc, char** argv) { return haten2::RealMain(argc, argv); }

@@ -1,0 +1,130 @@
+// haten2_verify — checks a saved decomposition against its tensor: loads a
+// model checkpoint (written by haten2_cli --output or SaveKruskalModel /
+// SaveTuckerModel) and the tensor file, recomputes the fit, and prints the
+// strongest components. The last step of a factor-quality pipeline, and a
+// quick way to compare checkpoints.
+//
+// Usage:
+//   haten2_verify <tensor-file> <model-prefix> [--method=parafac|tucker]
+//                 [--top=K]
+
+#include <cstdio>
+
+#include "tensor/model_io.h"
+#include "tensor/tensor_binary_io.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "workload/knowledge_base.h"  // TopKPerColumn
+
+namespace haten2 {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: haten2_verify <tensor-file> <model-prefix>\n"
+    "       [--method=parafac|tucker] [--top=K]\n";
+
+int RealMain(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  Status valid = flags.Validate({"method", "top", "help"});
+  if (!valid.ok() || flags.GetBool("help", false) ||
+      flags.positional().size() != 2) {
+    if (!valid.ok()) std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    std::fputs(kUsage, stderr);
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+  Result<SparseTensor> tensor = ReadTensorAuto(flags.positional()[0]);
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
+    return 1;
+  }
+  Result<int64_t> top = flags.GetInt("top", 3);
+  if (!top.ok()) {
+    std::fprintf(stderr, "%s\n", top.status().ToString().c_str());
+    return 1;
+  }
+  const std::string method = flags.GetString("method", "parafac");
+  const std::string& prefix = flags.positional()[1];
+
+  if (method == "parafac") {
+    Result<KruskalModel> model = LoadKruskalModel(prefix, tensor->order());
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    for (int m = 0; m < tensor->order(); ++m) {
+      if (model->factors[static_cast<size_t>(m)].rows() != tensor->dim(m)) {
+        std::fprintf(stderr,
+                     "model mode %d has %lld rows but the tensor mode is "
+                     "%lld\n",
+                     m,
+                     (long long)model->factors[static_cast<size_t>(m)]
+                         .rows(),
+                     (long long)tensor->dim(m));
+        return 1;
+      }
+    }
+    Result<double> fit = KruskalFit(*tensor, *model);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("tensor %s\nmodel  %s (PARAFAC rank %lld)\nfit    %.6f\n",
+                tensor->DebugString().c_str(), prefix.c_str(),
+                (long long)model->rank(), *fit);
+    // Strongest components and their top indices per mode.
+    std::printf("\ncomponents by weight:\n");
+    for (int64_t r = 0; r < model->rank(); ++r) {
+      std::printf("  r=%lld lambda=%.4f  top rows:", (long long)r,
+                  model->lambda[static_cast<size_t>(r)]);
+      for (int m = 0; m < tensor->order(); ++m) {
+        std::vector<std::vector<int64_t>> topk = TopKPerColumn(
+            model->factors[static_cast<size_t>(m)],
+            static_cast<int>(*top));
+        std::printf(" mode%d{", m);
+        for (size_t i = 0; i < topk[static_cast<size_t>(r)].size(); ++i) {
+          std::printf("%s%lld", i ? "," : "",
+                      (long long)topk[static_cast<size_t>(r)][i]);
+        }
+        std::printf("}");
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  if (method == "tucker") {
+    Result<TuckerModel> model = LoadTuckerModel(prefix, tensor->order());
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    Result<double> fit = TuckerFit(*tensor, *model);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("tensor %s\nmodel  %s (Tucker core",
+                tensor->DebugString().c_str(), prefix.c_str());
+    for (int m = 0; m < model->core.order(); ++m) {
+      std::printf("%s%lld", m ? "x" : " ", (long long)model->core.dim(m));
+    }
+    std::printf(")\nfit    %.6f   ||G|| %.4f\n", *fit,
+                model->core.FrobeniusNorm());
+    std::printf("\nstrongest core entries:\n");
+    for (const CoreEntry& entry : TopCoreEntries(model->core,
+                                                 static_cast<int>(*top))) {
+      std::printf("  (");
+      for (size_t m = 0; m < entry.index.size(); ++m) {
+        std::printf("%s%lld", m ? "," : "", (long long)entry.index[m]);
+      }
+      std::printf(") = %.4f\n", entry.value);
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --method=%s\n%s", method.c_str(), kUsage);
+  return 1;
+}
+
+}  // namespace
+}  // namespace haten2
+
+int main(int argc, char** argv) { return haten2::RealMain(argc, argv); }
