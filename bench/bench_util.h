@@ -58,6 +58,13 @@ struct Measurement {
   double simulated_seconds = 0.0;  ///< CostModel time on the paper cluster
   int64_t jobs = 0;
   int64_t max_intermediate_records = 0;
+  uint64_t max_intermediate_bytes = 0;
+  int64_t total_intermediate_records = 0;
+
+  /// Snapshot of the engine's per-job log for this cell (empty for
+  /// single-machine baselines), so the JSON export keeps the full detail
+  /// the table cells summarize.
+  PipelineStats pipeline;
 
   std::string Cell() const {
     if (oom) return "o.o.m.";
@@ -82,8 +89,11 @@ Measurement MeasureMr(Engine* engine, Body&& body) {
   const PipelineStats& pipeline = engine->pipeline();
   out.jobs = pipeline.NumJobs();
   out.max_intermediate_records = pipeline.MaxIntermediateRecords();
+  out.max_intermediate_bytes = pipeline.MaxIntermediateBytes();
+  out.total_intermediate_records = pipeline.TotalIntermediateRecords();
   out.simulated_seconds =
       CostModel(engine->config()).SimulatePipeline(pipeline);
+  out.pipeline = pipeline;
   return out;
 }
 

@@ -16,6 +16,7 @@
 
 #include <cinttypes>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "workload/random_tensor.h"
 
@@ -34,7 +35,7 @@ struct MethodState {
 void RunSweep(const std::string& title, const std::string& param_name,
               const std::vector<std::string>& param_labels,
               const std::vector<SparseTensor>& tensors,
-              const std::vector<int64_t>& cores) {
+              const std::vector<int64_t>& cores, BenchJsonLog* log) {
   std::vector<MethodState> methods = {
       {"Toolbox"},      {"HaTen2-Naive"}, {"HaTen2-DNN"},
       {"HaTen2-DRN"},   {"HaTen2-DRI"},
@@ -69,13 +70,14 @@ void RunSweep(const std::string& title, const std::string& param_name,
         });
       }
       if (result.oom) methods[m].skipped = true;
+      log->Add(param_name, param_labels[p], methods[m].name, result);
       cells.push_back(result.Cell());
     }
     PrintRow(cells);
   }
 }
 
-void PartDims() {
+void PartDims(BenchJsonLog* log) {
   std::vector<int64_t> dims = {100, 1000, 10000, 30000};
   std::vector<std::string> labels;
   std::vector<SparseTensor> tensors;
@@ -91,10 +93,10 @@ void PartDims() {
   }
   RunSweep("Figure 1(a): Tucker, nonzeros & dimensionality (nnz = 10*I, "
            "core 5x5x5)",
-           "dims", labels, tensors, cores);
+           "dims", labels, tensors, cores, log);
 }
 
-void PartDensity() {
+void PartDensity(BenchJsonLog* log) {
   const int64_t dim = 600;
   std::vector<double> densities = {1e-6, 1e-5, 1e-4, 1e-3};
   std::vector<std::string> labels;
@@ -106,10 +108,10 @@ void PartDensity() {
     cores.push_back(5);
   }
   RunSweep("Figure 1(b): Tucker, density (I=J=K=600, core 5x5x5)",
-           "density", labels, tensors, cores);
+           "density", labels, tensors, cores, log);
 }
 
-void PartCore() {
+void PartCore(BenchJsonLog* log) {
   RandomTensorSpec spec;
   spec.dims = {10000, 10000, 10000};
   spec.nnz = 50000;
@@ -126,7 +128,7 @@ void PartCore() {
     tensors.push_back(x);
   }
   RunSweep("Figure 1(c): Tucker, core tensor size (I=10^4, nnz=5*10^4)",
-           "core", labels, tensors, cores);
+           "core", labels, tensors, cores, log);
 }
 
 }  // namespace
@@ -139,8 +141,10 @@ int main() {
               "column: real single-machine wall time. o.o.m. = exceeded "
               "memory budget; skip(oom) = method already failed at a "
               "smaller scale)\n");
-  haten2::bench::PartDims();
-  haten2::bench::PartDensity();
-  haten2::bench::PartCore();
+  haten2::bench::BenchJsonLog log("fig1_tucker_scalability");
+  haten2::bench::PartDims(&log);
+  haten2::bench::PartDensity(&log);
+  haten2::bench::PartCore(&log);
+  log.Write();
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cinttypes>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "workload/random_tensor.h"
 
@@ -30,7 +31,7 @@ struct MethodState {
 void RunSweep(const std::string& title, const std::string& param_name,
               const std::vector<std::string>& param_labels,
               const std::vector<SparseTensor>& tensors,
-              const std::vector<int64_t>& ranks) {
+              const std::vector<int64_t>& ranks, BenchJsonLog* log) {
   std::vector<MethodState> methods = {
       {"Toolbox"},    {"HaTen2-Naive"}, {"HaTen2-DNN"},
       {"HaTen2-DRN"}, {"HaTen2-DRI"},
@@ -64,13 +65,14 @@ void RunSweep(const std::string& title, const std::string& param_name,
         });
       }
       if (result.oom) methods[m].skipped = true;
+      log->Add(param_name, param_labels[p], methods[m].name, result);
       cells.push_back(result.Cell());
     }
     PrintRow(cells);
   }
 }
 
-void PartDims() {
+void PartDims(BenchJsonLog* log) {
   std::vector<int64_t> dims = {100, 1000, 10000, 30000};
   std::vector<std::string> labels;
   std::vector<SparseTensor> tensors;
@@ -86,10 +88,10 @@ void PartDims() {
   }
   RunSweep("Figure 7(a): PARAFAC, nonzeros & dimensionality (nnz = 10*I, "
            "rank 5)",
-           "dims", labels, tensors, ranks);
+           "dims", labels, tensors, ranks, log);
 }
 
-void PartDensity() {
+void PartDensity(BenchJsonLog* log) {
   const int64_t dim = 600;
   std::vector<double> densities = {1e-6, 1e-5, 1e-4, 1e-3};
   std::vector<std::string> labels;
@@ -101,10 +103,10 @@ void PartDensity() {
     ranks.push_back(5);
   }
   RunSweep("Figure 7(b): PARAFAC, density (I=J=K=600, rank 5)", "density",
-           labels, tensors, ranks);
+           labels, tensors, ranks, log);
 }
 
-void PartRank() {
+void PartRank(BenchJsonLog* log) {
   RandomTensorSpec spec;
   spec.dims = {10000, 10000, 10000};
   spec.nnz = 50000;
@@ -118,7 +120,7 @@ void PartRank() {
     tensors.push_back(x);
   }
   RunSweep("Figure 7(c): PARAFAC, rank (I=10^4, nnz=5*10^4)", "rank", labels,
-           tensors, ranks);
+           tensors, ranks, log);
 }
 
 }  // namespace
@@ -131,8 +133,10 @@ int main() {
               "column: real single-machine wall time. o.o.m. = exceeded "
               "memory budget; skip(oom) = method already failed at a "
               "smaller scale)\n");
-  haten2::bench::PartDims();
-  haten2::bench::PartDensity();
-  haten2::bench::PartRank();
+  haten2::bench::BenchJsonLog log("fig7_parafac_scalability");
+  haten2::bench::PartDims(&log);
+  haten2::bench::PartDensity(&log);
+  haten2::bench::PartRank(&log);
+  log.Write();
   return 0;
 }

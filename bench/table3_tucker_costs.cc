@@ -9,6 +9,7 @@
 
 #include <cinttypes>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/contract.h"
 #include "workload/random_tensor.h"
@@ -17,7 +18,7 @@ namespace haten2 {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchJsonLog* log) {
   const int64_t dim = 200;
   const int64_t nnz_target = 2000;
   const int64_t q = 5;
@@ -47,6 +48,8 @@ void Run() {
     });
     PredictedCost predicted =
         PredictTuckerCost(v, x.nnz(), dim, dim, dim, q, r);
+    log->Add("tucker-bottleneck", StrFormat("Q=%" PRId64 ",R=%" PRId64, q, r),
+             std::string(VariantName(v)), measured);
     PrintRow({std::string(VariantName(v)).substr(7),
               HumanCount(static_cast<uint64_t>(
                   measured.max_intermediate_records)),
@@ -70,6 +73,8 @@ void Run() {
 int main() {
   std::printf("HaTen2 reproduction - Table III: Tucker bottleneck-op "
               "costs\n");
-  haten2::bench::Run();
+  haten2::bench::BenchJsonLog log("table3_tucker_costs");
+  haten2::bench::Run(&log);
+  log.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <cinttypes>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/contract.h"
 #include "workload/random_tensor.h"
@@ -13,7 +14,7 @@ namespace haten2 {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchJsonLog* log) {
   const int64_t dim = 200;
   const int64_t nnz_target = 2000;
   const int64_t rank = 5;
@@ -42,6 +43,8 @@ void Run() {
     });
     PredictedCost predicted = PredictParafacCost(v, x.nnz(), dim, dim, dim,
                                                  rank);
+    log->Add("parafac-bottleneck", StrFormat("R=%" PRId64, rank),
+             std::string(VariantName(v)), measured);
     PrintRow({std::string(VariantName(v)).substr(7),
               HumanCount(static_cast<uint64_t>(
                   measured.max_intermediate_records)),
@@ -64,6 +67,8 @@ void Run() {
 int main() {
   std::printf("HaTen2 reproduction - Table IV: PARAFAC bottleneck-op "
               "costs\n");
-  haten2::bench::Run();
+  haten2::bench::BenchJsonLog log("table4_parafac_costs");
+  haten2::bench::Run(&log);
+  log.Write();
   return 0;
 }

@@ -121,6 +121,12 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
   const double x_sq = x.SumSquares();
   double prev_fit = -1.0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    const size_t jobs_before = engine->pipeline().jobs.size();
+    WallTimer iter_timer;
+    bool iter_complete = false;
+    // The iteration body runs in a lambda so a mid-iteration failure
+    // (o.o.m. inside a contraction) can still be traced before returning.
+    Status iter_status = [&]() -> Status {
     // ---- Factor updates ----
     for (int n = 0; n < order; ++n) {
       HATEN2_ASSIGN_OR_RETURN(
@@ -201,6 +207,26 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
     double resid_sq = std::max(x_sq - 2.0 * inner + model_sq, 0.0);
     model.fit = 1.0 - std::sqrt(resid_sq / x_sq);
     model.core_norm_history.push_back(model.core.FrobeniusNorm());
+    iter_complete = true;
+    return Status::OK();
+    }();
+    if (options.trace != nullptr) {
+      IterationStats it;
+      it.iteration = iter;
+      it.wall_seconds = iter_timer.ElapsedSeconds();
+      if (iter_complete) {
+        it.has_fit = true;
+        it.fit = model.fit;
+        it.has_core_norm = true;
+        it.core_norm = model.core_norm_history.back();
+      }
+      const std::vector<JobStats>& jobs = engine->pipeline().jobs;
+      for (size_t j = jobs_before; j < jobs.size(); ++j) {
+        it.pipeline.jobs.push_back(jobs[j]);
+      }
+      options.trace->iterations.push_back(std::move(it));
+    }
+    if (!iter_status.ok()) return iter_status;
     if (prev_fit >= 0.0 && std::fabs(model.fit - prev_fit) <
                                options.tolerance) {
       break;

@@ -69,58 +69,86 @@ Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
 
   double prev_fit = -1.0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    for (int n = 0; n < order; ++n) {
-      HATEN2_ASSIGN_OR_RETURN(
-          SliceBlocks y,
-          MultiModeContract(engine, x, model.FactorPtrs(), n,
-                            MergeKind::kPairwise, options.variant));
-      DenseMatrix mttkrp = y.ToDenseMatrix();  // I_n x R
+    const size_t jobs_before = engine->pipeline().jobs.size();
+    WallTimer iter_timer;
+    bool fit_computed = false;
+    // The iteration body runs in a lambda so a mid-iteration failure
+    // (o.o.m. inside an MTTKRP) can still be traced before returning.
+    Status iter_status = [&]() -> Status {
+      for (int n = 0; n < order; ++n) {
+        HATEN2_ASSIGN_OR_RETURN(
+            SliceBlocks y,
+            MultiModeContract(engine, x, model.FactorPtrs(), n,
+                              MergeKind::kPairwise, options.variant));
+        DenseMatrix mttkrp = y.ToDenseMatrix();  // I_n x R
 
-      // V = ∗_{m != n} A_mᵀ A_m.
-      DenseMatrix v(rank, rank);
-      v.Fill(1.0);
-      for (int m = 0; m < order; ++m) {
-        if (m == n) continue;
-        for (int64_t r = 0; r < rank; ++r) {
-          for (int64_t s = 0; s < rank; ++s) {
-            v(r, s) *= grams[static_cast<size_t>(m)](r, s);
-          }
-        }
-      }
-
-      DenseMatrix updated;
-      if (options.nonnegative) {
-        // Lee-Seung multiplicative update:
-        // A ← A ∘ MTTKRP / (A·V), keeping entries nonnegative.
-        DenseMatrix& a = model.factors[static_cast<size_t>(n)];
-        HATEN2_ASSIGN_OR_RETURN(DenseMatrix av, MatMul(a, v));
-        updated = a;
-        for (int64_t i = 0; i < a.rows(); ++i) {
+        // V = ∗_{m != n} A_mᵀ A_m.
+        DenseMatrix v(rank, rank);
+        v.Fill(1.0);
+        for (int m = 0; m < order; ++m) {
+          if (m == n) continue;
           for (int64_t r = 0; r < rank; ++r) {
-            double denom = av(i, r);
-            double num = mttkrp(i, r);
-            updated(i, r) =
-                a(i, r) * (num / std::max(denom, kNonnegativeEps));
-            if (updated(i, r) < 0.0) updated(i, r) = 0.0;
+            for (int64_t s = 0; s < rank; ++s) {
+              v(r, s) *= grams[static_cast<size_t>(m)](r, s);
+            }
           }
         }
-      } else {
-        HATEN2_ASSIGN_OR_RETURN(updated, SolveRightPinv(mttkrp, v));
+
+        DenseMatrix updated;
+        if (options.nonnegative) {
+          // Lee-Seung multiplicative update:
+          // A ← A ∘ MTTKRP / (A·V), keeping entries nonnegative.
+          DenseMatrix& a = model.factors[static_cast<size_t>(n)];
+          HATEN2_ASSIGN_OR_RETURN(DenseMatrix av, MatMul(a, v));
+          updated = a;
+          for (int64_t i = 0; i < a.rows(); ++i) {
+            for (int64_t r = 0; r < rank; ++r) {
+              double denom = av(i, r);
+              double num = mttkrp(i, r);
+              updated(i, r) =
+                  a(i, r) * (num / std::max(denom, kNonnegativeEps));
+              if (updated(i, r) < 0.0) updated(i, r) = 0.0;
+            }
+          }
+        } else {
+          HATEN2_ASSIGN_OR_RETURN(updated, SolveRightPinv(mttkrp, v));
+        }
+        NormalizeColumns(&updated, &model.lambda);
+        model.factors[static_cast<size_t>(n)] = std::move(updated);
+        grams[static_cast<size_t>(n)] =
+            Gram(model.factors[static_cast<size_t>(n)]);
       }
-      NormalizeColumns(&updated, &model.lambda);
-      model.factors[static_cast<size_t>(n)] = std::move(updated);
-      grams[static_cast<size_t>(n)] =
-          Gram(model.factors[static_cast<size_t>(n)]);
+      model.iterations = iter;
+      if (options.compute_fit) {
+        HATEN2_ASSIGN_OR_RETURN(double fit, KruskalFit(x, model));
+        model.fit = fit;
+        model.fit_history.push_back(fit);
+        fit_computed = true;
+      }
+      return Status::OK();
+    }();
+    if (options.trace != nullptr) {
+      IterationStats it;
+      it.iteration = iter;
+      it.wall_seconds = iter_timer.ElapsedSeconds();
+      if (iter_status.ok()) it.lambda = model.lambda;
+      if (fit_computed) {
+        it.has_fit = true;
+        it.fit = model.fit;
+      }
+      const std::vector<JobStats>& jobs = engine->pipeline().jobs;
+      for (size_t j = jobs_before; j < jobs.size(); ++j) {
+        it.pipeline.jobs.push_back(jobs[j]);
+      }
+      options.trace->iterations.push_back(std::move(it));
     }
-    model.iterations = iter;
-    if (options.compute_fit) {
-      HATEN2_ASSIGN_OR_RETURN(double fit, KruskalFit(x, model));
-      model.fit = fit;
-      model.fit_history.push_back(fit);
-      if (prev_fit >= 0.0 && std::fabs(fit - prev_fit) < options.tolerance) {
+    if (!iter_status.ok()) return iter_status;
+    if (fit_computed) {
+      if (prev_fit >= 0.0 &&
+          std::fabs(model.fit - prev_fit) < options.tolerance) {
         break;
       }
-      prev_fit = fit;
+      prev_fit = model.fit;
     }
   }
   return model;

@@ -40,6 +40,14 @@ struct Haten2Options {
   /// (ALS state is fully captured by the factors). Not owned.
   const KruskalModel* initial_kruskal = nullptr;
   const TuckerModel* initial_tucker = nullptr;
+
+  /// Optional per-iteration observability: when non-null, the driver
+  /// appends one IterationStats per ALS iteration (fit / λ / ||G||, wall
+  /// time, and the engine jobs the iteration ran). An iteration that dies
+  /// mid-flight (o.o.m.) is still recorded with the jobs that completed,
+  /// so post-mortems of the paper's failure cases keep their numbers.
+  /// Serialized by stats_json.h. Not owned.
+  DecompositionTrace* trace = nullptr;
 };
 
 /// \brief HaTen2-PARAFAC (Algorithm 1 driven by the MapReduce bottleneck op).

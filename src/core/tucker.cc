@@ -157,39 +157,62 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
   const double x_norm = x.FrobeniusNorm();
   double prev_core_norm = -1.0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    SliceBlocks last_y;
-    for (int n = 0; n < order; ++n) {
-      HATEN2_ASSIGN_OR_RETURN(
-          SliceBlocks y,
-          MultiModeContract(engine, x, model.FactorPtrs(), n,
-                            MergeKind::kCross, options.variant));
-      HATEN2_ASSIGN_OR_RETURN(
-          DenseMatrix factor,
-          LeadingVectorsFromBlocks(y, core_dims[static_cast<size_t>(n)]));
-      model.factors[static_cast<size_t>(n)] = std::move(factor);
-      if (n == order - 1) last_y = std::move(y);
-    }
-    // Core: G = Y ×_{N-1} A⁽ᴺ⁻¹⁾ᵀ, i.e. G₍ₙ₎ = AᵀY₍ₙ₎ accumulated over the
-    // sparse slice blocks, then folded.
-    const int last = order - 1;
-    const DenseMatrix& a_last = model.factors[static_cast<size_t>(last)];
-    DenseMatrix core_unfolded(core_dims[static_cast<size_t>(last)],
-                              last_y.BlockSize());
-    for (const auto& [slice, row] : last_y.rows) {
-      for (int64_t p = 0; p < core_unfolded.rows(); ++p) {
-        double w = a_last(slice, p);
-        if (w == 0.0) continue;
-        double* crow = core_unfolded.RowPtr(p);
-        for (int64_t c = 0; c < core_unfolded.cols(); ++c) {
-          crow[c] += w * row[static_cast<size_t>(c)];
+    const size_t jobs_before = engine->pipeline().jobs.size();
+    WallTimer iter_timer;
+    double core_norm = 0.0;
+    // The iteration body runs in a lambda so a mid-iteration failure
+    // (o.o.m. inside a contraction) can still be traced before returning.
+    Status iter_status = [&]() -> Status {
+      SliceBlocks last_y;
+      for (int n = 0; n < order; ++n) {
+        HATEN2_ASSIGN_OR_RETURN(
+            SliceBlocks y,
+            MultiModeContract(engine, x, model.FactorPtrs(), n,
+                              MergeKind::kCross, options.variant));
+        HATEN2_ASSIGN_OR_RETURN(
+            DenseMatrix factor,
+            LeadingVectorsFromBlocks(y, core_dims[static_cast<size_t>(n)]));
+        model.factors[static_cast<size_t>(n)] = std::move(factor);
+        if (n == order - 1) last_y = std::move(y);
+      }
+      // Core: G = Y ×_{N-1} A⁽ᴺ⁻¹⁾ᵀ, i.e. G₍ₙ₎ = AᵀY₍ₙ₎ accumulated over
+      // the sparse slice blocks, then folded.
+      const int last = order - 1;
+      const DenseMatrix& a_last = model.factors[static_cast<size_t>(last)];
+      DenseMatrix core_unfolded(core_dims[static_cast<size_t>(last)],
+                                last_y.BlockSize());
+      for (const auto& [slice, row] : last_y.rows) {
+        for (int64_t p = 0; p < core_unfolded.rows(); ++p) {
+          double w = a_last(slice, p);
+          if (w == 0.0) continue;
+          double* crow = core_unfolded.RowPtr(p);
+          for (int64_t c = 0; c < core_unfolded.cols(); ++c) {
+            crow[c] += w * row[static_cast<size_t>(c)];
+          }
         }
       }
+      HATEN2_ASSIGN_OR_RETURN(
+          model.core, DenseTensor::Fold(core_unfolded, last, core_dims));
+      model.iterations = iter;
+      core_norm = model.core.FrobeniusNorm();
+      model.core_norm_history.push_back(core_norm);
+      return Status::OK();
+    }();
+    if (options.trace != nullptr) {
+      IterationStats it;
+      it.iteration = iter;
+      it.wall_seconds = iter_timer.ElapsedSeconds();
+      if (iter_status.ok()) {
+        it.has_core_norm = true;
+        it.core_norm = core_norm;
+      }
+      const std::vector<JobStats>& jobs = engine->pipeline().jobs;
+      for (size_t j = jobs_before; j < jobs.size(); ++j) {
+        it.pipeline.jobs.push_back(jobs[j]);
+      }
+      options.trace->iterations.push_back(std::move(it));
     }
-    HATEN2_ASSIGN_OR_RETURN(
-        model.core, DenseTensor::Fold(core_unfolded, last, core_dims));
-    model.iterations = iter;
-    double core_norm = model.core.FrobeniusNorm();
-    model.core_norm_history.push_back(core_norm);
+    if (!iter_status.ok()) return iter_status;
     if (prev_core_norm >= 0.0 &&
         std::fabs(core_norm - prev_core_norm) <= options.tolerance * x_norm) {
       break;

@@ -47,7 +47,13 @@ class ShuffleEmitter {
  public:
   using Record = std::pair<K, V>;
   static constexpr int64_t kChargeChunkRecords = 4096;
-  static constexpr uint64_t kRecordBytes = sizeof(K) + sizeof(V);
+  /// Serialized width of one intermediate record. Spill files are written
+  /// as raw Record structs, so sizeof(Record) — padding included — is the
+  /// width a record actually occupies on disk; the same width is charged
+  /// against the shuffle budget and reported in every byte counter, keeping
+  /// "bytes" in stats equal to bytes observable outside the process
+  /// (docs/INTERNALS.md, Accounting).
+  static constexpr uint64_t kRecordBytes = sizeof(Record);
 
   /// `spill_prefix` empty disables spilling; otherwise a partition's buffer
   /// is appended to "<spill_prefix>_p<partition>.spill" and cleared once it
@@ -265,7 +271,15 @@ class Engine {
                   "intermediate keys must be fixed-size records");
     static_assert(IsFixedSizeRecord<VMid>::value,
                   "intermediate values must be fixed-size records");
+    constexpr uint64_t kRecordBytes = ShuffleEmitter<KMid, VMid>::kRecordBytes;
     WallTimer timer;
+    WallTimer phase_timer;
+    // Attributes the time since the previous phase boundary to one phase;
+    // the segments are contiguous, so they sum to ≈ wall_seconds.
+    auto take_phase = [&phase_timer](double* sink) {
+      *sink = phase_timer.ElapsedSeconds();
+      phase_timer.Restart();
+    };
     JobStats stats;
     stats.name = name;
     stats.map_input_records = num_input_records;
@@ -277,8 +291,13 @@ class Engine {
     }
 
     // ---- Map phase ----
-    const int64_t spill_job_seq =
-        job_sequence_.load(std::memory_order_relaxed);
+    // One sequence number per job, taken exactly once: it keys both the
+    // spill-file prefix and the failure-injection decisions. (Taking it in
+    // two steps — a load() for the prefix and a later fetch_add() — let two
+    // concurrent Run() calls build identical spill prefixes and corrupt each
+    // other's spill files.)
+    const int64_t job_seq =
+        job_sequence_.fetch_add(1, std::memory_order_relaxed);
     std::vector<ShuffleEmitter<KMid, VMid>> emitters;
     emitters.reserve(static_cast<size_t>(num_tasks));
     for (int t = 0; t < num_tasks; ++t) {
@@ -286,7 +305,7 @@ class Engine {
       if (!config_.spill_directory.empty()) {
         spill_prefix = config_.spill_directory + "/haten2_" +
                        std::to_string(reinterpret_cast<uintptr_t>(this)) +
-                       "_j" + std::to_string(spill_job_seq) + "_t" +
+                       "_j" + std::to_string(job_seq) + "_t" +
                        std::to_string(t);
       }
       emitters.emplace_back(num_partitions, &tracker_,
@@ -296,8 +315,6 @@ class Engine {
     stats.map_task_records.assign(static_cast<size_t>(num_tasks), 0);
     stats.map_task_attempts.assign(static_cast<size_t>(num_tasks), 1);
 
-    const int64_t job_seq =
-        job_sequence_.fetch_add(1, std::memory_order_relaxed);
     std::atomic<bool> task_gave_up{false};
     const int64_t chunk =
         (num_input_records + num_tasks - 1) / std::max(num_tasks, 1);
@@ -318,57 +335,81 @@ class Engine {
       }
       int64_t begin = static_cast<int64_t>(t) * chunk;
       int64_t end = std::min(begin + chunk, num_input_records);
+      int64_t processed = 0;
       for (int64_t i = begin; i < end; ++i) {
         reader(i, &emitters[t]);
+        ++processed;
         if (emitters[t].failed()) break;
       }
       emitters[t].Flush();
-      stats.map_task_records[t] = std::max<int64_t>(0, end - begin);
+      // Count records actually handed to the reader: a task killed
+      // mid-chunk by the budget must not claim its whole chunk.
+      stats.map_task_records[t] = processed;
     });
     for (int attempts : stats.map_task_attempts) {
       stats.map_task_retries += attempts - 1;
     }
+    take_phase(&stats.phases.map_seconds);
 
     // Total bytes charged so far; released when the job finishes.
     auto release_all = [this, &emitters] {
       for (auto& em : emitters) tracker_.Release(em.charged_bytes());
     };
 
-    if (task_gave_up.load(std::memory_order_relaxed)) {
+    // Shuffle + spill accounting is captured on *every* exit path, before
+    // any spill cleanup: post-mortem stats must describe failed runs (the
+    // paper's o.o.m. deaths) as faithfully as successful ones. The
+    // per-partition vectors are sized here so a failed job reports its
+    // partition count (zero-filled) instead of nothing.
+    stats.reduce_partition_records.assign(static_cast<size_t>(num_partitions),
+                                          0);
+    stats.reduce_partition_bytes.assign(static_cast<size_t>(num_partitions),
+                                        0);
+    bool exploded = false;
+    Status explode_cause = Status::OK();
+    int64_t shuffled_records = 0;
+    for (auto& em : emitters) {
+      if (em.failed()) {
+        exploded = true;
+        if (em.failure_status().IsIOError()) {
+          explode_cause = em.failure_status();
+        }
+      }
+      shuffled_records += em.TotalRecords();
+      stats.spilled_records += em.TotalSpilledRecords();
+    }
+    stats.pre_combine_records = shuffled_records;
+    stats.map_output_records = shuffled_records;
+    stats.map_output_bytes =
+        static_cast<uint64_t>(shuffled_records) * kRecordBytes;
+    stats.spilled_bytes =
+        static_cast<uint64_t>(stats.spilled_records) * kRecordBytes;
+
+    // Fails the job: removes spill files (the stats above already captured
+    // them), records the job post-mortem, and releases the budget.
+    auto fail_job = [&](const char* kind, Status status) -> Status {
       for (auto& em : emitters) em.RemoveAllSpills();
+      stats.failure = kind;
       stats.wall_seconds = timer.ElapsedSeconds();
       RecordJob(stats);
       release_all();
-      return Status::Aborted(
-          "job '" + name + "': a map task exceeded max_task_attempts");
-    }
+      return status;
+    };
 
-    bool exploded = false;
-    for (auto& em : emitters) {
-      if (em.failed()) exploded = true;
-      stats.pre_combine_records += em.TotalRecords();
+    if (task_gave_up.load(std::memory_order_relaxed)) {
+      return fail_job(
+          "aborted",
+          Status::Aborted("job '" + name +
+                          "': a map task exceeded max_task_attempts"));
     }
     if (exploded) {
-      // Record what was shuffled before the explosion, then fail.
-      Status cause = Status::ResourceExhausted(
-          "o.o.m.: job '" + name +
-          "' exceeded the cluster shuffle-memory budget");
-      int64_t shuffled = 0;
-      for (auto& em : emitters) {
-        shuffled += em.TotalRecords();
-        if (em.failed() && em.failure_status().IsIOError()) {
-          cause = em.failure_status();
-        }
-        em.RemoveAllSpills();
+      if (explode_cause.ok()) {
+        explode_cause = Status::ResourceExhausted(
+            "o.o.m.: job '" + name +
+            "' exceeded the cluster shuffle-memory budget");
+        return fail_job("oom", explode_cause);
       }
-      stats.map_output_records = shuffled;
-      stats.map_output_bytes =
-          static_cast<uint64_t>(shuffled) *
-          ShuffleEmitter<KMid, VMid>::kRecordBytes;
-      stats.wall_seconds = timer.ElapsedSeconds();
-      RecordJob(stats);
-      release_all();
-      return cause;
+      return fail_job("io_error", explode_cause);
     }
 
     // ---- Combine phase (per map task, per partition) ----
@@ -378,37 +419,29 @@ class Engine {
           CombineBuffer<KMid, VMid>(&buf, combiner);
         }
       });
+      // The combiner changed what actually gets shuffled.
+      shuffled_records = 0;
+      for (auto& em : emitters) shuffled_records += em.TotalRecords();
+      stats.map_output_records = shuffled_records;
+      stats.map_output_bytes =
+          static_cast<uint64_t>(shuffled_records) * kRecordBytes;
+      take_phase(&stats.phases.combine_seconds);
     }
 
-    int64_t shuffled_records = 0;
-    for (auto& em : emitters) {
-      shuffled_records += em.TotalRecords();
-      stats.spilled_records += em.TotalSpilledRecords();
-    }
-    stats.map_output_records = shuffled_records;
-    stats.map_output_bytes = static_cast<uint64_t>(shuffled_records) *
-                             ShuffleEmitter<KMid, VMid>::kRecordBytes;
-
-    // ---- Shuffle + reduce phase (parallel over partitions) ----
-    using PartitionOutput = std::vector<std::pair<KOut, VOut>>;
-    std::vector<PartitionOutput> partition_outputs(
-        static_cast<size_t>(num_partitions));
-    std::vector<int64_t> partition_groups(static_cast<size_t>(num_partitions),
-                                          0);
-    stats.reduce_partition_records.assign(static_cast<size_t>(num_partitions),
-                                          0);
-    stats.reduce_partition_bytes.assign(static_cast<size_t>(num_partitions),
-                                        0);
-
+    // ---- Shuffle/group phase (parallel over partitions) ----
     struct StdHashAdapter {
       size_t operator()(const KMid& k) const {
         return static_cast<size_t>(ShuffleHash<KMid>()(k));
       }
     };
+    using GroupMap =
+        std::unordered_map<KMid, std::vector<VMid>, StdHashAdapter>;
+    std::vector<GroupMap> partition_groups(
+        static_cast<size_t>(num_partitions));
 
     std::atomic<bool> spill_read_failed{false};
     pool_.ParallelFor(static_cast<size_t>(num_partitions), [&](size_t p) {
-      std::unordered_map<KMid, std::vector<VMid>, StdHashAdapter> groups;
+      GroupMap& groups = partition_groups[p];
       int64_t received = 0;
       for (auto& em : emitters) {
         if (!em.DrainSpill(p, [&groups, &received](
@@ -427,24 +460,33 @@ class Engine {
       }
       stats.reduce_partition_records[p] = received;
       stats.reduce_partition_bytes[p] =
-          static_cast<uint64_t>(received) *
-          ShuffleEmitter<KMid, VMid>::kRecordBytes;
-      OutputEmitter<KOut, VOut> out;
-      for (auto& [key, values] : groups) {
-        reducer(key, values, &out);
-      }
-      partition_groups[p] = static_cast<int64_t>(groups.size());
-      partition_outputs[p] = std::move(out.records());
+          static_cast<uint64_t>(received) * kRecordBytes;
     });
+    take_phase(&stats.phases.shuffle_seconds);
 
     if (spill_read_failed.load(std::memory_order_relaxed)) {
-      for (auto& em : emitters) em.RemoveAllSpills();
-      stats.wall_seconds = timer.ElapsedSeconds();
-      RecordJob(stats);
-      release_all();
-      return Status::IOError("job '" + name +
-                             "': reading a shuffle spill file failed");
+      return fail_job(
+          "io_error",
+          Status::IOError("job '" + name +
+                          "': reading a shuffle spill file failed"));
     }
+
+    // ---- Reduce phase (parallel over partitions) ----
+    using PartitionOutput = std::vector<std::pair<KOut, VOut>>;
+    std::vector<PartitionOutput> partition_outputs(
+        static_cast<size_t>(num_partitions));
+    std::vector<int64_t> partition_group_counts(
+        static_cast<size_t>(num_partitions), 0);
+    pool_.ParallelFor(static_cast<size_t>(num_partitions), [&](size_t p) {
+      OutputEmitter<KOut, VOut> out;
+      for (auto& [key, values] : partition_groups[p]) {
+        reducer(key, values, &out);
+      }
+      partition_group_counts[p] =
+          static_cast<int64_t>(partition_groups[p].size());
+      partition_outputs[p] = std::move(out.records());
+      partition_groups[p] = GroupMap();  // free as we go
+    });
 
     std::vector<std::pair<KOut, VOut>> output;
     {
@@ -455,8 +497,9 @@ class Engine {
     for (auto& po : partition_outputs) {
       for (auto& rec : po) output.push_back(std::move(rec));
     }
-    for (int64_t g : partition_groups) stats.reduce_input_groups += g;
+    for (int64_t g : partition_group_counts) stats.reduce_input_groups += g;
     stats.reduce_output_records = static_cast<int64_t>(output.size());
+    take_phase(&stats.phases.reduce_seconds);
     stats.wall_seconds = timer.ElapsedSeconds();
     RecordJob(stats);
     release_all();

@@ -6,6 +6,17 @@
 
 namespace haten2 {
 
+TaskSkew SkewOf(std::vector<int64_t> counts) {
+  TaskSkew skew;
+  skew.tasks = static_cast<int64_t>(counts.size());
+  if (counts.empty()) return skew;
+  std::sort(counts.begin(), counts.end());
+  skew.min_records = counts.front();
+  skew.max_records = counts.back();
+  skew.p50_records = counts[counts.size() / 2];
+  return skew;
+}
+
 int64_t PipelineStats::MaxIntermediateRecords() const {
   int64_t m = 0;
   for (const JobStats& j : jobs) m = std::max(m, j.map_output_records);
@@ -21,6 +32,30 @@ uint64_t PipelineStats::MaxIntermediateBytes() const {
 int64_t PipelineStats::TotalIntermediateRecords() const {
   int64_t t = 0;
   for (const JobStats& j : jobs) t += j.map_output_records;
+  return t;
+}
+
+uint64_t PipelineStats::TotalIntermediateBytes() const {
+  uint64_t t = 0;
+  for (const JobStats& j : jobs) t += j.map_output_bytes;
+  return t;
+}
+
+int64_t PipelineStats::TotalSpilledRecords() const {
+  int64_t t = 0;
+  for (const JobStats& j : jobs) t += j.spilled_records;
+  return t;
+}
+
+int64_t PipelineStats::TotalMapTaskRetries() const {
+  int64_t t = 0;
+  for (const JobStats& j : jobs) t += j.map_task_retries;
+  return t;
+}
+
+int64_t PipelineStats::NumFailedJobs() const {
+  int64_t t = 0;
+  for (const JobStats& j : jobs) t += j.failed() ? 1 : 0;
   return t;
 }
 
@@ -49,6 +84,20 @@ std::string PipelineStats::ToString() const {
         HumanCount(j.reduce_input_groups).c_str(),
         HumanCount(j.reduce_output_records).c_str(),
         HumanSeconds(j.wall_seconds).c_str());
+    out += StrFormat(
+        "    phases: map=%s combine=%s shuffle=%s reduce=%s",
+        HumanSeconds(j.phases.map_seconds).c_str(),
+        HumanSeconds(j.phases.combine_seconds).c_str(),
+        HumanSeconds(j.phases.shuffle_seconds).c_str(),
+        HumanSeconds(j.phases.reduce_seconds).c_str());
+    if (j.spilled_records > 0) {
+      out += StrFormat(" spilled=%s", HumanCount(j.spilled_records).c_str());
+    }
+    if (j.map_task_retries > 0) {
+      out += StrFormat(" retries=%lld", (long long)j.map_task_retries);
+    }
+    if (j.failed()) out += StrFormat(" FAILED(%s)", j.failure.c_str());
+    out += "\n";
   }
   return out;
 }

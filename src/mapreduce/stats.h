@@ -7,11 +7,49 @@
 
 namespace haten2 {
 
+/// \brief Wall time attributed to each phase of one engine job.
+///
+/// The engine times the phases as contiguous segments covering Run() end to
+/// end, so on a successful job Total() ≈ JobStats::wall_seconds (the gaps
+/// are allocation noise). On a failed job only the phases that actually ran
+/// are populated.
+struct PhaseTimes {
+  /// Emitter setup, map tasks (reader calls), and retry bookkeeping.
+  double map_seconds = 0.0;
+  /// End-of-task combiners; 0 when the job has no combiner.
+  double combine_seconds = 0.0;
+  /// Shuffle/group: spill drain and group-by-key into reduce partitions.
+  double shuffle_seconds = 0.0;
+  /// Reducer invocations and output concatenation.
+  double reduce_seconds = 0.0;
+
+  double Total() const {
+    return map_seconds + combine_seconds + shuffle_seconds + reduce_seconds;
+  }
+};
+
+/// \brief min / p50 / max summary of a per-task (or per-partition) counter
+/// vector — the skew the CostModel's LPT makespan reacts to.
+struct TaskSkew {
+  int64_t tasks = 0;
+  int64_t min_records = 0;
+  int64_t p50_records = 0;
+  int64_t max_records = 0;
+};
+
+/// Computes the skew summary of `counts` (all zeros when empty).
+TaskSkew SkewOf(std::vector<int64_t> counts);
+
 /// \brief Counters collected while executing one MapReduce job.
 ///
 /// `map_output_records` / `map_output_bytes` measure the job's *intermediate
 /// data* — the quantity Tables III and IV of the paper bound per method. The
 /// per-task vectors feed the CostModel's simulated makespan.
+///
+/// Byte counters use the serialized record width sizeof(std::pair<K, V>)
+/// (padding included) — the same width spill files occupy on disk, so
+/// "bytes" in stats equals bytes observable outside the process (see
+/// docs/INTERNALS.md, Accounting).
 struct JobStats {
   std::string name;
 
@@ -25,7 +63,8 @@ struct JobStats {
   int64_t reduce_input_groups = 0;
   int64_t reduce_output_records = 0;
 
-  /// Input records processed by each map task.
+  /// Input records actually passed to the reader by each map task (an
+  /// aborted or budget-killed task counts only what it processed).
   std::vector<int64_t> map_task_records;
   /// Execution attempts per map task (1 = no retry; failure injection).
   std::vector<int> map_task_attempts;
@@ -33,6 +72,8 @@ struct JobStats {
   int64_t map_task_retries = 0;
   /// Records written to (and re-read from) spill files during the shuffle.
   int64_t spilled_records = 0;
+  /// Bytes those spilled records occupied on disk.
+  uint64_t spilled_bytes = 0;
   /// Shuffled records received by each reduce partition.
   std::vector<int64_t> reduce_partition_records;
   /// Shuffled bytes received by each reduce partition.
@@ -40,6 +81,19 @@ struct JobStats {
 
   /// Real in-process execution time of this job.
   double wall_seconds = 0.0;
+  /// Per-phase breakdown of wall_seconds.
+  PhaseTimes phases;
+
+  /// Empty for a successful job; otherwise how it died:
+  /// "oom" (shuffle-memory budget), "aborted" (a task exceeded
+  /// max_task_attempts), or "io_error" (spill read/write failure).
+  std::string failure;
+  bool failed() const { return !failure.empty(); }
+
+  TaskSkew MapTaskSkew() const { return SkewOf(map_task_records); }
+  TaskSkew ReducePartitionSkew() const {
+    return SkewOf(reduce_partition_records);
+  }
 };
 
 /// \brief Aggregate over the jobs of one logical operation (e.g. one
@@ -55,6 +109,11 @@ struct PipelineStats {
   uint64_t MaxIntermediateBytes() const;
 
   int64_t TotalIntermediateRecords() const;
+  uint64_t TotalIntermediateBytes() const;
+  int64_t TotalSpilledRecords() const;
+  int64_t TotalMapTaskRetries() const;
+  /// Jobs that ended with a non-empty JobStats::failure.
+  int64_t NumFailedJobs() const;
   double TotalWallSeconds() const;
 
   void Append(const PipelineStats& other);
@@ -62,6 +121,35 @@ struct PipelineStats {
 
   /// Multi-line human-readable summary.
   std::string ToString() const;
+};
+
+/// \brief One ALS (outer) iteration as recorded by a decomposition driver:
+/// model-quality numbers plus the MapReduce jobs the iteration executed.
+/// A failed iteration (o.o.m. mid-MTTKRP) is still recorded, with the jobs
+/// that ran before the failure.
+struct IterationStats {
+  int iteration = 0;
+  double wall_seconds = 0.0;
+
+  /// PARAFAC fit after this iteration (when the driver computed it).
+  bool has_fit = false;
+  double fit = 0.0;
+  /// Tucker ||G|| after this iteration (when applicable).
+  bool has_core_norm = false;
+  double core_norm = 0.0;
+  /// PARAFAC λ after this iteration (empty for Tucker).
+  std::vector<double> lambda;
+
+  /// The engine jobs executed during this iteration.
+  PipelineStats pipeline;
+};
+
+/// \brief Per-iteration trace of one decomposition run, filled by the
+/// drivers when Haten2Options::trace points at one.
+struct DecompositionTrace {
+  std::vector<IterationStats> iterations;
+
+  void Clear() { iterations.clear(); }
 };
 
 }  // namespace haten2

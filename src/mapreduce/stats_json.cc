@@ -1,0 +1,188 @@
+#include "mapreduce/stats_json.h"
+
+namespace haten2 {
+
+namespace {
+
+void SkewToJson(const TaskSkew& skew, JsonWriter* w) {
+  w->BeginObject()
+      .Key("count")
+      .Value(skew.tasks)
+      .Key("min_records")
+      .Value(skew.min_records)
+      .Key("p50_records")
+      .Value(skew.p50_records)
+      .Key("max_records")
+      .Value(skew.max_records)
+      .EndObject();
+}
+
+}  // namespace
+
+void JobStatsToJson(const JobStats& job, const CostModel* cost,
+                    JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").Value(job.name);
+  w->Key("status").Value(job.failed() ? std::string_view(job.failure)
+                                      : std::string_view("ok"));
+  w->Key("wall_seconds").Value(job.wall_seconds);
+  w->Key("phases")
+      .BeginObject()
+      .Key("map_seconds")
+      .Value(job.phases.map_seconds)
+      .Key("combine_seconds")
+      .Value(job.phases.combine_seconds)
+      .Key("shuffle_seconds")
+      .Value(job.phases.shuffle_seconds)
+      .Key("reduce_seconds")
+      .Value(job.phases.reduce_seconds)
+      .EndObject();
+  w->Key("map")
+      .BeginObject()
+      .Key("input_records")
+      .Value(job.map_input_records)
+      .Key("pre_combine_records")
+      .Value(job.pre_combine_records)
+      .Key("output_records")
+      .Value(job.map_output_records)
+      .Key("output_bytes")
+      .Value(job.map_output_bytes)
+      .Key("task_retries")
+      .Value(job.map_task_retries)
+      .Key("tasks");
+  SkewToJson(job.MapTaskSkew(), w);
+  w->EndObject();
+  w->Key("spill")
+      .BeginObject()
+      .Key("records")
+      .Value(job.spilled_records)
+      .Key("bytes")
+      .Value(job.spilled_bytes)
+      .EndObject();
+  uint64_t reduce_bytes = 0;
+  for (uint64_t b : job.reduce_partition_bytes) reduce_bytes += b;
+  w->Key("reduce")
+      .BeginObject()
+      .Key("input_groups")
+      .Value(job.reduce_input_groups)
+      .Key("output_records")
+      .Value(job.reduce_output_records)
+      .Key("input_bytes")
+      .Value(reduce_bytes)
+      .Key("partitions");
+  SkewToJson(job.ReducePartitionSkew(), w);
+  w->EndObject();
+  if (cost != nullptr) {
+    w->Key("simulated_seconds").Value(cost->SimulateJob(job));
+  }
+  w->EndObject();
+}
+
+void PipelineStatsToJson(const PipelineStats& pipeline, const CostModel* cost,
+                         JsonWriter* w) {
+  w->BeginObject();
+  w->Key("num_jobs").Value(pipeline.NumJobs());
+  w->Key("failed_jobs").Value(pipeline.NumFailedJobs());
+  w->Key("total_wall_seconds").Value(pipeline.TotalWallSeconds());
+  w->Key("max_intermediate_records").Value(pipeline.MaxIntermediateRecords());
+  w->Key("max_intermediate_bytes").Value(pipeline.MaxIntermediateBytes());
+  w->Key("total_intermediate_records")
+      .Value(pipeline.TotalIntermediateRecords());
+  w->Key("total_intermediate_bytes").Value(pipeline.TotalIntermediateBytes());
+  w->Key("total_spilled_records").Value(pipeline.TotalSpilledRecords());
+  w->Key("total_map_task_retries").Value(pipeline.TotalMapTaskRetries());
+  if (cost != nullptr) {
+    w->Key("simulated_seconds").Value(cost->SimulatePipeline(pipeline));
+  }
+  w->Key("jobs").BeginArray();
+  for (const JobStats& job : pipeline.jobs) JobStatsToJson(job, cost, w);
+  w->EndArray();
+  w->EndObject();
+}
+
+void IterationStatsToJson(const IterationStats& iteration,
+                          const CostModel* cost, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("iteration").Value(iteration.iteration);
+  w->Key("wall_seconds").Value(iteration.wall_seconds);
+  if (iteration.has_fit) w->Key("fit").Value(iteration.fit);
+  if (iteration.has_core_norm) {
+    w->Key("core_norm").Value(iteration.core_norm);
+  }
+  if (!iteration.lambda.empty()) {
+    w->Key("lambda").BeginArray();
+    for (double l : iteration.lambda) w->Value(l);
+    w->EndArray();
+  }
+  w->Key("pipeline");
+  PipelineStatsToJson(iteration.pipeline, cost, w);
+  w->EndObject();
+}
+
+void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w) {
+  w->BeginObject()
+      .Key("num_machines")
+      .Value(config.num_machines)
+      .Key("map_slots_per_machine")
+      .Value(config.map_slots_per_machine)
+      .Key("reduce_slots_per_machine")
+      .Value(config.reduce_slots_per_machine)
+      .Key("num_threads")
+      .Value(config.num_threads)
+      .Key("job_startup_seconds")
+      .Value(config.job_startup_seconds)
+      .Key("total_shuffle_memory_bytes")
+      .Value(config.total_shuffle_memory_bytes)
+      .Key("spill_threshold_records")
+      .Value(config.spill_threshold_records)
+      .Key("task_failure_probability")
+      .Value(config.task_failure_probability)
+      .Key("max_task_attempts")
+      .Value(config.max_task_attempts)
+      .EndObject();
+}
+
+std::string StatsReportToJson(const StatsReport& report) {
+  CostModel cost_model(report.cluster != nullptr ? *report.cluster
+                                                 : ClusterConfig());
+  const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("haten2-stats-v1");
+  if (!report.tool.empty()) w.Key("tool").Value(report.tool);
+  if (!report.method.empty()) w.Key("method").Value(report.method);
+  if (!report.variant.empty()) w.Key("variant").Value(report.variant);
+  if (!report.dataset.empty()) w.Key("dataset").Value(report.dataset);
+  w.Key("status").Value(report.status);
+  w.Key("wall_seconds").Value(report.wall_seconds);
+  if (report.has_fit) w.Key("fit").Value(report.fit);
+  if (report.iterations_run > 0) {
+    w.Key("iterations_run").Value(report.iterations_run);
+  }
+  if (report.cluster != nullptr) {
+    w.Key("cluster");
+    ClusterConfigToJson(*report.cluster, &w);
+  }
+  if (report.trace != nullptr) {
+    w.Key("iterations").BeginArray();
+    for (const IterationStats& it : report.trace->iterations) {
+      IterationStatsToJson(it, cost, &w);
+    }
+    w.EndArray();
+  }
+  if (report.pipeline != nullptr) {
+    w.Key("pipeline");
+    PipelineStatsToJson(*report.pipeline, cost, &w);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteStatsJsonFile(const StatsReport& report,
+                          const std::string& path) {
+  std::string json = StatsReportToJson(report);
+  json.push_back('\n');
+  return WriteTextFile(path, json);
+}
+
+}  // namespace haten2

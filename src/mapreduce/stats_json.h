@@ -1,0 +1,67 @@
+#ifndef HATEN2_MAPREDUCE_STATS_JSON_H_
+#define HATEN2_MAPREDUCE_STATS_JSON_H_
+
+#include <string>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/stats.h"
+#include "util/json_writer.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// JSON serialization of the engine's and drivers' statistics — the stable
+/// "haten2-stats-v1" schema documented in docs/INTERNALS.md. The schema is
+/// what --stats_json and the BENCH_*.json harness exports emit, so the
+/// perf trajectory can be read by machines across PRs.
+///
+/// All byte counters use the engine's serialized record width
+/// (sizeof of the intermediate record pair, padding included) — the same
+/// width spill files occupy on disk.
+
+/// Appends one job as a JSON object. With a non-null `cost`, includes the
+/// job's simulated cluster seconds.
+void JobStatsToJson(const JobStats& job, const CostModel* cost,
+                    JsonWriter* w);
+
+/// Appends a pipeline (aggregates plus the per-job array).
+void PipelineStatsToJson(const PipelineStats& pipeline, const CostModel* cost,
+                         JsonWriter* w);
+
+/// Appends one driver-level ALS iteration (fit / λ / ||G|| plus its jobs).
+void IterationStatsToJson(const IterationStats& iteration,
+                          const CostModel* cost, JsonWriter* w);
+
+/// Appends the cluster parameters that shaped the measurements.
+void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w);
+
+/// \brief Everything one decomposition run exports. Pointer members are
+/// optional (skipped when null) and not owned.
+struct StatsReport {
+  std::string tool;     ///< e.g. "haten2_cli"
+  std::string method;   ///< e.g. "parafac"
+  std::string variant;  ///< e.g. "dri"
+  std::string dataset;  ///< input path or generator description
+  /// "ok", or the failure kind ("oom", "aborted", "io_error", "error").
+  std::string status = "ok";
+  double wall_seconds = 0.0;
+
+  bool has_fit = false;
+  double fit = 0.0;
+  int iterations_run = 0;
+
+  const ClusterConfig* cluster = nullptr;   ///< also enables CostModel times
+  const DecompositionTrace* trace = nullptr;
+  const PipelineStats* pipeline = nullptr;
+};
+
+/// Serializes the whole report ("haten2-stats-v1").
+std::string StatsReportToJson(const StatsReport& report);
+
+/// Serializes `report` and writes it to `path`.
+Status WriteStatsJsonFile(const StatsReport& report, const std::string& path);
+
+}  // namespace haten2
+
+#endif  // HATEN2_MAPREDUCE_STATS_JSON_H_

@@ -1,0 +1,144 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace haten2 {
+
+void JsonWriter::Prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!container_has_elements_.empty()) {
+    if (container_has_elements_.back()) out_.push_back(',');
+    container_has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\b':
+        out_ += "\\b";
+        break;
+      case '\f':
+        out_ += "\\f";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix();
+  out_.push_back('{');
+  container_has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!container_has_elements_.empty() && !after_key_);
+  container_has_elements_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix();
+  out_.push_back('[');
+  container_has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!container_has_elements_.empty() && !after_key_);
+  container_has_elements_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  assert(!after_key_);
+  Prefix();
+  AppendEscaped(name);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  Prefix();
+  AppendEscaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool b) {
+  Prefix();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Prefix();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Prefix();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  if (!std::isfinite(v)) return Null();
+  Prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prefix();
+  out_ += "null";
+  return *this;
+}
+
+Status WriteTextFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace haten2

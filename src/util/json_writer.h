@@ -1,0 +1,67 @@
+#ifndef HATEN2_UTIL_JSON_WRITER_H_
+#define HATEN2_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace haten2 {
+
+/// \brief Minimal streaming JSON writer — no third-party dependencies.
+///
+/// Emits compact, valid JSON. Commas and the ':' after keys are inserted
+/// automatically; the caller is responsible for balanced Begin/End nesting
+/// (checked with assertions in debug builds). Doubles are written with
+/// enough digits to round-trip; non-finite doubles become null (JSON has no
+/// NaN/Inf). Strings are escaped per RFC 8259.
+///
+/// \code
+///   JsonWriter w;
+///   w.BeginObject().Key("jobs").BeginArray();
+///   w.BeginObject().Key("name").Value("wc").Key("wall").Value(0.5);
+///   w.EndObject().EndArray().EndObject();
+///   // w.str() == R"({"jobs":[{"name":"wc","wall":0.5}]})"
+/// \endcode
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value (or
+  /// Begin...). `name` is escaped.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(bool b);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(double v);
+  JsonWriter& Null();
+
+  /// The document so far. Valid JSON once nesting is balanced.
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma when this is not the first element of the
+  /// enclosing array/object (and no key was just written).
+  void Prefix();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> container_has_elements_;
+  bool after_key_ = false;
+};
+
+/// Writes `content` to `path`, truncating any existing file.
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace haten2
+
+#endif  // HATEN2_UTIL_JSON_WRITER_H_

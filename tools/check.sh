@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under sanitizers. Usage:
+#
+#   tools/check.sh [sanitizer...]
+#
+# With no arguments, runs address and undefined in turn. Each sanitizer
+# gets its own build tree (build-<sanitizer>) so the instrumented objects
+# never mix with the normal build. Benchmarks and examples are skipped —
+# the tests are what the sanitizers need to see.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [[ ${#sanitizers[@]} -eq 0 ]]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  build_dir="build-${san}"
+  echo "=== ${san}: configuring ${build_dir} ==="
+  cmake -B "${build_dir}" -S . \
+    -DHATEN2_SANITIZE="${san}" \
+    -DHATEN2_BUILD_BENCHMARKS=OFF \
+    -DHATEN2_BUILD_EXAMPLES=OFF
+  echo "=== ${san}: building ==="
+  cmake --build "${build_dir}" -j
+  echo "=== ${san}: testing ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j)
+done
+
+echo "=== all sanitizer runs passed: ${sanitizers[*]} ==="

@@ -25,6 +25,12 @@
 //                                        the exact iterate sequence)
 //   --one-based                          read FROSTT-style 1-based indices
 //   --stats                              print the MapReduce job log
+//   --stats_json=PATH                    write the run's statistics (per-job
+//                                        phase times, intermediate-data
+//                                        records/bytes, per-iteration fit)
+//                                        as "haten2-stats-v1" JSON; written
+//                                        on failures too, so o.o.m. runs
+//                                        keep their post-mortem numbers
 //
 // Exit code 0 on success; on o.o.m. prints the paper-style diagnosis and
 // exits 2.
@@ -37,6 +43,7 @@
 #include "tensor/model_io.h"
 #include "mapreduce/cost_model.h"
 #include "mapreduce/engine.h"
+#include "mapreduce/stats_json.h"
 #include "tensor/tensor_binary_io.h"
 #include "tensor/tensor_io.h"
 #include "util/flags.h"
@@ -52,7 +59,7 @@ constexpr const char* kUsage =
     "       [--rank=R] [--core=PxQxR] [--variant=dri|drn|dnn|naive]\n"
     "       [--iterations=N] [--tolerance=T] [--seed=S] [--machines=M]\n"
     "       [--threads=T] [--budget-mb=B] [--output=PREFIX]\n"
-    "       [--resume=PREFIX] [--stats]\n";
+    "       [--resume=PREFIX] [--stats] [--stats_json=PATH]\n";
 
 Result<Variant> ParseVariant(const std::string& name) {
   if (name == "dri") return Variant::kDri;
@@ -76,7 +83,8 @@ int RealMain(int argc, char** argv) {
   Status valid = flags.Validate({"method", "rank", "core", "variant",
                                  "iterations", "tolerance", "seed",
                                  "machines", "threads", "budget-mb",
-                                 "output", "resume", "stats", "one-based", "help"});
+                                 "output", "resume", "stats", "stats_json",
+                                 "one-based", "help"});
   if (!valid.ok() || flags.GetBool("help", false) ||
       flags.positional().size() != 1) {
     if (!valid.ok()) std::fprintf(stderr, "%s\n", valid.ToString().c_str());
@@ -134,8 +142,15 @@ int RealMain(int argc, char** argv) {
   const std::string method = flags.GetString("method", "parafac");
   const std::string output = flags.GetString("output", "");
   const std::string resume = flags.GetString("resume", "");
+  const std::string stats_json = flags.GetString("stats_json", "");
+  DecompositionTrace trace;
+  if (!stats_json.empty()) options.trace = &trace;
   WallTimer timer;
   Status run_status = Status::OK();
+  Status output_status = Status::OK();  // factor/core write, deferred
+  bool has_fit = false;
+  double fit = 0.0;
+  int iterations_run = 0;
 
   // Warm starts: load the checkpoint matching the method family.
   KruskalModel resume_kruskal;
@@ -172,6 +187,9 @@ int RealMain(int argc, char** argv) {
         Haten2ParafacAls(&engine, *tensor, *rank, options);
     run_status = model.status();
     if (model.ok()) {
+      has_fit = true;
+      fit = model->fit;
+      iterations_run = model->iterations;
       std::printf("%s rank %lld: fit %.4f in %d iterations (%s wall)\n",
                   method.c_str(), (long long)*rank, model->fit,
                   model->iterations,
@@ -185,12 +203,11 @@ int RealMain(int argc, char** argv) {
           }
           io = WriteMatrixText(lambda, output + ".lambda.txt");
         }
-        if (!io.ok()) {
-          std::fprintf(stderr, "%s\n", io.ToString().c_str());
-          return 1;
+        if (io.ok()) {
+          std::printf("wrote %s.mode*.txt and %s.lambda.txt\n",
+                      output.c_str(), output.c_str());
         }
-        std::printf("wrote %s.mode*.txt and %s.lambda.txt\n",
-                    output.c_str(), output.c_str());
+        output_status = io;
       }
     }
   } else if (method == "tucker" || method == "tucker-nn") {
@@ -200,6 +217,9 @@ int RealMain(int argc, char** argv) {
             : Haten2NonnegativeTuckerAls(&engine, *tensor, *core, options);
     run_status = model.status();
     if (model.ok()) {
+      has_fit = true;
+      fit = model->fit;
+      iterations_run = model->iterations;
       std::printf("%s: fit %.4f, ||G|| %.4f in %d iterations (%s "
                   "wall)\n", method.c_str(),
                   model->fit, model->core.FrobeniusNorm(),
@@ -211,17 +231,52 @@ int RealMain(int argc, char** argv) {
           io = WriteTensorText(model->core.ToSparse(),
                                output + ".core.txt");
         }
-        if (!io.ok()) {
-          std::fprintf(stderr, "%s\n", io.ToString().c_str());
-          return 1;
+        if (io.ok()) {
+          std::printf("wrote %s.mode*.txt and %s.core.txt\n",
+                      output.c_str(), output.c_str());
         }
-        std::printf("wrote %s.mode*.txt and %s.core.txt\n", output.c_str(),
-                    output.c_str());
+        output_status = io;
       }
     }
   } else {
     std::fprintf(stderr, "unknown --method=%s\n%s", method.c_str(), kUsage);
     return 1;
+  }
+
+  // The JSON export runs before the exit-code handling so failed runs
+  // (the paper's o.o.m. deaths in particular) keep their post-mortem stats.
+  if (!stats_json.empty()) {
+    StatsReport report;
+    report.tool = "haten2_cli";
+    report.method = method;
+    report.variant = flags.GetString("variant", "dri");
+    report.dataset = path;
+    if (run_status.ok()) {
+      report.status = "ok";
+    } else if (run_status.IsResourceExhausted()) {
+      report.status = "oom";
+    } else if (run_status.IsAborted()) {
+      report.status = "aborted";
+    } else if (run_status.IsIOError()) {
+      report.status = "io_error";
+    } else {
+      report.status = "error";
+    }
+    report.wall_seconds = timer.ElapsedSeconds();
+    report.has_fit = has_fit;
+    report.fit = fit;
+    report.iterations_run = iterations_run;
+    report.cluster = &config;
+    report.trace = &trace;
+    report.pipeline = &engine.pipeline();
+    Status json_status = WriteStatsJsonFile(report, stats_json);
+    if (!json_status.ok()) {
+      std::fprintf(stderr, "--stats_json: %s\n",
+                   json_status.ToString().c_str());
+      if (run_status.ok() && output_status.ok()) return 1;
+    } else {
+      std::printf("wrote %s\n", stats_json.c_str());
+    }
   }
 
   if (!run_status.ok()) {
@@ -233,6 +288,10 @@ int RealMain(int argc, char** argv) {
                    "--budget-mb\n");
       return 2;
     }
+    return 1;
+  }
+  if (!output_status.ok()) {
+    std::fprintf(stderr, "%s\n", output_status.ToString().c_str());
     return 1;
   }
 
