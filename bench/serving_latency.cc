@@ -1,0 +1,188 @@
+// Serving-latency harness: fits a small PARAFAC model on a planted
+// low-rank tensor, installs it in a ModelRegistry, and drives the request
+// pipeline with a closed-loop mixed workload at increasing client counts.
+// Reports QPS, mixed-workload latency percentiles, and cache hit rate per
+// point, and writes BENCH_serving_latency.json
+// ("haten2-serving-bench-v1"; $HATEN2_BENCH_JSON_DIR honored like the
+// other harnesses).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/parafac.h"
+#include "mapreduce/engine.h"
+#include "serving/model_registry.h"
+#include "serving/query_engine.h"
+#include "serving/request_pipeline.h"
+#include "serving/serving_stats.h"
+#include "util/json_writer.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace {
+
+constexpr double kDurationSeconds = 0.5;
+constexpr const char* kModelName = "bench";
+
+/// Random query from the mixed workload: 20% top-k, 40% neighbors (Zipf
+/// anchors, so the cache sees repetition), 40% concepts.
+Query RandomQuery(const ServedModel& model, Rng* rng) {
+  const int order = model.order();
+  Query q;
+  q.model = kModelName;
+  double roll = rng->Uniform();
+  if (roll < 0.2) {
+    q.kind = QueryKind::kTopK;
+    q.k = 10;
+    q.beam = 10;
+  } else if (roll < 0.6) {
+    q.kind = QueryKind::kNeighbors;
+    q.mode = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(order)));
+    int64_t dim = model.factors()[static_cast<size_t>(q.mode)].rows();
+    q.row = static_cast<int64_t>(
+        rng->Zipf(static_cast<uint64_t>(dim), 1.1));
+    q.k = 10;
+  } else {
+    q.kind = QueryKind::kConcepts;
+    q.component = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(model.rank())));
+    q.mode = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(order)));
+    q.k = 10;
+  }
+  return q;
+}
+
+/// Sums the per-class histograms into one mixed-workload snapshot.
+LatencyHistogram::Snapshot MixedSnapshot(const ServingStats& stats) {
+  LatencyHistogram::Snapshot mixed;
+  for (int c = 0; c < kNumServingQueryClasses; ++c) {
+    LatencyHistogram::Snapshot s =
+        stats.ClassSnapshot(static_cast<ServingQueryClass>(c));
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      mixed.counts[static_cast<size_t>(b)] +=
+          s.counts[static_cast<size_t>(b)];
+    }
+    mixed.total_count += s.total_count;
+    mixed.total_seconds += s.total_seconds;
+  }
+  return mixed;
+}
+
+}  // namespace
+}  // namespace haten2
+
+int main() {
+  using namespace haten2;
+
+  // Fit a modest model once; serving latency, not fitting, is measured.
+  LowRankTensorSpec spec;
+  spec.dims = {400, 300, 200};
+  spec.rank = 4;
+  spec.block_size = 12;
+  spec.nnz_per_component = 4000;
+  spec.seed = 31;
+  Result<PlantedTensor> planted = GenerateLowRankTensor(spec);
+  if (!planted.ok()) {
+    std::fprintf(stderr, "%s\n", planted.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine_mr(ClusterConfig::ForTesting());
+  Haten2Options fit_options;
+  fit_options.max_iterations = 10;
+  fit_options.nonnegative = true;
+  Result<KruskalModel> model =
+      Haten2ParafacAls(&engine_mr, planted->tensor, spec.rank, fit_options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  ModelRegistry registry;
+  auto observed = std::make_shared<const SparseTensor>(planted->tensor);
+  Result<int64_t> version =
+      registry.InstallKruskal(kModelName, std::move(model).value(), observed);
+  if (!version.ok()) {
+    std::fprintf(stderr, "%s\n", version.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::shared_ptr<const ServedModel>> served = registry.Get(kModelName);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine engine(&registry);
+
+  std::printf("serving latency, %.1fs closed loop per point, 4 workers\n\n",
+              kDurationSeconds);
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "clients", "queries",
+              "qps", "p50_ms", "p95_ms", "p99_ms", "hit_rate");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("haten2-serving-bench-v1");
+  w.Key("bench").Value("serving_latency");
+  w.Key("duration_seconds").Value(kDurationSeconds);
+  w.Key("cells").BeginArray();
+  for (int clients : {1, 2, 4, 8}) {
+    ServingStats stats;
+    PipelineOptions options;
+    options.num_threads = 4;
+    RequestPipeline pipeline(&engine, &stats, options);
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        Rng rng(1000 + static_cast<uint64_t>(c));
+        WallTimer timer;
+        while (timer.ElapsedSeconds() < kDurationSeconds) {
+          pipeline.Submit(RandomQuery(**served, &rng)).get();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    pipeline.Shutdown();
+    stats.EndWindow();
+
+    ShardedLruCache<QueryResult>::Stats cache = pipeline.CacheStats();
+    LatencyHistogram::Snapshot mixed = MixedSnapshot(stats);
+    double p50 = mixed.Quantile(0.50) * 1e3;
+    double p95 = mixed.Quantile(0.95) * 1e3;
+    double p99 = mixed.Quantile(0.99) * 1e3;
+
+    std::printf("%8d %10llu %10.0f %10.3f %10.3f %10.3f %9.1f%%\n", clients,
+                (unsigned long long)stats.TotalQueries(), stats.Qps(), p50,
+                p95, p99, 100.0 * cache.HitRate());
+
+    w.BeginObject();
+    w.Key("clients").Value(clients);
+    w.Key("queries").Value(static_cast<uint64_t>(stats.TotalQueries()));
+    w.Key("qps").Value(stats.Qps());
+    w.Key("p50_ms").Value(p50);
+    w.Key("p95_ms").Value(p95);
+    w.Key("p99_ms").Value(p99);
+    w.Key("cache_hit_rate").Value(cache.HitRate());
+    w.Key("cache_hits").Value(cache.hits);
+    w.Key("cache_misses").Value(cache.misses);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const char* dir = std::getenv("HATEN2_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_serving_latency.json"
+                         : "BENCH_serving_latency.json";
+  Status written = WriteTextFile(path, w.str());
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench json: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -18,9 +18,10 @@ namespace haten2 {
 /// so candidates are generated the way the concepts are read off in Tables
 /// VI-VIII: for each component, take the `beam` highest-loaded indices of
 /// every mode and enumerate their cross product (beam^N cells per
-/// component — the region where a rank-one component can place mass), then
-/// score each candidate under the full model, drop the ones already
-/// observed, and return the global top k.
+/// component — the region where a rank-one component can place mass). The
+/// per-component cross products overlap heavily, so candidates are
+/// deduplicated across components before scoring; each unique unobserved
+/// cell is then scored under the full model and the global top k returned.
 struct PredictedEntry {
   std::vector<int64_t> index;
   double score;
@@ -34,12 +35,56 @@ struct LinkPredictionOptions {
   bool rank_rows_by_magnitude = true;
 };
 
+/// Candidate-generation counters, for serving stats and diagnostics.
+struct LinkPredictionStats {
+  /// Cells enumerated over all per-component beam cross products
+  /// (Σ_r beam^N, before any dedup).
+  int64_t candidates_enumerated = 0;
+  /// Unique cells after cross-component dedup.
+  int64_t candidates_deduped = 0;
+  /// Unique cells actually scored (deduped minus already-observed cells).
+  int64_t candidates_scored = 0;
+};
+
+/// The per-mode top-loaded rows of every component — the candidate beams of
+/// PredictTopEntries. Computing them scans every factor once per component
+/// (O(N·R·I)); serving keeps them cached per model version so repeated
+/// queries skip the scan. rows[r][m] holds the top `beam` (or all, when a
+/// mode is smaller) row indices of mode m under component r, best first.
+struct CandidateBeams {
+  int64_t beam = 0;
+  bool rank_rows_by_magnitude = true;
+  std::vector<std::vector<std::vector<int64_t>>> rows;
+
+  /// True when these beams were computed with the given options.
+  bool Matches(const LinkPredictionOptions& options) const {
+    return beam == options.beam &&
+           rank_rows_by_magnitude == options.rank_rows_by_magnitude;
+  }
+};
+
+/// Precomputes the candidate beams of `model` under `options`.
+Result<CandidateBeams> ComputeCandidateBeams(
+    const KruskalModel& model, const LinkPredictionOptions& options = {});
+
 /// Top-`k` predicted entries under `model` that are absent from `observed`
 /// (which must be canonical and match the model's shape). Results are
-/// sorted by descending score.
+/// sorted by descending score. When `stats` is non-null the candidate
+/// counters are written to it (on success).
 Result<std::vector<PredictedEntry>> PredictTopEntries(
     const KruskalModel& model, const SparseTensor& observed, int64_t k,
-    const LinkPredictionOptions& options = {});
+    const LinkPredictionOptions& options = {},
+    LinkPredictionStats* stats = nullptr);
+
+/// Same, but with the candidate beams precomputed by ComputeCandidateBeams
+/// (they must match `options` and the model they were computed from).
+/// Produces byte-identical results to the overload above — serving relies
+/// on this to answer from its per-version beam cache.
+Result<std::vector<PredictedEntry>> PredictTopEntries(
+    const KruskalModel& model, const CandidateBeams& beams,
+    const SparseTensor& observed, int64_t k,
+    const LinkPredictionOptions& options = {},
+    LinkPredictionStats* stats = nullptr);
 
 }  // namespace haten2
 

@@ -1,0 +1,144 @@
+#ifndef HATEN2_SERVING_LRU_CACHE_H_
+#define HATEN2_SERVING_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace haten2 {
+
+/// \brief Sharded LRU cache for hot query results.
+///
+/// Keys are canonical query strings (they embed the model version, so a
+/// hot-swap naturally invalidates stale entries — old-version entries age
+/// out of the LRU instead of needing an explicit flush). Values are
+/// shared_ptr<const V>, so a hit never copies the payload and an entry can
+/// be evicted while a reader still holds it.
+///
+/// Sharding: a key hashes to one of `shards` independent LRU lists, each
+/// behind its own mutex, so concurrent lookups from the request pipeline's
+/// workers contend only 1/shards of the time. Hit/miss/eviction counters
+/// are lock-free atomics.
+template <typename V>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    int64_t entries = 0;
+
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  /// `capacity` is the total entry budget across all shards (minimum one
+  /// entry per shard); `shards` must be >= 1.
+  ShardedLruCache(size_t capacity, size_t shards)
+      : shards_(std::max<size_t>(1, shards)) {
+    HATEN2_CHECK(capacity >= 1) << "cache capacity must be >= 1";
+    per_shard_capacity_ =
+        std::max<size_t>(1, (capacity + shards_.size() - 1) / shards_.size());
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullptr on miss.
+  std::shared_ptr<const V> Lookup(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entries of the shard beyond its capacity.
+  void Insert(const std::string& key, std::shared_ptr<const V> value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->value = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.index[key] = shard.lru.begin();
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drops every entry (counters are kept).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.index.clear();
+    }
+  }
+
+  Stats GetStats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      s.entries += static_cast<int64_t>(shard.lru.size());
+    }
+    return s;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t per_shard_capacity() const { return per_shard_capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, typename std::list<Entry>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_capacity_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> inserts_{0};
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_SERVING_LRU_CACHE_H_

@@ -1,0 +1,124 @@
+#include "serving/model_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "tensor/model_io.h"
+#include "tensor/tensor_io.h"
+
+namespace haten2 {
+
+const char* ModelKindName(ModelKind kind) {
+  return kind == ModelKind::kKruskal ? "kruskal" : "tucker";
+}
+
+ModelRegistry::ModelRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+Result<int64_t> ModelRegistry::InstallKruskal(
+    const std::string& name, KruskalModel model,
+    std::shared_ptr<const SparseTensor> observed) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (model.factors.empty()) {
+    return Status::InvalidArgument("model has no factor matrices");
+  }
+  if (observed != nullptr) {
+    if (observed->order() != static_cast<int>(model.factors.size())) {
+      return Status::InvalidArgument(
+          "observed tensor order does not match the model");
+    }
+    if (!observed->canonical()) {
+      return Status::FailedPrecondition(
+          "observed tensor must be canonical (call Canonicalize())");
+    }
+  }
+  auto served = std::make_shared<ServedModel>();
+  served->name = name;
+  served->kind = ModelKind::kKruskal;
+  served->kruskal = std::move(model);
+  served->observed = std::move(observed);
+  served->beam_options = options_.beam_options;
+  // The beam precompute is the expensive part of a top-k query; do it here,
+  // outside any lock, so installs never stall readers.
+  HATEN2_ASSIGN_OR_RETURN(
+      served->beams,
+      ComputeCandidateBeams(served->kruskal, options_.beam_options));
+  return InstallLocked(name, std::move(served));
+}
+
+Result<int64_t> ModelRegistry::InstallTucker(const std::string& name,
+                                             TuckerModel model) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (model.factors.empty()) {
+    return Status::InvalidArgument("model has no factor matrices");
+  }
+  auto served = std::make_shared<ServedModel>();
+  served->name = name;
+  served->kind = ModelKind::kTucker;
+  served->tucker = std::move(model);
+  served->beam_options = options_.beam_options;
+  return InstallLocked(name, std::move(served));
+}
+
+Result<int64_t> ModelRegistry::LoadKruskal(const std::string& name,
+                                           const std::string& prefix,
+                                           const std::string& observed_path) {
+  HATEN2_ASSIGN_OR_RETURN(KruskalModel model,
+                          LoadKruskalModelAutoOrder(prefix));
+  std::shared_ptr<const SparseTensor> observed;
+  if (!observed_path.empty()) {
+    HATEN2_ASSIGN_OR_RETURN(SparseTensor tensor,
+                            ReadTensorText(observed_path));
+    observed = std::make_shared<const SparseTensor>(std::move(tensor));
+  }
+  return InstallKruskal(name, std::move(model), std::move(observed));
+}
+
+Result<int64_t> ModelRegistry::LoadTucker(const std::string& name,
+                                          const std::string& prefix) {
+  HATEN2_ASSIGN_OR_RETURN(TuckerModel model, LoadTuckerModelAutoOrder(prefix));
+  return InstallTucker(name, std::move(model));
+}
+
+Result<int64_t> ModelRegistry::InstallLocked(
+    const std::string& name, std::shared_ptr<ServedModel> model) {
+  int64_t version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  model->version = version;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  models_[name] = std::move(model);
+  return version;
+}
+
+Result<std::shared_ptr<const ServedModel>> ModelRegistry::Get(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("no model named '" + name + "' is registered");
+  }
+  return it->second;
+}
+
+bool ModelRegistry::Remove(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace haten2

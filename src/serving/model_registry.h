@@ -1,0 +1,128 @@
+#ifndef HATEN2_SERVING_MODEL_REGISTRY_H_
+#define HATEN2_SERVING_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/link_prediction.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+enum class ModelKind { kKruskal, kTucker };
+
+const char* ModelKindName(ModelKind kind);
+
+/// \brief One immutable, query-ready model version.
+///
+/// Built once at install time and never mutated afterwards: readers obtain
+/// a shared_ptr<const ServedModel> and can keep answering queries from it
+/// even while the registry hot-swaps the name to a newer version. Besides
+/// the raw factors it holds what the query engine needs precomputed:
+/// the candidate beams of the top-k path (per-mode top-loaded rows per
+/// component — the expensive factor scan PredictTopEntries would otherwise
+/// repeat per query) and, optionally, the observed tensor that top-k
+/// predictions must exclude.
+struct ServedModel {
+  std::string name;
+  int64_t version = 0;
+  ModelKind kind = ModelKind::kKruskal;
+
+  KruskalModel kruskal;  // valid when kind == kKruskal
+  TuckerModel tucker;    // valid when kind == kTucker
+
+  /// Observed tensor for top-k predicted-entry queries (those score only
+  /// absent cells). Null when the model was installed without one; top-k
+  /// queries then fail with FailedPrecondition.
+  std::shared_ptr<const SparseTensor> observed;
+
+  /// Candidate beams precomputed at install time with the registry's
+  /// default options (Kruskal only). Queries with matching options serve
+  /// from this; others recompute on the fly.
+  CandidateBeams beams;
+  LinkPredictionOptions beam_options;
+
+  int order() const {
+    return static_cast<int>(kind == ModelKind::kKruskal
+                                ? kruskal.factors.size()
+                                : tucker.factors.size());
+  }
+  int64_t rank() const {
+    if (kind == ModelKind::kKruskal) return kruskal.rank();
+    return tucker.factors.empty() ? 0 : tucker.factors[0].cols();
+  }
+  const std::vector<DenseMatrix>& factors() const {
+    return kind == ModelKind::kKruskal ? kruskal.factors : tucker.factors;
+  }
+};
+
+struct RegistryOptions {
+  /// Beam width precomputed for top-k candidate generation at install.
+  LinkPredictionOptions beam_options;
+};
+
+/// \brief Named model versions with lock-hot-swap semantics.
+///
+/// Writers (Install*/Load*/Remove) take the writer lock only to swap a
+/// pointer in the name → model map; building the ServedModel (I/O, beam
+/// precompute) happens outside the lock. Readers (Get) take the shared
+/// lock just long enough to copy a shared_ptr, so queries in flight keep
+/// the version they started on and a swap is never torn.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryOptions options = {});
+
+  /// Installs a fitted Kruskal model under `name`, replacing any previous
+  /// version. `observed` may be null (top-k queries then unavailable).
+  /// Returns the installed version (monotonically increasing across the
+  /// registry).
+  Result<int64_t> InstallKruskal(const std::string& name, KruskalModel model,
+                                 std::shared_ptr<const SparseTensor> observed);
+
+  /// Installs a fitted Tucker model under `name`.
+  Result<int64_t> InstallTucker(const std::string& name, TuckerModel model);
+
+  /// Loads a checkpoint written by SaveKruskalModel / haten2_cli --output,
+  /// inferring the order from the files on disk, and installs it.
+  /// `observed_path` may be empty (no top-k) — otherwise the tensor file
+  /// the model was fitted on.
+  Result<int64_t> LoadKruskal(const std::string& name,
+                              const std::string& prefix,
+                              const std::string& observed_path);
+
+  Result<int64_t> LoadTucker(const std::string& name,
+                             const std::string& prefix);
+
+  /// The current version of `name`, or NotFound.
+  Result<std::shared_ptr<const ServedModel>> Get(const std::string& name)
+      const;
+
+  /// Removes `name`; false when absent. In-flight readers keep their
+  /// snapshot.
+  bool Remove(const std::string& name);
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+  const RegistryOptions& options() const { return options_; }
+
+ private:
+  Result<int64_t> InstallLocked(const std::string& name,
+                                std::shared_ptr<ServedModel> model);
+
+  RegistryOptions options_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+  std::atomic<int64_t> next_version_{1};
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_SERVING_MODEL_REGISTRY_H_

@@ -1,0 +1,196 @@
+#include "serving/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace haten2 {
+
+namespace {
+
+/// Top `n` of `scored` by descending score, ties by ascending row for
+/// deterministic answers across runs and thread schedules.
+std::vector<ScoredRow> TopN(std::vector<ScoredRow> scored, int64_t n) {
+  int64_t keep = std::min<int64_t>(n, static_cast<int64_t>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const ScoredRow& a, const ScoredRow& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.row < b.row;
+                    });
+  scored.resize(static_cast<size_t>(keep));
+  return scored;
+}
+
+}  // namespace
+
+Result<QueryResult> QueryEngine::Execute(const Query& query) const {
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  HATEN2_ASSIGN_OR_RETURN(std::shared_ptr<const ServedModel> model,
+                          registry_->Get(query.model));
+  switch (query.kind) {
+    case QueryKind::kTopK:
+      return TopK(*model, query);
+    case QueryKind::kNeighbors:
+      return Neighbors(*model, query);
+    case QueryKind::kConcepts:
+      return Concepts(*model, query);
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+Result<QueryResult> QueryEngine::TopK(const ServedModel& model,
+                                      const Query& query) const {
+  if (model.kind != ModelKind::kKruskal) {
+    return Status::FailedPrecondition(
+        "top-k predicted entries require a Kruskal model");
+  }
+  if (model.observed == nullptr) {
+    return Status::FailedPrecondition(
+        "model '" + model.name +
+        "' was installed without its observed tensor; top-k queries "
+        "cannot exclude known entries");
+  }
+  LinkPredictionOptions options = model.beam_options;
+  options.beam = query.beam;
+
+  QueryResult result;
+  result.kind = QueryKind::kTopK;
+  result.model = model.name;
+  result.model_version = model.version;
+  if (model.beams.Matches(options)) {
+    // Hot path: the per-version beam cache covers this query.
+    HATEN2_ASSIGN_OR_RETURN(
+        result.entries,
+        PredictTopEntries(model.kruskal, model.beams, *model.observed,
+                          query.k, options, &result.prediction_stats));
+  } else {
+    HATEN2_ASSIGN_OR_RETURN(
+        result.entries,
+        PredictTopEntries(model.kruskal, *model.observed, query.k, options,
+                          &result.prediction_stats));
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Neighbors(const ServedModel& model,
+                                           const Query& query) const {
+  const auto& factors = model.factors();
+  if (query.mode < 0 || query.mode >= static_cast<int>(factors.size())) {
+    return Status::InvalidArgument(
+        StrFormat("mode %d out of range for a %d-way model", query.mode,
+                  static_cast<int>(factors.size())));
+  }
+  const DenseMatrix& factor = factors[static_cast<size_t>(query.mode)];
+  if (query.row < 0 || query.row >= factor.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("row %lld out of range for mode %d (size %lld)",
+                  (long long)query.row, query.mode,
+                  (long long)factor.rows()));
+  }
+
+  // Similarity space: for Kruskal, weight each column by its lambda so
+  // dominant components dominate the geometry; Tucker factors are
+  // orthonormal and used as-is.
+  const int64_t rank = factor.cols();
+  std::vector<double> weights(static_cast<size_t>(rank), 1.0);
+  if (model.kind == ModelKind::kKruskal) {
+    for (int64_t r = 0; r < rank; ++r) {
+      weights[static_cast<size_t>(r)] =
+          model.kruskal.lambda[static_cast<size_t>(r)];
+    }
+  }
+  auto weighted_dot = [&](int64_t i, int64_t j) {
+    double dot = 0.0;
+    for (int64_t r = 0; r < rank; ++r) {
+      double w = weights[static_cast<size_t>(r)];
+      dot += (w * factor(i, r)) * (w * factor(j, r));
+    }
+    return dot;
+  };
+
+  const int64_t anchor = query.row;
+  const double anchor_norm = std::sqrt(weighted_dot(anchor, anchor));
+  std::vector<ScoredRow> scored;
+  scored.reserve(static_cast<size_t>(factor.rows()));
+  for (int64_t i = 0; i < factor.rows(); ++i) {
+    if (i == anchor) continue;
+    double norm = std::sqrt(weighted_dot(i, i));
+    double denom = anchor_norm * norm;
+    double cosine = denom > 0.0 ? weighted_dot(anchor, i) / denom : 0.0;
+    scored.push_back(ScoredRow{i, cosine});
+  }
+
+  QueryResult result;
+  result.kind = QueryKind::kNeighbors;
+  result.model = model.name;
+  result.model_version = model.version;
+  result.rows = TopN(std::move(scored), query.k);
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Concepts(const ServedModel& model,
+                                          const Query& query) const {
+  const auto& factors = model.factors();
+  if (query.mode < 0 || query.mode >= static_cast<int>(factors.size())) {
+    return Status::InvalidArgument(
+        StrFormat("mode %d out of range for a %d-way model", query.mode,
+                  static_cast<int>(factors.size())));
+  }
+  const DenseMatrix& factor = factors[static_cast<size_t>(query.mode)];
+  if (query.component < 0 || query.component >= factor.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("component %lld out of range (rank %lld)",
+                  (long long)query.component, (long long)factor.cols()));
+  }
+
+  QueryResult result;
+  result.kind = QueryKind::kConcepts;
+  result.model = model.name;
+  result.model_version = model.version;
+
+  // Serve from the per-version beam cache when it already ranked enough
+  // rows of this (component, mode); otherwise rank directly.
+  const bool by_magnitude = model.beam_options.rank_rows_by_magnitude;
+  const auto cached_rows =
+      (model.kind == ModelKind::kKruskal &&
+       query.component < static_cast<int64_t>(model.beams.rows.size()) &&
+       query.k <= model.beams.beam)
+          ? &model.beams.rows[static_cast<size_t>(query.component)]
+                             [static_cast<size_t>(query.mode)]
+          : nullptr;
+  if (cached_rows != nullptr) {
+    int64_t keep =
+        std::min<int64_t>(query.k, static_cast<int64_t>(cached_rows->size()));
+    result.rows.reserve(static_cast<size_t>(keep));
+    for (int64_t i = 0; i < keep; ++i) {
+      int64_t row = (*cached_rows)[static_cast<size_t>(i)];
+      result.rows.push_back(ScoredRow{row, factor(row, query.component)});
+    }
+    return result;
+  }
+
+  std::vector<ScoredRow> scored;
+  scored.reserve(static_cast<size_t>(factor.rows()));
+  for (int64_t i = 0; i < factor.rows(); ++i) {
+    double v = factor(i, query.component);
+    scored.push_back(ScoredRow{i, by_magnitude ? std::fabs(v) : v});
+  }
+  scored = TopN(std::move(scored), query.k);
+  // Report the raw loading, not the ranking key.
+  for (ScoredRow& r : scored) r.score = factor(r.row, query.component);
+  result.rows = std::move(scored);
+  return result;
+}
+
+std::string QueryEngine::CacheKey(const Query& query, int64_t version) {
+  return StrFormat("%s/v%lld/%d/k%lld/b%lld/m%d/r%lld/c%lld",
+                   query.model.c_str(), (long long)version,
+                   static_cast<int>(query.kind), (long long)query.k,
+                   (long long)query.beam, query.mode, (long long)query.row,
+                   (long long)query.component);
+}
+
+}  // namespace haten2

@@ -1,0 +1,94 @@
+#ifndef HATEN2_SERVING_QUERY_ENGINE_H_
+#define HATEN2_SERVING_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/link_prediction.h"
+#include "serving/model_registry.h"
+#include "serving/serving_stats.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// What a query asks of a served model. Values match ServingQueryClass so
+/// stats can index per-class histograms directly.
+enum class QueryKind : int {
+  /// Top-k predicted (absent) entries under the model — the paper's
+  /// Tables VI–VIII read as an online query. Kruskal models only.
+  kTopK = 0,
+  /// Entities nearest to `row` of mode `mode` in factor space (cosine
+  /// similarity over lambda-weighted rows for Kruskal, raw rows for
+  /// Tucker).
+  kNeighbors = 1,
+  /// The k highest-loaded rows of mode `mode` under component
+  /// `component` — a concept listing.
+  kConcepts = 2,
+};
+
+struct Query {
+  std::string model;
+  QueryKind kind = QueryKind::kTopK;
+  /// Result-set size for every kind (top-k entries, n neighbors, n rows).
+  int64_t k = 10;
+  /// Candidate beam width (kTopK only). Queries matching the registry's
+  /// precomputed beam are served from the per-version cache.
+  int64_t beam = 10;
+  /// Factor mode (kNeighbors, kConcepts).
+  int mode = 0;
+  /// Anchor entity row (kNeighbors).
+  int64_t row = 0;
+  /// Component index (kConcepts).
+  int64_t component = 0;
+};
+
+/// A row with its score: similarity for kNeighbors, loading for kConcepts.
+struct ScoredRow {
+  int64_t row = 0;
+  double score = 0.0;
+};
+
+struct QueryResult {
+  QueryKind kind = QueryKind::kTopK;
+  std::string model;
+  int64_t model_version = 0;
+  /// kTopK payload.
+  std::vector<PredictedEntry> entries;
+  LinkPredictionStats prediction_stats;
+  /// kNeighbors / kConcepts payload.
+  std::vector<ScoredRow> rows;
+};
+
+/// \brief Stateless query execution against a ModelRegistry snapshot.
+///
+/// Execute() resolves the model name once, then answers entirely from the
+/// immutable ServedModel snapshot — a concurrent hot-swap affects only
+/// queries that start after it. The request pipeline layers batching and
+/// caching on top; Execute() itself is safe to call from any thread.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const ModelRegistry* registry) : registry_(registry) {}
+
+  Result<QueryResult> Execute(const Query& query) const;
+
+  const ModelRegistry* registry() const { return registry_; }
+
+  /// Canonical cache key for `query` against model version `version`.
+  /// Embedding the version makes hot-swaps invalidate by construction.
+  static std::string CacheKey(const Query& query, int64_t version);
+
+ private:
+  Result<QueryResult> TopK(const ServedModel& model, const Query& query)
+      const;
+  Result<QueryResult> Neighbors(const ServedModel& model, const Query& query)
+      const;
+  Result<QueryResult> Concepts(const ServedModel& model, const Query& query)
+      const;
+
+  const ModelRegistry* registry_;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_SERVING_QUERY_ENGINE_H_

@@ -1,0 +1,130 @@
+#include "serving/request_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace haten2 {
+
+RequestPipeline::RequestPipeline(const QueryEngine* engine,
+                                 ServingStats* stats, PipelineOptions options)
+    : engine_(engine),
+      stats_(stats),
+      options_(options),
+      cache_(std::max<size_t>(1, options.cache_capacity),
+             std::max<size_t>(1, options.cache_shards)),
+      pool_(std::max<size_t>(1, options.num_threads)) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+RequestPipeline::~RequestPipeline() { Shutdown(); }
+
+std::future<RequestPipeline::Response> RequestPipeline::Submit(Query query) {
+  Pending pending;
+  pending.query = std::move(query);
+  std::future<Response> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_not_full_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutting_down_) {
+      lock.unlock();
+      Response response;
+      response.status =
+          Status::Aborted("request pipeline is shutting down");
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void RequestPipeline::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_ && !dispatcher_.joinable()) return;
+    shutting_down_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher drained the queue into the pool before exiting; wait
+  // for those batches to finish answering.
+  pool_.Wait();
+}
+
+void RequestPipeline::DispatcherLoop() {
+  while (true) {
+    auto batch = std::make_shared<std::deque<Pending>>();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down with nothing left
+      // Micro-batch: take up to max_batch queries in one go. No artificial
+      // wait for the batch to fill — under load the queue refills faster
+      // than workers drain it, so batches grow on their own; idle traffic
+      // dispatches immediately with batch size 1.
+      size_t take = std::min(options_.max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    queue_not_full_.notify_all();
+    if (stats_ != nullptr) stats_->RecordBatch(batch->size());
+    pool_.Submit([this, batch] { ExecuteBatch(batch); });
+  }
+}
+
+void RequestPipeline::ExecuteBatch(std::shared_ptr<std::deque<Pending>> batch) {
+  for (Pending& pending : *batch) Answer(&pending);
+}
+
+void RequestPipeline::Answer(Pending* pending) {
+  const Query& query = pending->query;
+  Response response;
+
+  // Resolve the model version first: the cache key embeds it, so a stale
+  // cached answer for a swapped-out version can never be returned.
+  Result<std::shared_ptr<const ServedModel>> model =
+      engine_->registry()->Get(query.model);
+  std::string key;
+  if (model.ok() && options_.cache_capacity > 0) {
+    key = QueryEngine::CacheKey(query, (*model)->version);
+    if (std::shared_ptr<const QueryResult> hit = cache_.Lookup(key)) {
+      response.result = std::move(hit);
+      response.cache_hit = true;
+    }
+  }
+
+  if (response.result == nullptr) {
+    if (!model.ok()) {
+      response.status = model.status();
+    } else {
+      Result<QueryResult> executed = engine_->Execute(query);
+      if (executed.ok()) {
+        auto shared = std::make_shared<const QueryResult>(
+            std::move(executed).value());
+        if (!key.empty()) cache_.Insert(key, shared);
+        response.result = std::move(shared);
+      } else {
+        response.status = executed.status();
+      }
+    }
+  }
+
+  if (stats_ != nullptr) {
+    stats_->RecordQuery(static_cast<ServingQueryClass>(query.kind),
+                        pending->latency.ElapsedSeconds(),
+                        response.cache_hit, response.status.ok());
+  }
+  pending->promise.set_value(std::move(response));
+}
+
+}  // namespace haten2

@@ -1,0 +1,97 @@
+#ifndef HATEN2_SERVING_REQUEST_PIPELINE_H_
+#define HATEN2_SERVING_REQUEST_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serving/lru_cache.h"
+#include "serving/query_engine.h"
+#include "serving/serving_stats.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace haten2 {
+
+struct PipelineOptions {
+  /// Maximum queued (not yet dispatched) queries; Submit blocks when the
+  /// queue is full, giving closed-loop clients natural backpressure.
+  size_t queue_capacity = 1024;
+  /// Largest micro-batch handed to one worker task.
+  size_t max_batch = 16;
+  /// Worker threads executing micro-batches.
+  size_t num_threads = 4;
+  /// Result cache: total entries and shard count (0 entries disables it).
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+};
+
+/// \brief The serving front door: accepts queries on a bounded queue,
+/// micro-batches them, fans the batches out across a ThreadPool, and
+/// memoizes hot queries in a sharded LRU keyed by (query, model version).
+///
+/// Lifecycle: construct with a QueryEngine and a ServingStats sink, Submit
+/// from any number of client threads, Shutdown (or destroy) to drain.
+/// Every Submit is answered exactly once — queries still queued at
+/// Shutdown are drained, queries submitted after it fail with Aborted.
+class RequestPipeline {
+ public:
+  RequestPipeline(const QueryEngine* engine, ServingStats* stats,
+                  PipelineOptions options = {});
+  ~RequestPipeline();
+
+  RequestPipeline(const RequestPipeline&) = delete;
+  RequestPipeline& operator=(const RequestPipeline&) = delete;
+
+  /// Enqueues a query; the future resolves with the result (shared, so a
+  /// cache hit costs no payload copy) or the execution error. Blocks while
+  /// the queue is at capacity. `cache_hit` (when non-null in the result
+  /// wrapper) reports whether the answer came from the LRU.
+  struct Response {
+    Status status = Status::OK();
+    std::shared_ptr<const QueryResult> result;  // null on error
+    bool cache_hit = false;
+  };
+  std::future<Response> Submit(Query query);
+
+  /// Drains the queue, waits for in-flight batches, and stops the
+  /// dispatcher. Idempotent.
+  void Shutdown();
+
+  typename ShardedLruCache<QueryResult>::Stats CacheStats() const {
+    return cache_.GetStats();
+  }
+
+ private:
+  struct Pending {
+    Query query;
+    std::promise<Response> promise;
+    WallTimer latency;  // submit → completion, queue wait included
+  };
+
+  void DispatcherLoop();
+  void ExecuteBatch(std::shared_ptr<std::deque<Pending>> batch);
+  void Answer(Pending* pending);
+
+  const QueryEngine* engine_;
+  ServingStats* stats_;
+  PipelineOptions options_;
+  ShardedLruCache<QueryResult> cache_;
+  ThreadPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Pending> queue_;
+  bool shutting_down_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_SERVING_REQUEST_PIPELINE_H_

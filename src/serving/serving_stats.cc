@@ -1,0 +1,234 @@
+#include "serving/serving_stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace haten2 {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Bucket index for a latency in microseconds: 0 for [0,1), then
+/// 1 + floor(log2(us)) clamped to the last bucket.
+int BucketFor(double micros) {
+  if (micros < 1.0) return 0;
+  int b = 1;
+  uint64_t us = static_cast<uint64_t>(micros);
+  while (us > 1 && b < LatencyHistogram::kBuckets - 1) {
+    us >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Geometric midpoint of bucket b, in seconds.
+double BucketMidSeconds(int b) {
+  if (b == 0) return 0.5e-6;
+  double lo = std::ldexp(1.0, b - 1);  // 2^(b-1) us
+  return lo * std::sqrt(2.0) * 1e-6;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  int b = BucketFor(seconds * 1e6);
+  counts_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Take() const {
+  Snapshot s;
+  for (int b = 0; b < kBuckets; ++b) {
+    s.counts[static_cast<size_t>(b)] =
+        counts_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    s.total_count += s.counts[static_cast<size_t>(b)];
+  }
+  s.total_seconds =
+      static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  return s;
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested sample (1-based, ceil, so q=1 is the max bucket).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total_count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[static_cast<size_t>(b)];
+    if (seen >= rank) return BucketMidSeconds(b);
+  }
+  return BucketMidSeconds(kBuckets - 1);
+}
+
+const char* ServingQueryClassName(ServingQueryClass c) {
+  switch (c) {
+    case ServingQueryClass::kTopK:
+      return "topk";
+    case ServingQueryClass::kNeighbors:
+      return "neighbors";
+    case ServingQueryClass::kConcepts:
+      return "concepts";
+  }
+  return "unknown";
+}
+
+ServingStats::ServingStats() { StartWindow(); }
+
+void ServingStats::RecordQuery(ServingQueryClass c, double seconds,
+                               bool cache_hit, bool ok) {
+  PerClass& pc = classes_[static_cast<size_t>(c)];
+  pc.latency.Record(seconds);
+  pc.count.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) pc.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) pc.errors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingStats::RecordBatch(size_t batch_size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(batch_size, std::memory_order_relaxed);
+  uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (batch_size > prev &&
+         !max_batch_.compare_exchange_weak(prev, batch_size,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void ServingStats::StartWindow() {
+  window_start_nanos_.store(NowNanos(), std::memory_order_relaxed);
+  window_end_nanos_.store(0, std::memory_order_relaxed);
+}
+
+void ServingStats::EndWindow() {
+  window_end_nanos_.store(NowNanos(), std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot ServingStats::ClassSnapshot(
+    ServingQueryClass c) const {
+  return classes_[static_cast<size_t>(c)].latency.Take();
+}
+
+uint64_t ServingStats::ClassCount(ServingQueryClass c) const {
+  return classes_[static_cast<size_t>(c)].count.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t ServingStats::ClassErrors(ServingQueryClass c) const {
+  return classes_[static_cast<size_t>(c)].errors.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t ServingStats::ClassCacheHits(ServingQueryClass c) const {
+  return classes_[static_cast<size_t>(c)].cache_hits.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t ServingStats::TotalQueries() const {
+  uint64_t total = 0;
+  for (const PerClass& pc : classes_) {
+    total += pc.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double ServingStats::WindowSeconds() const {
+  int64_t start = window_start_nanos_.load(std::memory_order_relaxed);
+  int64_t end = window_end_nanos_.load(std::memory_order_relaxed);
+  if (end == 0) end = NowNanos();
+  return static_cast<double>(end - start) * 1e-9;
+}
+
+double ServingStats::Qps() const {
+  double window = WindowSeconds();
+  return window <= 0.0 ? 0.0
+                       : static_cast<double>(TotalQueries()) / window;
+}
+
+std::string ServingStats::ToJson(const std::string& tool,
+                                 const CacheCounters& cache,
+                                 const std::vector<ModelRow>& models) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("haten2-serving-v1");
+  w.Key("tool").Value(tool);
+  w.Key("window_seconds").Value(WindowSeconds());
+  w.Key("queries").Value(static_cast<uint64_t>(TotalQueries()));
+  w.Key("qps").Value(Qps());
+
+  w.Key("cache").BeginObject();
+  w.Key("hits").Value(cache.hits);
+  w.Key("misses").Value(cache.misses);
+  w.Key("evictions").Value(cache.evictions);
+  w.Key("entries").Value(cache.entries);
+  w.Key("hit_rate").Value(cache.hit_rate);
+  w.EndObject();
+
+  w.Key("batching").BeginObject();
+  w.Key("batches").Value(batches_.load(std::memory_order_relaxed));
+  w.Key("batched_queries")
+      .Value(batched_queries_.load(std::memory_order_relaxed));
+  uint64_t batches = batches_.load(std::memory_order_relaxed);
+  w.Key("mean_batch_size")
+      .Value(batches == 0
+                 ? 0.0
+                 : static_cast<double>(
+                       batched_queries_.load(std::memory_order_relaxed)) /
+                       static_cast<double>(batches));
+  w.Key("max_batch_size").Value(max_batch_.load(std::memory_order_relaxed));
+  w.EndObject();
+
+  w.Key("classes").BeginArray();
+  for (int c = 0; c < kNumServingQueryClasses; ++c) {
+    const PerClass& pc = classes_[static_cast<size_t>(c)];
+    uint64_t count = pc.count.load(std::memory_order_relaxed);
+    LatencyHistogram::Snapshot snap = pc.latency.Take();
+    w.BeginObject();
+    w.Key("class").Value(
+        ServingQueryClassName(static_cast<ServingQueryClass>(c)));
+    w.Key("count").Value(count);
+    w.Key("errors").Value(pc.errors.load(std::memory_order_relaxed));
+    w.Key("cache_hits").Value(pc.cache_hits.load(std::memory_order_relaxed));
+    w.Key("latency_ms").BeginObject();
+    w.Key("p50").Value(snap.Quantile(0.50) * 1e3);
+    w.Key("p95").Value(snap.Quantile(0.95) * 1e3);
+    w.Key("p99").Value(snap.Quantile(0.99) * 1e3);
+    w.Key("mean").Value(snap.MeanSeconds() * 1e3);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("models").BeginArray();
+  for (const ModelRow& m : models) {
+    w.BeginObject();
+    w.Key("name").Value(m.name);
+    w.Key("kind").Value(m.kind);
+    w.Key("version").Value(m.version);
+    w.Key("order").Value(m.order);
+    w.Key("rank").Value(m.rank);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteServingStatsJsonFile(const std::string& json,
+                                 const std::string& path) {
+  return WriteTextFile(path, json);
+}
+
+}  // namespace haten2

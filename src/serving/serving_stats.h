@@ -1,0 +1,143 @@
+#ifndef HATEN2_SERVING_SERVING_STATS_H_
+#define HATEN2_SERVING_SERVING_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace haten2 {
+
+/// \brief Lock-free latency histogram with power-of-two microsecond
+/// buckets.
+///
+/// Bucket b counts samples in [2^(b-1), 2^b) microseconds (bucket 0 is
+/// [0, 1)). 48 buckets cover sub-microsecond to ~8.9 years, so no sample
+/// is ever dropped. Percentiles are reconstructed from a snapshot of the
+/// counters: the bucket containing the requested rank is located and its
+/// geometric midpoint returned — ~±25% resolution, plenty for p50/p95/p99
+/// dashboards while keeping Record() a single relaxed fetch_add (the
+/// serving hot path records under concurrency with no locks).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Record(double seconds);
+
+  /// A point-in-time copy of the counters, for consistent percentile sets.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> counts{};
+    uint64_t total_count = 0;
+    double total_seconds = 0.0;
+
+    /// Latency (seconds) at quantile q in [0, 1]; 0 when empty.
+    double Quantile(double q) const;
+    double MeanSeconds() const {
+      return total_count == 0 ? 0.0
+                              : total_seconds /
+                                    static_cast<double>(total_count);
+    }
+  };
+  Snapshot Take() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> total_count_{0};
+  /// Sum of latencies in nanoseconds (integer, so fetch_add works
+  /// pre-C++20-atomic-double everywhere).
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+/// Query classes tracked by the serving layer. Keep in sync with
+/// QueryKind in query_engine.h (the enum values match).
+enum class ServingQueryClass : int {
+  kTopK = 0,
+  kNeighbors = 1,
+  kConcepts = 2,
+};
+constexpr int kNumServingQueryClasses = 3;
+const char* ServingQueryClassName(ServingQueryClass c);
+
+/// \brief Aggregated serving telemetry: per-query-class latency
+/// histograms, counts, errors, cache hits, and wall-clock for QPS.
+///
+/// All recording methods are thread-safe and lock-free; a ServingStats
+/// outlives the pipeline threads recording into it.
+class ServingStats {
+ public:
+  struct CacheCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    int64_t entries = 0;
+    double hit_rate = 0.0;
+  };
+
+  /// Records one completed query of class `c` with end-to-end latency
+  /// `seconds` (submit to completion, queue wait included).
+  void RecordQuery(ServingQueryClass c, double seconds, bool cache_hit,
+                   bool ok);
+
+  /// Records pipeline-level batching activity.
+  void RecordBatch(size_t batch_size);
+
+  /// Marks the start of the measured serving window (constructor does this
+  /// too; call again to reset after warmup).
+  void StartWindow();
+  /// Freezes the window length for QPS (otherwise "now" is used).
+  void EndWindow();
+
+  ServingStats();
+
+  /// Point-in-time latency snapshot of one query class (for harnesses and
+  /// tests; ToJson uses it internally).
+  LatencyHistogram::Snapshot ClassSnapshot(ServingQueryClass c) const;
+  uint64_t ClassCount(ServingQueryClass c) const;
+  uint64_t ClassErrors(ServingQueryClass c) const;
+  uint64_t ClassCacheHits(ServingQueryClass c) const;
+
+  uint64_t TotalQueries() const;
+  double WindowSeconds() const;
+  double Qps() const;
+
+  /// Serializes the "haten2-serving-v1" schema (see docs/SERVING.md).
+  /// `tool` names the emitting binary; `cache` carries the pipeline's LRU
+  /// counters (pass {} when no cache is in play); `models` lists the
+  /// registry contents as pre-rendered (name, description) rows.
+  struct ModelRow {
+    std::string name;
+    std::string kind;
+    int64_t version = 0;
+    int order = 0;
+    int64_t rank = 0;
+  };
+  std::string ToJson(const std::string& tool, const CacheCounters& cache,
+                     const std::vector<ModelRow>& models) const;
+
+ private:
+  struct PerClass {
+    LatencyHistogram latency;
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> cache_hits{0};
+  };
+
+  std::array<PerClass, kNumServingQueryClasses> classes_;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> max_batch_{0};
+  std::atomic<int64_t> window_start_nanos_{0};
+  std::atomic<int64_t> window_end_nanos_{0};  // 0 = still open
+};
+
+/// Writes `json` to `path` (truncating), like WriteStatsJsonFile.
+Status WriteServingStatsJsonFile(const std::string& json,
+                                 const std::string& path);
+
+}  // namespace haten2
+
+#endif  // HATEN2_SERVING_SERVING_STATS_H_

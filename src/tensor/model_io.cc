@@ -1,5 +1,7 @@
 #include "tensor/model_io.h"
 
+#include <filesystem>
+
 #include "tensor/dense_tensor.h"
 #include "tensor/tensor_io.h"
 #include "util/string_util.h"
@@ -90,6 +92,44 @@ Status SaveTuckerModel(const TuckerModel& model, const std::string& prefix) {
   // The sparse text format preserves dims via its header, so even an
   // all-zero core round-trips.
   return WriteTensorText(model.core.ToSparse(), prefix + ".core.txt");
+}
+
+Result<int> ProbeModelOrder(const std::string& prefix) {
+  std::error_code ec;
+  int order = 0;
+  while (std::filesystem::exists(ModePath(prefix, order), ec)) {
+    ++order;
+  }
+  if (order == 0) {
+    return Status::NotFound(
+        StrFormat("no mode files found for model prefix '%s' (expected "
+                  "%s.mode0.txt at least)",
+                  prefix.c_str(), prefix.c_str()));
+  }
+  // A file beyond the first gap means the sequence is non-contiguous —
+  // most likely a partially deleted or mixed-up checkpoint; loading
+  // `order` modes would silently drop the trailing ones.
+  constexpr int kGapProbe = 8;
+  for (int k = order + 1; k <= order + kGapProbe; ++k) {
+    if (std::filesystem::exists(ModePath(prefix, k), ec)) {
+      return Status::InvalidArgument(StrFormat(
+          "mode files for prefix '%s' are non-contiguous: %s exists but "
+          "%s is missing",
+          prefix.c_str(), ModePath(prefix, k).c_str(),
+          ModePath(prefix, order).c_str()));
+    }
+  }
+  return order;
+}
+
+Result<KruskalModel> LoadKruskalModelAutoOrder(const std::string& prefix) {
+  HATEN2_ASSIGN_OR_RETURN(int order, ProbeModelOrder(prefix));
+  return LoadKruskalModel(prefix, order);
+}
+
+Result<TuckerModel> LoadTuckerModelAutoOrder(const std::string& prefix) {
+  HATEN2_ASSIGN_OR_RETURN(int order, ProbeModelOrder(prefix));
+  return LoadTuckerModel(prefix, order);
 }
 
 Result<TuckerModel> LoadTuckerModel(const std::string& prefix, int order) {

@@ -25,6 +25,19 @@ Result<KruskalModel> LoadKruskalModel(const std::string& prefix, int order);
 Status SaveTuckerModel(const TuckerModel& model, const std::string& prefix);
 Result<TuckerModel> LoadTuckerModel(const std::string& prefix, int order);
 
+/// Infers a checkpoint's mode count by probing `<prefix>.mode<k>.txt` for
+/// k = 0, 1, ... until the first missing file. Returns NotFound when no
+/// mode file exists at all, and InvalidArgument when the mode files are
+/// non-contiguous (e.g. mode0 and mode2 present but mode1 missing), naming
+/// the gap.
+Result<int> ProbeModelOrder(const std::string& prefix);
+
+/// Like LoadKruskalModel / LoadTuckerModel, with the order inferred via
+/// ProbeModelOrder — callers (the serving registry, CLIs) need not
+/// hard-code the tensor order of a checkpoint on disk.
+Result<KruskalModel> LoadKruskalModelAutoOrder(const std::string& prefix);
+Result<TuckerModel> LoadTuckerModelAutoOrder(const std::string& prefix);
+
 }  // namespace haten2
 
 #endif  // HATEN2_TENSOR_MODEL_IO_H_

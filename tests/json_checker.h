@@ -1,0 +1,167 @@
+#ifndef HATEN2_TESTS_JSON_CHECKER_H_
+#define HATEN2_TESTS_JSON_CHECKER_H_
+
+#include <cctype>
+#include <string>
+
+namespace haten2 {
+namespace testing {
+
+// Minimal recursive-descent JSON syntax checker (RFC 8259 subset), so the
+// tests validate the stats exports with an implementation independent of
+// JsonWriter. Shared by engine_stats_test.cc and serving_test.cc.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool Literal(const char* s) {
+    const char* q = p_;
+    while (*s != '\0') {
+      if (q == end_ || *q != *s) return false;
+      ++q;
+      ++s;
+    }
+    p_ = q;
+    return true;
+  }
+  bool String() {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (static_cast<unsigned char>(*p_) < 0x20) return false;  // raw ctrl
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        char c = *p_;
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+        } else if (c != '"' && c != '\\' && c != '/' && c != 'b' &&
+                   c != 'f' && c != 'n' && c != 'r' && c != 't') {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return false;
+    while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ < end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return false;
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ < end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return false;
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    return p_ != start;
+  }
+  bool Value() {
+    if (++depth_ > 64) return false;
+    SkipWs();
+    bool ok = false;
+    if (p_ == end_) {
+      ok = false;
+    } else if (*p_ == '{') {
+      ok = Object();
+    } else if (*p_ == '[') {
+      ok = Array();
+    } else if (*p_ == '"') {
+      ok = String();
+    } else if (Literal("true") || Literal("false") || Literal("null")) {
+      ok = true;
+    } else {
+      ok = Number();
+    }
+    --depth_;
+    return ok;
+  }
+  bool Object() {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      if (!Value()) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Array() {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  int depth_ = 0;
+};
+
+}  // namespace testing
+}  // namespace haten2
+
+#endif  // HATEN2_TESTS_JSON_CHECKER_H_

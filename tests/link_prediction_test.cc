@@ -120,6 +120,70 @@ TEST(LinkPrediction, ResultsAreSortedAndBounded) {
   EXPECT_EQ(keys.size(), predicted->size());
 }
 
+TEST(LinkPrediction, StatsCountCandidateFunnel) {
+  HoldoutFixture fx = MakeFixture(5, 13);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 10;
+  options.nonnegative = true;
+  Result<KruskalModel> model = Haten2ParafacAls(&engine, fx.train, 2,
+                                                options);
+  ASSERT_OK(model.status());
+
+  LinkPredictionOptions lp;
+  lp.beam = 6;
+  LinkPredictionStats stats;
+  Result<std::vector<PredictedEntry>> predicted =
+      PredictTopEntries(*model, fx.train, 20, lp, &stats);
+  ASSERT_OK(predicted.status());
+  // Funnel: rank * beam^order enumerated >= unique >= unobserved-scored.
+  EXPECT_EQ(stats.candidates_enumerated, 2 * 6 * 6 * 6);
+  EXPECT_GE(stats.candidates_enumerated, stats.candidates_deduped);
+  EXPECT_GE(stats.candidates_deduped, stats.candidates_scored);
+  EXPECT_GT(stats.candidates_scored, 0);
+  EXPECT_LE(static_cast<int64_t>(predicted->size()),
+            stats.candidates_scored);
+}
+
+TEST(LinkPrediction, PrecomputedBeamsMatchDirectCall) {
+  HoldoutFixture fx = MakeFixture(5, 17);
+  Engine engine(ClusterConfig::ForTesting());
+  Haten2Options options;
+  options.max_iterations = 10;
+  options.nonnegative = true;
+  Result<KruskalModel> model = Haten2ParafacAls(&engine, fx.train, 2,
+                                                options);
+  ASSERT_OK(model.status());
+
+  LinkPredictionOptions lp;
+  lp.beam = 8;
+  Result<CandidateBeams> beams = ComputeCandidateBeams(*model, lp);
+  ASSERT_OK(beams.status());
+  EXPECT_TRUE(beams->Matches(lp));
+  ASSERT_EQ(beams->rows.size(), 2u);  // one beam set per component
+
+  Result<std::vector<PredictedEntry>> direct =
+      PredictTopEntries(*model, fx.train, 30, lp);
+  ASSERT_OK(direct.status());
+  Result<std::vector<PredictedEntry>> via_beams =
+      PredictTopEntries(*model, *beams, fx.train, 30, lp);
+  ASSERT_OK(via_beams.status());
+
+  ASSERT_EQ(via_beams->size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ((*via_beams)[i].index, (*direct)[i].index) << "entry " << i;
+    EXPECT_EQ((*via_beams)[i].score, (*direct)[i].score) << "entry " << i;
+  }
+
+  // Mismatched beams are rejected instead of silently producing a
+  // different candidate set.
+  LinkPredictionOptions other;
+  other.beam = 5;
+  EXPECT_TRUE(PredictTopEntries(*model, *beams, fx.train, 30, other)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(LinkPrediction, Validation) {
   Rng rng(12);
   SparseTensor x = haten2::testing::RandomSparseTensor({6, 6, 6}, 20, &rng);

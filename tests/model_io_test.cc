@@ -92,6 +92,72 @@ TEST(ModelIo, ReconstructionSurvivesRoundTrip) {
   Cleanup(prefix, 3, false);
 }
 
+TEST(ModelIo, AutoOrderKruskalRoundTrip) {
+  Rng rng(705);
+  KruskalModel model;
+  model.lambda = {4.0, 2.0};
+  model.factors.push_back(DenseMatrix::RandomNormal(5, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(4, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(3, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(2, 2, &rng));
+
+  std::string prefix = Prefix("auto_kruskal");
+  ASSERT_OK(SaveKruskalModel(model, prefix));
+  Result<KruskalModel> back = LoadKruskalModelAutoOrder(prefix);
+  ASSERT_OK(back.status());
+  ASSERT_EQ(back->factors.size(), 4u);  // order inferred from disk
+  EXPECT_EQ(back->lambda, model.lambda);
+  for (size_t m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(back->factors[m].MaxAbsDiff(model.factors[m]), 0.0);
+  }
+  Cleanup(prefix, 4, false);
+}
+
+TEST(ModelIo, AutoOrderTuckerRoundTrip) {
+  Rng rng(706);
+  TuckerModel model;
+  Result<DenseTensor> core = DenseTensor::Create({2, 2, 2});
+  ASSERT_OK(core.status());
+  model.core = std::move(core).value();
+  model.core.at({0, 1, 0}) = 3.5;
+  model.factors.push_back(DenseMatrix::RandomNormal(5, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(4, 2, &rng));
+  model.factors.push_back(DenseMatrix::RandomNormal(3, 2, &rng));
+
+  std::string prefix = Prefix("auto_tucker");
+  ASSERT_OK(SaveTuckerModel(model, prefix));
+  Result<TuckerModel> back = LoadTuckerModelAutoOrder(prefix);
+  ASSERT_OK(back.status());
+  ASSERT_EQ(back->factors.size(), 3u);
+  EXPECT_DOUBLE_EQ(back->core.MaxAbsDiff(model.core), 0.0);
+  Cleanup(prefix, 3, true);
+}
+
+TEST(ModelIo, AutoOrderMissingFilesIsNotFound) {
+  EXPECT_TRUE(LoadKruskalModelAutoOrder(Prefix("never_saved"))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(LoadTuckerModelAutoOrder(Prefix("never_saved"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ModelIo, AutoOrderNonContiguousModesIsInvalidArgument) {
+  Rng rng(707);
+  KruskalModel model;
+  model.lambda = {1.0};
+  model.factors.assign(3, DenseMatrix::RandomNormal(3, 1, &rng));
+  std::string prefix = Prefix("gap");
+  ASSERT_OK(SaveKruskalModel(model, prefix));
+  // Punch a hole: mode1 missing while mode2 still exists.
+  std::remove((prefix + ".mode1.txt").c_str());
+  Result<KruskalModel> back = LoadKruskalModelAutoOrder(prefix);
+  EXPECT_TRUE(back.status().IsInvalidArgument());
+  EXPECT_NE(back.status().ToString().find("non-contiguous"),
+            std::string::npos);
+  Cleanup(prefix, 3, false);
+}
+
 TEST(ModelIo, Errors) {
   EXPECT_TRUE(LoadKruskalModel("/nonexistent/model", 3).status().IsIOError());
   EXPECT_TRUE(LoadTuckerModel("/nonexistent/model", 3).status().IsIOError());

@@ -1,0 +1,396 @@
+// haten2_serve — model-serving front end: loads checkpoints written by
+// haten2_cli --output into a ModelRegistry and answers top-k prediction,
+// neighbor, and concept queries through the batched request pipeline.
+//
+// Usage:
+//   haten2_serve <model-prefix> [flags]
+//
+// Flags:
+//   --method=parafac|tucker       checkpoint family (default parafac)
+//   --name=NAME                   registry name for the model (default
+//                                 "default")
+//   --tensor=PATH                 the observed tensor the model was fitted
+//                                 on; required for top-k predicted-entry
+//                                 queries (they score only absent cells)
+//   --script=FILE                 run the queries listed in FILE (one per
+//                                 line, '#' comments):
+//                                   topk <k> [beam]
+//                                   neighbors <mode> <row> <n>
+//                                   concepts <component> <mode> <n>
+//                                 and print their results
+//   --clients=N                   without --script: closed-loop load
+//                                 threads (default 4)
+//   --duration=SECONDS            closed-loop load duration (default 2)
+//   --threads=T                   pipeline worker threads (default 4)
+//   --batch=B                     micro-batch size (default 16)
+//   --queue=N                     bounded queue capacity (default 1024)
+//   --cache-entries=N             LRU result-cache entries (default 4096)
+//   --cache-shards=S              LRU shards (default 8)
+//   --beam=B                      beam precomputed at install and used by
+//                                 synthetic top-k queries (default 10)
+//   --topk=K                      k of synthetic top-k queries (default 10)
+//   --seed=S                      synthetic workload seed (default 17)
+//   --stats_json=PATH             write "haten2-serving-v1" telemetry JSON
+//                                 (latency percentiles per query class,
+//                                 QPS, cache hit rate)
+//
+// Exit code 0 on success, 1 on load/query-script errors.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "serving/model_registry.h"
+#include "serving/query_engine.h"
+#include "serving/request_pipeline.h"
+#include "serving/serving_stats.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace haten2 {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: haten2_serve <model-prefix>\n"
+    "       [--method=parafac|tucker] [--name=NAME] [--tensor=PATH]\n"
+    "       [--script=FILE | --clients=N --duration=SECONDS]\n"
+    "       [--threads=T] [--batch=B] [--queue=N]\n"
+    "       [--cache-entries=N] [--cache-shards=S]\n"
+    "       [--beam=B] [--topk=K] [--seed=S] [--stats_json=PATH]\n";
+
+std::string FormatIndex(const std::vector<int64_t>& idx) {
+  std::string out = "(";
+  for (size_t m = 0; m < idx.size(); ++m) {
+    if (m > 0) out += ", ";
+    out += StrFormat("%lld", (long long)idx[m]);
+  }
+  return out + ")";
+}
+
+/// Parses one script line into a Query; empty result for blank/comment.
+Result<Query> ParseScriptLine(const std::string& model_name,
+                              const std::string& line, int lineno) {
+  std::vector<std::string> tokens = SplitWhitespace(line);
+  Query q;
+  q.model = model_name;
+  auto arg = [&](size_t i) -> Result<int64_t> {
+    if (i >= tokens.size()) {
+      return Status::InvalidArgument(
+          StrFormat("script line %d: missing argument %zu", lineno, i));
+    }
+    return ParseInt64(tokens[i]);
+  };
+  if (tokens[0] == "topk") {
+    q.kind = QueryKind::kTopK;
+    HATEN2_ASSIGN_OR_RETURN(q.k, arg(1));
+    if (tokens.size() > 2) {
+      HATEN2_ASSIGN_OR_RETURN(q.beam, arg(2));
+    }
+  } else if (tokens[0] == "neighbors") {
+    q.kind = QueryKind::kNeighbors;
+    HATEN2_ASSIGN_OR_RETURN(int64_t mode, arg(1));
+    q.mode = static_cast<int>(mode);
+    HATEN2_ASSIGN_OR_RETURN(q.row, arg(2));
+    HATEN2_ASSIGN_OR_RETURN(q.k, arg(3));
+  } else if (tokens[0] == "concepts") {
+    q.kind = QueryKind::kConcepts;
+    HATEN2_ASSIGN_OR_RETURN(q.component, arg(1));
+    HATEN2_ASSIGN_OR_RETURN(int64_t mode, arg(2));
+    q.mode = static_cast<int>(mode);
+    HATEN2_ASSIGN_OR_RETURN(q.k, arg(3));
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "script line %d: unknown query '%s'", lineno, tokens[0].c_str()));
+  }
+  return q;
+}
+
+void PrintResult(const Query& query, const QueryResult& result,
+                 bool cache_hit) {
+  switch (query.kind) {
+    case QueryKind::kTopK:
+      std::printf("topk k=%lld beam=%lld (v%lld%s, %lld candidates "
+                  "scored):\n",
+                  (long long)query.k, (long long)query.beam,
+                  (long long)result.model_version, cache_hit ? ", cached" : "",
+                  (long long)result.prediction_stats.candidates_scored);
+      for (const PredictedEntry& e : result.entries) {
+        std::printf("  %s  %.6f\n", FormatIndex(e.index).c_str(), e.score);
+      }
+      break;
+    case QueryKind::kNeighbors:
+      std::printf("neighbors mode=%d row=%lld (v%lld%s):\n", query.mode,
+                  (long long)query.row, (long long)result.model_version,
+                  cache_hit ? ", cached" : "");
+      for (const ScoredRow& r : result.rows) {
+        std::printf("  row %lld  sim %.6f\n", (long long)r.row, r.score);
+      }
+      break;
+    case QueryKind::kConcepts:
+      std::printf("concepts component=%lld mode=%d (v%lld%s):\n",
+                  (long long)query.component, query.mode,
+                  (long long)result.model_version,
+                  cache_hit ? ", cached" : "");
+      for (const ScoredRow& r : result.rows) {
+        std::printf("  row %lld  loading %.6f\n", (long long)r.row, r.score);
+      }
+      break;
+  }
+}
+
+/// Runs a query script through the pipeline; returns the number of failed
+/// queries.
+int RunScript(const std::string& path, const std::string& model_name,
+              RequestPipeline* pipeline) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open --script=%s\n", path.c_str());
+    return 1;
+  }
+  struct Issued {
+    Query query;
+    std::future<RequestPipeline::Response> future;
+  };
+  std::vector<Issued> issued;
+  std::string line;
+  int lineno = 0;
+  int failures = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    Result<Query> q = ParseScriptLine(model_name, line, lineno);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    Query query = std::move(q).value();
+    issued.push_back(Issued{query, pipeline->Submit(std::move(query))});
+  }
+  for (Issued& i : issued) {
+    RequestPipeline::Response response = i.future.get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   response.status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    PrintResult(i.query, *response.result, response.cache_hit);
+  }
+  return failures;
+}
+
+struct LoadSpec {
+  std::string model_name;
+  bool topk_available = false;
+  int order = 0;
+  int64_t rank = 0;
+  std::vector<int64_t> dims;  // factor row counts per mode
+  int64_t topk = 10;
+  int64_t beam = 10;
+  double duration_seconds = 2.0;
+  int clients = 4;
+  uint64_t seed = 17;
+};
+
+/// Closed-loop synthetic load: each client keeps exactly one query in
+/// flight. Parameters are drawn from small Zipf-skewed pools so the LRU
+/// sees realistic repetition.
+void RunSyntheticLoad(const LoadSpec& spec, RequestPipeline* pipeline) {
+  std::atomic<uint64_t> issued{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(spec.clients));
+  for (int c = 0; c < spec.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(spec.seed + static_cast<uint64_t>(c) * 7919);
+      WallTimer timer;
+      while (timer.ElapsedSeconds() < spec.duration_seconds) {
+        Query q;
+        q.model = spec.model_name;
+        double roll = rng.Uniform();
+        if (spec.topk_available && roll < 0.2) {
+          q.kind = QueryKind::kTopK;
+          q.k = spec.topk;
+          q.beam = spec.beam;
+        } else if (roll < 0.6) {
+          q.kind = QueryKind::kNeighbors;
+          q.mode = static_cast<int>(rng.UniformInt(
+              static_cast<uint64_t>(spec.order)));
+          int64_t dim = spec.dims[static_cast<size_t>(q.mode)];
+          // Zipf-skewed anchor: hot entities repeat, so the cache can
+          // help; the tail keeps it honest.
+          q.row = static_cast<int64_t>(rng.Zipf(
+              static_cast<uint64_t>(std::min<int64_t>(dim, 1024)), 1.1));
+          q.k = 10;
+        } else {
+          q.kind = QueryKind::kConcepts;
+          q.component = static_cast<int64_t>(
+              rng.UniformInt(static_cast<uint64_t>(spec.rank)));
+          q.mode = static_cast<int>(rng.UniformInt(
+              static_cast<uint64_t>(spec.order)));
+          q.k = 10;
+        }
+        RequestPipeline::Response response =
+            pipeline->Submit(std::move(q)).get();
+        (void)response;
+        issued.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  std::printf("closed-loop load: %llu queries from %d clients in %.1fs\n",
+              (unsigned long long)issued.load(), spec.clients,
+              spec.duration_seconds);
+}
+
+int RealMain(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  Status valid = flags.Validate(
+      {"method", "name", "tensor", "script", "clients", "duration",
+       "threads", "batch", "queue", "cache-entries", "cache-shards", "beam",
+       "topk", "seed", "stats_json", "help"});
+  if (!valid.ok() || flags.GetBool("help", false) ||
+      flags.positional().size() != 1) {
+    if (!valid.ok()) std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    std::fputs(kUsage, stderr);
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+
+  const std::string prefix = flags.positional()[0];
+  const std::string method = flags.GetString("method", "parafac");
+  const std::string name = flags.GetString("name", "default");
+  const std::string tensor_path = flags.GetString("tensor", "");
+  const std::string script = flags.GetString("script", "");
+  const std::string stats_json = flags.GetString("stats_json", "");
+  Result<int64_t> clients = flags.GetInt("clients", 4);
+  Result<double> duration = flags.GetDouble("duration", 2.0);
+  Result<int64_t> threads = flags.GetInt("threads", 4);
+  Result<int64_t> batch = flags.GetInt("batch", 16);
+  Result<int64_t> queue = flags.GetInt("queue", 1024);
+  Result<int64_t> cache_entries = flags.GetInt("cache-entries", 4096);
+  Result<int64_t> cache_shards = flags.GetInt("cache-shards", 8);
+  Result<int64_t> beam = flags.GetInt("beam", 10);
+  Result<int64_t> topk = flags.GetInt("topk", 10);
+  Result<int64_t> seed = flags.GetInt("seed", 17);
+  for (const Status& s :
+       {clients.status(), duration.status(), threads.status(),
+        batch.status(), queue.status(), cache_entries.status(),
+        cache_shards.status(), beam.status(), topk.status(),
+        seed.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (method != "parafac" && method != "tucker") {
+    std::fprintf(stderr, "unknown --method=%s\n%s", method.c_str(), kUsage);
+    return 1;
+  }
+
+  RegistryOptions registry_options;
+  registry_options.beam_options.beam = *beam;
+  ModelRegistry registry(registry_options);
+  WallTimer load_timer;
+  Result<int64_t> version =
+      method == "parafac" ? registry.LoadKruskal(name, prefix, tensor_path)
+                          : registry.LoadTucker(name, prefix);
+  if (!version.ok()) {
+    std::fprintf(stderr, "loading %s: %s\n", prefix.c_str(),
+                 version.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::shared_ptr<const ServedModel>> served = registry.Get(name);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s model '%s' v%lld: %d modes, rank %lld (%s)\n",
+              method.c_str(), name.c_str(), (long long)*version,
+              (*served)->order(), (long long)(*served)->rank(),
+              HumanSeconds(load_timer.ElapsedSeconds()).c_str());
+
+  QueryEngine engine(&registry);
+  ServingStats stats;
+  PipelineOptions pipeline_options;
+  pipeline_options.num_threads = static_cast<size_t>(*threads);
+  pipeline_options.max_batch = static_cast<size_t>(*batch);
+  pipeline_options.queue_capacity = static_cast<size_t>(*queue);
+  pipeline_options.cache_capacity = static_cast<size_t>(*cache_entries);
+  pipeline_options.cache_shards = static_cast<size_t>(*cache_shards);
+
+  int failures = 0;
+  {
+    RequestPipeline pipeline(&engine, &stats, pipeline_options);
+    if (!script.empty()) {
+      failures = RunScript(script, name, &pipeline);
+    } else {
+      LoadSpec spec;
+      spec.model_name = name;
+      spec.topk_available =
+          (*served)->kind == ModelKind::kKruskal &&
+          (*served)->observed != nullptr;
+      spec.order = (*served)->order();
+      spec.rank = (*served)->rank();
+      for (const DenseMatrix& f : (*served)->factors()) {
+        spec.dims.push_back(f.rows());
+      }
+      spec.topk = *topk;
+      spec.beam = *beam;
+      spec.duration_seconds = *duration;
+      spec.clients = static_cast<int>(*clients);
+      spec.seed = static_cast<uint64_t>(*seed);
+      RunSyntheticLoad(spec, &pipeline);
+    }
+    pipeline.Shutdown();
+    stats.EndWindow();
+
+    ShardedLruCache<QueryResult>::Stats cache = pipeline.CacheStats();
+    std::printf("served %llu queries, %.0f qps, cache hit rate %.1f%% "
+                "(%llu hits / %llu lookups)\n",
+                (unsigned long long)stats.TotalQueries(), stats.Qps(),
+                100.0 * cache.HitRate(), (unsigned long long)cache.hits,
+                (unsigned long long)(cache.hits + cache.misses));
+
+    if (!stats_json.empty()) {
+      ServingStats::CacheCounters counters;
+      counters.hits = cache.hits;
+      counters.misses = cache.misses;
+      counters.evictions = cache.evictions;
+      counters.entries = cache.entries;
+      counters.hit_rate = cache.HitRate();
+      std::vector<ServingStats::ModelRow> models;
+      for (const std::string& n : registry.Names()) {
+        Result<std::shared_ptr<const ServedModel>> m = registry.Get(n);
+        if (!m.ok()) continue;
+        ServingStats::ModelRow row;
+        row.name = n;
+        row.kind = ModelKindName((*m)->kind);
+        row.version = (*m)->version;
+        row.order = (*m)->order();
+        row.rank = (*m)->rank();
+        models.push_back(std::move(row));
+      }
+      Status written = WriteServingStatsJsonFile(
+          stats.ToJson("haten2_serve", counters, models), stats_json);
+      if (!written.ok()) {
+        std::fprintf(stderr, "--stats_json: %s\n",
+                     written.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", stats_json.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace haten2
+
+int main(int argc, char** argv) { return haten2::RealMain(argc, argv); }
