@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/toolbox.h"
@@ -86,14 +87,14 @@ Measurement MeasureMr(Engine* engine, Body&& body) {
     std::fprintf(stderr, "unexpected failure: %s\n",
                  status.ToString().c_str());
   }
-  const PipelineStats& pipeline = engine->pipeline();
+  PipelineStats pipeline = engine->PipelineSnapshot();
   out.jobs = pipeline.NumJobs();
   out.max_intermediate_records = pipeline.MaxIntermediateRecords();
   out.max_intermediate_bytes = pipeline.MaxIntermediateBytes();
   out.total_intermediate_records = pipeline.TotalIntermediateRecords();
   out.simulated_seconds =
       CostModel(engine->config()).SimulatePipeline(pipeline);
-  out.pipeline = pipeline;
+  out.pipeline = std::move(pipeline);
   return out;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cinttypes>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "workload/random_tensor.h"
 
@@ -29,7 +30,7 @@ SparseTensor NellStandIn() {
   return GenerateRandomTensor(spec).value();
 }
 
-void Run() {
+void Run(BenchJsonLog* log) {
   SparseTensor x = NellStandIn();
   std::printf("dataset: NELL stand-in, %s\n", x.DebugString().c_str());
 
@@ -51,6 +52,21 @@ void Run() {
         Haten2ParafacAls(&parafac_engine, x, 5, options).status());
   }
 
+  // The job counters are measured once; each per-M cell re-simulates the
+  // same pipeline on an M-machine cluster.
+  const PipelineStats tucker_pipeline = tucker_engine.PipelineSnapshot();
+  const PipelineStats parafac_pipeline = parafac_engine.PipelineSnapshot();
+  auto cell_of = [](const PipelineStats& pipeline, double simulated) {
+    Measurement m;
+    m.simulated_seconds = simulated;
+    m.jobs = pipeline.NumJobs();
+    m.max_intermediate_records = pipeline.MaxIntermediateRecords();
+    m.max_intermediate_bytes = pipeline.MaxIntermediateBytes();
+    m.total_intermediate_records = pipeline.TotalIntermediateRecords();
+    m.pipeline = pipeline;
+    return m;
+  };
+
   const std::vector<int> machines = {10, 15, 20, 25, 30, 35, 40};
   double t10_tucker = 0.0;
   double t10_parafac = 0.0;
@@ -65,12 +81,16 @@ void Run() {
     ClusterConfig config = PaperCluster(kShuffleBudget);
     config.num_machines = m;
     CostModel model(config);
-    double t_tucker = model.SimulatePipeline(tucker_engine.pipeline());
-    double t_parafac = model.SimulatePipeline(parafac_engine.pipeline());
+    double t_tucker = model.SimulatePipeline(tucker_pipeline);
+    double t_parafac = model.SimulatePipeline(parafac_pipeline);
     if (m == 10) {
       t10_tucker = t_tucker;
       t10_parafac = t_parafac;
     }
+    log->Add("machines", StrFormat("M=%d", m), "HaTen2-DRI-Tucker",
+             cell_of(tucker_pipeline, t_tucker));
+    log->Add("machines", StrFormat("M=%d", m), "HaTen2-DRI-PARAFAC",
+             cell_of(parafac_pipeline, t_parafac));
     PrintRow({StrFormat("%d", m), StrFormat("%.1fs", t_tucker),
               StrFormat("%.2fx", t10_tucker / t_tucker),
               StrFormat("%.1fs", t_parafac),
@@ -86,6 +106,8 @@ void Run() {
 
 int main() {
   std::printf("HaTen2 reproduction - Figure 8: machine scalability\n");
-  haten2::bench::Run();
+  haten2::bench::BenchJsonLog log("fig8_machine_scalability");
+  haten2::bench::Run(&log);
+  log.Write();
   return 0;
 }

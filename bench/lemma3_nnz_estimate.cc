@@ -7,6 +7,7 @@
 
 #include <cinttypes>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "tensor/tensor_ops.h"
 #include "workload/random_tensor.h"
@@ -15,7 +16,7 @@ namespace haten2 {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(BenchJsonLog* log) {
   const int64_t dim = 60;
   const int64_t q = 5;
   Rng rng(31);
@@ -28,10 +29,19 @@ void Run() {
   for (double density : {1e-4, 1e-3, 1e-2, 5e-2, 2e-1}) {
     SparseTensor x = GenerateRandomCubicTensor(dim, density, 32).value();
     if (x.nnz() == 0) continue;
+    WallTimer timer;
     Result<SparseTensor> y = Ttm(x, b, 1);
     HATEN2_CHECK(y.ok()) << y.status().ToString();
     double predicted = static_cast<double>(x.nnz() * q);
     double measured = static_cast<double>(y->nnz());
+    // The lemma is about intermediate-data size, so the JSON cells carry
+    // the nnz counts in the intermediate-records fields (no engine jobs).
+    Measurement cell;
+    cell.wall_seconds = timer.ElapsedSeconds();
+    cell.max_intermediate_records = y->nnz();
+    cell.total_intermediate_records = static_cast<int64_t>(predicted);
+    log->Add("density", StrFormat("%.0e", density), "ttm-measured-vs-nnzQ",
+             cell);
     PrintRow({StrFormat("%.0e", density),
               StrFormat("%" PRId64, x.nnz()),
               StrFormat("%.0f", predicted), StrFormat("%.0f", measured),
@@ -50,6 +60,8 @@ void Run() {
 int main() {
   std::printf("HaTen2 reproduction - Lemma 3: intermediate-size "
               "estimate\n");
-  haten2::bench::Run();
+  haten2::bench::BenchJsonLog log("lemma3_nnz_estimate");
+  haten2::bench::Run(&log);
+  log.Write();
   return 0;
 }

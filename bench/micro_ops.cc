@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baseline/toolbox.h"
+#include "bench_json.h"
 #include "core/contract.h"
 #include "mapreduce/engine.h"
 #include "tensor/tensor_ops.h"
@@ -145,4 +146,41 @@ BENCHMARK(BM_SparseCanonicalize)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace haten2
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console reporting plus one "haten2-bench-v1" cell per benchmark run, so
+// the kernel constants land in BENCH_micro_ops.json next to the
+// figure-level exports. Only the timing fields apply: wall_seconds is the
+// per-iteration real time, jobs the iteration count.
+class JsonLogReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLogReporter(haten2::bench::BenchJsonLog* log) : log_(log) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      haten2::bench::Measurement m;
+      m.wall_seconds =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      m.jobs = static_cast<int64_t>(run.iterations);
+      log_->Add("kernel", run.benchmark_name(), "micro", m);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  haten2::bench::BenchJsonLog* log_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  haten2::bench::BenchJsonLog log("micro_ops");
+  JsonLogReporter reporter(&log);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  log.Write();
+  benchmark::Shutdown();
+  return 0;
+}

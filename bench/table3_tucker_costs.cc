@@ -41,7 +41,13 @@ void Run(BenchJsonLog* log) {
               {"method", "max-inter", "predicted", "jobs", "pred-jobs",
                "sim-time"});
   for (Variant v : kAllVariants) {
-    Engine engine(PaperCluster(/*unlimited*/ 0));
+    // Multi-threaded config: lets the plan scheduler overlap independent
+    // contraction jobs, so the JSON export demonstrates scheduled
+    // concurrency > 1. Counters and outputs are identical to serial runs.
+    ClusterConfig config = PaperCluster(/*unlimited*/ 0);
+    config.num_threads = 2;
+    config.max_concurrent_jobs = 4;
+    Engine engine(config);
     Measurement measured = MeasureMr(&engine, [&] {
       return MultiModeContract(&engine, x, factors, 0, MergeKind::kCross, v)
           .status();

@@ -1,0 +1,44 @@
+#include "core/als_harness.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace haten2 {
+
+Status AlsHarness::Run(const IterationBody& body) {
+  double prev_metric = -1.0;
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    const int64_t first_job_id = engine_->NextJobId();
+    WallTimer iter_timer;
+    AlsIterationOutcome outcome;
+    Status iter_status = body(iter, &outcome);
+    if (options_.trace != nullptr) {
+      IterationStats it;
+      it.iteration = iter;
+      it.wall_seconds = iter_timer.ElapsedSeconds();
+      it.has_fit = outcome.has_fit;
+      it.fit = outcome.fit;
+      it.has_core_norm = outcome.has_core_norm;
+      it.core_norm = outcome.core_norm;
+      it.lambda = std::move(outcome.lambda);
+      it.pipeline = engine_->PipelineSince(first_job_id);
+      options_.trace->iterations.push_back(std::move(it));
+    }
+    if (!iter_status.ok()) return iter_status;
+    if (outcome.has_metric) {
+      const double bound = options_.tolerance * options_.tolerance_scale;
+      if (prev_metric >= 0.0) {
+        const double delta = std::fabs(outcome.metric - prev_metric);
+        if (options_.converge_on_equal ? delta <= bound : delta < bound) {
+          break;
+        }
+      }
+      prev_metric = outcome.metric;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace haten2

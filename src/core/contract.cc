@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <memory>
 
 #include "core/records.h"
+#include "mapreduce/plan.h"
+#include "mapreduce/scheduler.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -150,65 +153,56 @@ Result<std::vector<KeyedHadamard>> RunImhpJob(const Ctx& ctx) {
 // DRN: one Hadamard job per (stream, column), then one merge job.
 // ---------------------------------------------------------------------------
 
-Result<std::vector<KeyedHadamard>> RunDrnHadamardJobs(const Ctx& ctx) {
+Result<std::vector<KeyedHadamard>> RunDrnHadamardJob(const Ctx& ctx, int s,
+                                                     int64_t q) {
   const SparseTensor& x = *ctx.x;
   const int64_t nnz = x.nnz();
-  std::vector<KeyedHadamard> collected;
-  for (int s = 0; s < ctx.num_streams(); ++s) {
-    const int mode = ctx.cmodes[static_cast<size_t>(s)];
-    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-    for (int64_t q = 0; q < f.cols(); ++q) {
-      const int64_t domain = nnz + x.dim(mode);
-      auto reader = [&, s, mode, q](int64_t i,
-                                    ShuffleEmitter<int64_t, JoinValue>* em) {
-        if (i < nnz) {
-          JoinValue v;
-          v.coord = Coord::FromIndex(x.IndexPtr(i), x.order());
-          v.value = x.value(i);
-          v.col = -1;
-          v.kind = 0;
-          em->Emit(v.coord.c[static_cast<size_t>(mode)], v);
-          return;
-        }
-        int64_t row = i - nnz;
-        JoinValue v;
-        v.coord.c.fill(-1);
-        v.value = f(row, q);
-        v.col = static_cast<int32_t>(q);
-        v.kind = 1;
-        em->Emit(row, v);
-      };
-      auto reducer = [&, s, q](const int64_t& /*key*/,
-                               std::vector<JoinValue>& values,
-                               OutputEmitter<int64_t, HadamardRecord>* out) {
-        double cell = 0.0;
-        for (const JoinValue& v : values) {
-          if (v.kind == 1) cell = v.value;
-        }
-        if (cell == 0.0) return;
-        for (const JoinValue& v : values) {
-          if (v.kind != 0) continue;
-          double base = (s == 0) ? v.value : 1.0;
-          double scaled = base * cell;
-          if (scaled == 0.0) continue;
-          HadamardRecord rec;
-          rec.coord = v.coord;
-          rec.stream = s;
-          rec.col = static_cast<int32_t>(q);
-          rec.value = scaled;
-          out->Emit(v.coord.c[static_cast<size_t>(ctx.free_mode)], rec);
-        }
-      };
-      std::string job_name =
-          StrFormat("Hadamard[m%d,c%lld]", mode, (long long)q);
-      HATEN2_ASSIGN_OR_RETURN(
-          auto out,
-          (ctx.engine->Run<int64_t, JoinValue, int64_t, HadamardRecord>(
-              job_name, domain, reader, reducer)));
-      collected.insert(collected.end(), out.begin(), out.end());
+  const int mode = ctx.cmodes[static_cast<size_t>(s)];
+  const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+  const int64_t domain = nnz + x.dim(mode);
+  auto reader = [&, s, mode, q](int64_t i,
+                                ShuffleEmitter<int64_t, JoinValue>* em) {
+    if (i < nnz) {
+      JoinValue v;
+      v.coord = Coord::FromIndex(x.IndexPtr(i), x.order());
+      v.value = x.value(i);
+      v.col = -1;
+      v.kind = 0;
+      em->Emit(v.coord.c[static_cast<size_t>(mode)], v);
+      return;
     }
-  }
-  return collected;
+    int64_t row = i - nnz;
+    JoinValue v;
+    v.coord.c.fill(-1);
+    v.value = f(row, q);
+    v.col = static_cast<int32_t>(q);
+    v.kind = 1;
+    em->Emit(row, v);
+  };
+  auto reducer = [&, s, q](const int64_t& /*key*/,
+                           std::vector<JoinValue>& values,
+                           OutputEmitter<int64_t, HadamardRecord>* out) {
+    double cell = 0.0;
+    for (const JoinValue& v : values) {
+      if (v.kind == 1) cell = v.value;
+    }
+    if (cell == 0.0) return;
+    for (const JoinValue& v : values) {
+      if (v.kind != 0) continue;
+      double base = (s == 0) ? v.value : 1.0;
+      double scaled = base * cell;
+      if (scaled == 0.0) continue;
+      HadamardRecord rec;
+      rec.coord = v.coord;
+      rec.stream = s;
+      rec.col = static_cast<int32_t>(q);
+      rec.value = scaled;
+      out->Emit(v.coord.c[static_cast<size_t>(ctx.free_mode)], rec);
+    }
+  };
+  std::string job_name = StrFormat("Hadamard[m%d,c%lld]", mode, (long long)q);
+  return ctx.engine->Run<int64_t, JoinValue, int64_t, HadamardRecord>(
+      job_name, domain, reader, reducer);
 }
 
 // ---------------------------------------------------------------------------
@@ -419,28 +413,15 @@ std::vector<TensorRecord> TensorToRecords(const SparseTensor& x) {
   return records;
 }
 
-Result<SliceBlocks> RunDnnCross(const Ctx& ctx) {
-  std::vector<TensorRecord> current = TensorToRecords(*ctx.x);
-  for (int s = 0; s < ctx.num_streams(); ++s) {
-    const int mode = ctx.cmodes[static_cast<size_t>(s)];
-    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-    std::vector<HadamardRecord> scaled;
-    for (int64_t q = 0; q < f.cols(); ++q) {
-      HATEN2_ASSIGN_OR_RETURN(
-          std::vector<HadamardRecord> part,
-          RunDnnHadamardJob(ctx, current, mode, f, q, ctx.x->dim(mode)));
-      scaled.insert(scaled.end(), part.begin(), part.end());
-    }
-    HATEN2_ASSIGN_OR_RETURN(
-        current, RunDnnCollapseJob(ctx, scaled, mode,
-                                   /*replace_with_col=*/true));
-  }
-  // Assemble Y from the final records: coordinates at contracted modes now
-  // hold factor-column indices.
+/// Assembles Y from the final cross-variant records: coordinates at
+/// contracted modes hold factor-column indices. Record order is the merge
+/// order, so identical inputs give bit-identical float sums.
+SliceBlocks AssembleCrossBlocks(const Ctx& ctx,
+                                const std::vector<TensorRecord>& records) {
   SliceBlocks blocks = MakeEmptyBlocks(ctx);
   const std::vector<int64_t> weights = BlockWeights(ctx);
   const int64_t block_size = blocks.BlockSize();
-  for (const TensorRecord& rec : current) {
+  for (const TensorRecord& rec : records) {
     int64_t off = 0;
     for (int s = 0; s < ctx.num_streams(); ++s) {
       off += rec.coord.c[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(
@@ -455,28 +436,122 @@ Result<SliceBlocks> RunDnnCross(const Ctx& ctx) {
   return blocks;
 }
 
-Result<SliceBlocks> RunDnnPairwise(const Ctx& ctx) {
+/// Accumulates one pairwise chain's final records into column `r` of the
+/// blocks. Called in ascending-r order so blocks.rows insertion order (and
+/// hence downstream map-iteration float sums) match the serial evaluation.
+void AccumulatePairwiseColumn(const Ctx& ctx, int64_t rank, int64_t r,
+                              const std::vector<TensorRecord>& records,
+                              SliceBlocks* blocks) {
+  for (const TensorRecord& rec : records) {
+    int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
+    auto [it, inserted] = blocks->rows.try_emplace(slice);
+    if (inserted) it->second.assign(static_cast<size_t>(rank), 0.0);
+    it->second[static_cast<size_t>(r)] += rec.value;
+  }
+}
+
+Result<SliceBlocks> RunDnnCross(const Ctx& ctx,
+                                const std::vector<TensorRecord>& base) {
+  // Per stream: one Hadamard node per factor column (independent of each
+  // other, all reading the previous stream's collapsed records), then one
+  // Collapse node concatenating the per-column outputs in column order —
+  // the fixed concatenation keeps the collapse job's input (and so every
+  // downstream float sum) identical at any concurrency level.
+  Plan plan("contract-dnn-cross");
+  struct StreamState {
+    std::vector<std::vector<HadamardRecord>> parts;
+    std::vector<TensorRecord> collapsed;
+  };
+  std::vector<StreamState> st(static_cast<size_t>(ctx.num_streams()));
+  int prev_collapse = -1;
+  for (int s = 0; s < ctx.num_streams(); ++s) {
+    const int mode = ctx.cmodes[static_cast<size_t>(s)];
+    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+    const std::vector<TensorRecord>* input =
+        s == 0 ? &base : &st[static_cast<size_t>(s) - 1].collapsed;
+    st[static_cast<size_t>(s)].parts.resize(static_cast<size_t>(f.cols()));
+    std::vector<int> hnodes;
+    for (int64_t q = 0; q < f.cols(); ++q) {
+      std::vector<int> deps;
+      if (prev_collapse >= 0) deps.push_back(prev_collapse);
+      hnodes.push_back(plan.AddProducer<std::vector<HadamardRecord>>(
+          StrFormat("DNN-Hadamard[m%d,c%lld]", mode, (long long)q),
+          std::move(deps),
+          [&ctx, input, mode, &f, q] {
+            return RunDnnHadamardJob(ctx, *input, mode, f, q,
+                                     ctx.x->dim(mode));
+          },
+          &st[static_cast<size_t>(s)].parts[static_cast<size_t>(q)]));
+    }
+    prev_collapse = plan.AddProducer<std::vector<TensorRecord>>(
+        StrFormat("Collapse[m%d]", mode), hnodes,
+        [&ctx, &st, s, mode]() -> Result<std::vector<TensorRecord>> {
+          StreamState& state = st[static_cast<size_t>(s)];
+          std::vector<HadamardRecord> scaled;
+          size_t total = 0;
+          for (const auto& p : state.parts) total += p.size();
+          scaled.reserve(total);
+          for (const auto& p : state.parts) {
+            scaled.insert(scaled.end(), p.begin(), p.end());
+          }
+          return RunDnnCollapseJob(ctx, scaled, mode,
+                                   /*replace_with_col=*/true);
+        },
+        &st[static_cast<size_t>(s)].collapsed);
+  }
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  return AssembleCrossBlocks(ctx, st.back().collapsed);
+}
+
+Result<SliceBlocks> RunDnnPairwise(const Ctx& ctx,
+                                   const std::vector<TensorRecord>& base) {
   SliceBlocks blocks = MakeEmptyBlocks(ctx);
   const int64_t rank = blocks.block_dims[0];
-  std::vector<TensorRecord> base = TensorToRecords(*ctx.x);
+  // One Hadamard→Collapse chain per rank column; chains share no data, so
+  // the scheduler overlaps them. Accumulation into the blocks happens after
+  // the plan, in ascending-r order (see AccumulatePairwiseColumn).
+  Plan plan("contract-dnn-pairwise");
+  struct Chain {
+    std::vector<std::vector<HadamardRecord>> scaled;   // per stream
+    std::vector<std::vector<TensorRecord>> collapsed;  // per stream
+  };
+  std::vector<Chain> chains(static_cast<size_t>(rank));
   for (int64_t r = 0; r < rank; ++r) {
-    std::vector<TensorRecord> current = base;
+    Chain& ch = chains[static_cast<size_t>(r)];
+    ch.scaled.resize(static_cast<size_t>(ctx.num_streams()));
+    ch.collapsed.resize(static_cast<size_t>(ctx.num_streams()));
+    int prev = -1;
     for (int s = 0; s < ctx.num_streams(); ++s) {
       const int mode = ctx.cmodes[static_cast<size_t>(s)];
       const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-      HATEN2_ASSIGN_OR_RETURN(
-          std::vector<HadamardRecord> scaled,
-          RunDnnHadamardJob(ctx, current, mode, f, r, ctx.x->dim(mode)));
-      HATEN2_ASSIGN_OR_RETURN(
-          current, RunDnnCollapseJob(ctx, scaled, mode,
-                                     /*replace_with_col=*/false));
+      const std::vector<TensorRecord>* input =
+          s == 0 ? &base : &ch.collapsed[static_cast<size_t>(s) - 1];
+      std::vector<int> hdeps;
+      if (prev >= 0) hdeps.push_back(prev);
+      int h = plan.AddProducer<std::vector<HadamardRecord>>(
+          StrFormat("DNN-Hadamard[m%d,c%lld]", mode, (long long)r),
+          std::move(hdeps),
+          [&ctx, input, mode, &f, r] {
+            return RunDnnHadamardJob(ctx, *input, mode, f, r,
+                                     ctx.x->dim(mode));
+          },
+          &ch.scaled[static_cast<size_t>(s)]);
+      prev = plan.AddProducer<std::vector<TensorRecord>>(
+          StrFormat("Collapse[m%d]", mode), {h},
+          [&ctx, &ch, s, mode] {
+            return RunDnnCollapseJob(ctx, ch.scaled[static_cast<size_t>(s)],
+                                     mode, /*replace_with_col=*/false);
+          },
+          &ch.collapsed[static_cast<size_t>(s)]);
     }
-    for (const TensorRecord& rec : current) {
-      int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
-      auto [it, inserted] = blocks.rows.try_emplace(slice);
-      if (inserted) it->second.assign(static_cast<size_t>(rank), 0.0);
-      it->second[static_cast<size_t>(r)] += rec.value;
-    }
+  }
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  for (int64_t r = 0; r < rank; ++r) {
+    AccumulatePairwiseColumn(ctx, rank, r,
+                             chains[static_cast<size_t>(r)].collapsed.back(),
+                             &blocks);
   }
   return blocks;
 }
@@ -559,67 +634,203 @@ Result<std::vector<TensorRecord>> RunNaiveTtvJob(
   return result;
 }
 
-Result<SliceBlocks> RunNaiveCross(const Ctx& ctx) {
-  std::vector<TensorRecord> current = TensorToRecords(*ctx.x);
-  std::vector<int64_t> cur_dims = ctx.x->dims();
+Result<SliceBlocks> RunNaiveCross(const Ctx& ctx,
+                                  const std::vector<TensorRecord>& base) {
+  // Per stream: independent per-column TTV nodes over the previous stream's
+  // records, then a pure concatenation node (no engine job) fixing the
+  // record order the next stream reads.
+  Plan plan("contract-naive-cross");
+  struct StreamState {
+    std::vector<std::vector<TensorRecord>> parts;  // per column
+    std::vector<TensorRecord> current;             // concatenated
+  };
+  std::vector<StreamState> st(static_cast<size_t>(ctx.num_streams()));
+  // Dimensions of the in-flight tensor before contracting each stream
+  // (earlier contractions replaced their mode's extent with the factor's
+  // column count). Known at build time: the sequence is data-independent.
+  std::vector<std::vector<int64_t>> dims_before(
+      static_cast<size_t>(ctx.num_streams()));
+  {
+    std::vector<int64_t> dims = ctx.x->dims();
+    for (int s = 0; s < ctx.num_streams(); ++s) {
+      dims_before[static_cast<size_t>(s)] = dims;
+      dims[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(s)])] =
+          ctx.cfactors[static_cast<size_t>(s)]->cols();
+    }
+  }
+  int prev_concat = -1;
   for (int s = 0; s < ctx.num_streams(); ++s) {
     const int mode = ctx.cmodes[static_cast<size_t>(s)];
     const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-    std::vector<TensorRecord> next;
+    const std::vector<TensorRecord>* input =
+        s == 0 ? &base : &st[static_cast<size_t>(s) - 1].current;
+    st[static_cast<size_t>(s)].parts.resize(static_cast<size_t>(f.cols()));
+    std::vector<int> ttv_nodes;
     for (int64_t q = 0; q < f.cols(); ++q) {
-      HATEN2_ASSIGN_OR_RETURN(
-          std::vector<TensorRecord> part,
-          RunNaiveTtvJob(ctx, current, cur_dims, mode, f, q,
-                         /*replace_value=*/q));
-      next.insert(next.end(), part.begin(), part.end());
+      std::vector<int> deps;
+      if (prev_concat >= 0) deps.push_back(prev_concat);
+      ttv_nodes.push_back(plan.AddProducer<std::vector<TensorRecord>>(
+          StrFormat("Naive-TTV[m%d,c%lld]", mode, (long long)q),
+          std::move(deps),
+          [&ctx, input, &dims = dims_before[static_cast<size_t>(s)], mode, &f,
+           q] {
+            return RunNaiveTtvJob(ctx, *input, dims, mode, f, q,
+                                  /*replace_value=*/q);
+          },
+          &st[static_cast<size_t>(s)].parts[static_cast<size_t>(q)]));
     }
-    current = std::move(next);
-    cur_dims[static_cast<size_t>(mode)] = f.cols();
+    prev_concat = plan.AddJob(
+        StrFormat("concat[m%d]", mode), ttv_nodes, [&st, s]() -> Status {
+          StreamState& state = st[static_cast<size_t>(s)];
+          size_t total = 0;
+          for (const auto& p : state.parts) total += p.size();
+          state.current.reserve(total);
+          for (const auto& p : state.parts) {
+            state.current.insert(state.current.end(), p.begin(), p.end());
+          }
+          return Status::OK();
+        });
   }
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  return AssembleCrossBlocks(ctx, st.back().current);
+}
+
+Result<SliceBlocks> RunNaivePairwise(const Ctx& ctx,
+                                     const std::vector<TensorRecord>& base) {
   SliceBlocks blocks = MakeEmptyBlocks(ctx);
-  const std::vector<int64_t> weights = BlockWeights(ctx);
-  const int64_t block_size = blocks.BlockSize();
-  for (const TensorRecord& rec : current) {
-    int64_t off = 0;
+  const int64_t rank = blocks.block_dims[0];
+  // One TTV chain per rank column, independent across columns; blocks are
+  // accumulated after the plan in ascending-r order.
+  Plan plan("contract-naive-pairwise");
+  struct Chain {
+    std::vector<std::vector<TensorRecord>> current;  // per stream
+  };
+  std::vector<Chain> chains(static_cast<size_t>(rank));
+  std::vector<std::vector<int64_t>> dims_before(
+      static_cast<size_t>(ctx.num_streams()));
+  {
+    std::vector<int64_t> dims = ctx.x->dims();
     for (int s = 0; s < ctx.num_streams(); ++s) {
-      off += rec.coord.c[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(
-                 s)])] *
-             weights[static_cast<size_t>(s)];
+      dims_before[static_cast<size_t>(s)] = dims;
+      dims[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(s)])] = 1;
     }
-    int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
-    auto [it, inserted] = blocks.rows.try_emplace(slice);
-    if (inserted) it->second.assign(static_cast<size_t>(block_size), 0.0);
-    it->second[static_cast<size_t>(off)] += rec.value;
+  }
+  for (int64_t r = 0; r < rank; ++r) {
+    Chain& ch = chains[static_cast<size_t>(r)];
+    ch.current.resize(static_cast<size_t>(ctx.num_streams()));
+    int prev = -1;
+    for (int s = 0; s < ctx.num_streams(); ++s) {
+      const int mode = ctx.cmodes[static_cast<size_t>(s)];
+      const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
+      const std::vector<TensorRecord>* input =
+          s == 0 ? &base : &ch.current[static_cast<size_t>(s) - 1];
+      std::vector<int> deps;
+      if (prev >= 0) deps.push_back(prev);
+      prev = plan.AddProducer<std::vector<TensorRecord>>(
+          StrFormat("Naive-TTV[m%d,c%lld]", mode, (long long)r),
+          std::move(deps),
+          [&ctx, input, &dims = dims_before[static_cast<size_t>(s)], mode,
+           &f, r] {
+            return RunNaiveTtvJob(ctx, *input, dims, mode, f, r,
+                                  /*replace_value=*/0);
+          },
+          &ch.current[static_cast<size_t>(s)]);
+    }
+  }
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  for (int64_t r = 0; r < rank; ++r) {
+    AccumulatePairwiseColumn(ctx, rank, r,
+                             chains[static_cast<size_t>(r)].current.back(),
+                             &blocks);
   }
   return blocks;
 }
 
-Result<SliceBlocks> RunNaivePairwise(const Ctx& ctx) {
-  SliceBlocks blocks = MakeEmptyBlocks(ctx);
-  const int64_t rank = blocks.block_dims[0];
-  std::vector<TensorRecord> base = TensorToRecords(*ctx.x);
-  for (int64_t r = 0; r < rank; ++r) {
-    std::vector<TensorRecord> current = base;
-    std::vector<int64_t> cur_dims = ctx.x->dims();
-    for (int s = 0; s < ctx.num_streams(); ++s) {
-      const int mode = ctx.cmodes[static_cast<size_t>(s)];
-      const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-      HATEN2_ASSIGN_OR_RETURN(
-          current, RunNaiveTtvJob(ctx, current, cur_dims, mode, f, r,
-                                  /*replace_value=*/0));
-      cur_dims[static_cast<size_t>(mode)] = 1;
-    }
-    for (const TensorRecord& rec : current) {
-      int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
-      auto [it, inserted] = blocks.rows.try_emplace(slice);
-      if (inserted) it->second.assign(static_cast<size_t>(rank), 0.0);
-      it->second[static_cast<size_t>(r)] += rec.value;
+const char* MergeName(MergeKind kind) {
+  return kind == MergeKind::kCross ? "CrossMerge" : "PairwiseMerge";
+}
+
+// ---------------------------------------------------------------------------
+// Plan builders for the two-phase variants (DRI, DRN).
+// ---------------------------------------------------------------------------
+
+Result<SliceBlocks> RunDri(const Ctx& ctx) {
+  Plan plan("contract-dri");
+  std::vector<KeyedHadamard> scaled;
+  SliceBlocks blocks;
+  int imhp = plan.AddProducer<std::vector<KeyedHadamard>>(
+      "IMHP", {}, [&ctx] { return RunImhpJob(ctx); }, &scaled);
+  plan.AddProducer<SliceBlocks>(
+      MergeName(ctx.kind), {imhp},
+      [&ctx, &scaled] { return RunMergeJob(ctx, scaled); }, &blocks);
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  return blocks;
+}
+
+Result<SliceBlocks> RunDrn(const Ctx& ctx) {
+  Plan plan("contract-drn");
+  // One output slot per (stream, column) job: the merge node concatenates
+  // them in (s, q) order, so the merge job's input order — and with it every
+  // downstream float summation — is independent of which Hadamard node
+  // finished first.
+  size_t total_jobs = 0;
+  for (int s = 0; s < ctx.num_streams(); ++s) {
+    total_jobs += static_cast<size_t>(ctx.cfactors[static_cast<size_t>(s)]
+                                          ->cols());
+  }
+  std::vector<std::vector<KeyedHadamard>> parts(total_jobs);
+  std::vector<int> hadamard_nodes;
+  hadamard_nodes.reserve(total_jobs);
+  size_t slot = 0;
+  for (int s = 0; s < ctx.num_streams(); ++s) {
+    const int mode = ctx.cmodes[static_cast<size_t>(s)];
+    for (int64_t q = 0; q < ctx.cfactors[static_cast<size_t>(s)]->cols();
+         ++q, ++slot) {
+      hadamard_nodes.push_back(plan.AddProducer<std::vector<KeyedHadamard>>(
+          StrFormat("Hadamard[m%d,c%lld]", mode, (long long)q), {},
+          [&ctx, s, q] { return RunDrnHadamardJob(ctx, s, q); },
+          &parts[slot]));
     }
   }
+  SliceBlocks blocks;
+  plan.AddProducer<SliceBlocks>(
+      MergeName(ctx.kind), hadamard_nodes,
+      [&ctx, &parts]() -> Result<SliceBlocks> {
+        std::vector<KeyedHadamard> collected;
+        size_t total = 0;
+        for (const auto& p : parts) total += p.size();
+        collected.reserve(total);
+        for (const auto& p : parts) {
+          collected.insert(collected.end(), p.begin(), p.end());
+        }
+        return RunMergeJob(ctx, collected);
+      },
+      &blocks);
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
   return blocks;
 }
 
 }  // namespace
+
+std::shared_ptr<const std::vector<TensorRecord>> ContractCache::Records(
+    Engine* engine, const SparseTensor& x) {
+  const bool hit = records_ != nullptr && tensor_ == &x && nnz_ == x.nnz();
+  if (hit) {
+    ++hits_;
+  } else {
+    records_ = std::make_shared<const std::vector<TensorRecord>>(
+        TensorToRecords(x));
+    tensor_ = &x;
+    nnz_ = x.nnz();
+    ++misses_;
+  }
+  if (engine != nullptr) engine->NoteInvariantCache(hit);
+  return records_;
+}
 
 DenseMatrix SliceBlocks::ToDenseMatrix() const {
   DenseMatrix out(free_dim, BlockSize());
@@ -652,7 +863,7 @@ DenseMatrix SliceBlocks::GramOfRows() const {
 Result<SliceBlocks> MultiModeContract(
     Engine* engine, const SparseTensor& x,
     const std::vector<const DenseMatrix*>& factors, int free_mode,
-    MergeKind kind, Variant variant) {
+    MergeKind kind, Variant variant, ContractCache* cache) {
   if (engine == nullptr) {
     return Status::InvalidArgument("engine must not be null");
   }
@@ -706,23 +917,30 @@ Result<SliceBlocks> MultiModeContract(
     }
   }
 
+  // The DNN/Naive variants start from the decoded coordinate records of x —
+  // an input scan that is invariant across ALS iterations, so a
+  // per-decomposition ContractCache serves it without re-decoding.
+  std::shared_ptr<const std::vector<TensorRecord>> base;
+  if (variant == Variant::kDnn || variant == Variant::kNaive) {
+    if (cache != nullptr) {
+      base = cache->Records(engine, x);
+    } else {
+      base = std::make_shared<const std::vector<TensorRecord>>(
+          TensorToRecords(x));
+    }
+  }
+
   switch (variant) {
-    case Variant::kDri: {
-      HATEN2_ASSIGN_OR_RETURN(std::vector<KeyedHadamard> scaled,
-                              RunImhpJob(ctx));
-      return RunMergeJob(ctx, scaled);
-    }
-    case Variant::kDrn: {
-      HATEN2_ASSIGN_OR_RETURN(std::vector<KeyedHadamard> scaled,
-                              RunDrnHadamardJobs(ctx));
-      return RunMergeJob(ctx, scaled);
-    }
+    case Variant::kDri:
+      return RunDri(ctx);
+    case Variant::kDrn:
+      return RunDrn(ctx);
     case Variant::kDnn:
-      return kind == MergeKind::kCross ? RunDnnCross(ctx)
-                                       : RunDnnPairwise(ctx);
+      return kind == MergeKind::kCross ? RunDnnCross(ctx, *base)
+                                       : RunDnnPairwise(ctx, *base);
     case Variant::kNaive:
-      return kind == MergeKind::kCross ? RunNaiveCross(ctx)
-                                       : RunNaivePairwise(ctx);
+      return kind == MergeKind::kCross ? RunNaiveCross(ctx, *base)
+                                       : RunNaivePairwise(ctx, *base);
   }
   return Status::InvalidArgument("unknown variant");
 }

@@ -2,9 +2,11 @@
 #define HATEN2_CORE_CONTRACT_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "core/records.h"
 #include "core/variant.h"
 #include "mapreduce/engine.h"
 #include "tensor/dense_matrix.h"
@@ -12,6 +14,40 @@
 #include "util/result.h"
 
 namespace haten2 {
+
+/// \brief Caches the decoded coordinate records of an input tensor — the
+/// iteration-invariant input scan the DNN and Naive variants perform before
+/// their first job.
+///
+/// An ALS driver evaluates the bottleneck op against the *same* tensor once
+/// per mode per iteration; decoding X into TensorRecords is identical every
+/// time, so the harness keeps one ContractCache per decomposition and the
+/// decode happens once instead of order × iterations times. Lookups are
+/// accounted in the engine's pipeline log (invariant_cache_hits / misses).
+///
+/// The cache keys on the tensor's address and nnz only: callers must pass
+/// exclusively tensors that are bit-stable for the cache's lifetime (the
+/// decomposition input). A tensor rebuilt each iteration — e.g. the EM
+/// residual in missing_values.cc — must bypass the cache (pass nullptr to
+/// MultiModeContract). Not thread-safe; call from the driver thread during
+/// plan construction, never from inside plan nodes.
+class ContractCache {
+ public:
+  /// Returns the decoded records of `x`, decoding only on the first call
+  /// for this tensor. `engine` (may be null) receives the hit/miss count.
+  std::shared_ptr<const std::vector<TensorRecord>> Records(
+      Engine* engine, const SparseTensor& x);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  const SparseTensor* tensor_ = nullptr;
+  int64_t nnz_ = -1;
+  std::shared_ptr<const std::vector<TensorRecord>> records_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
 
 /// Which merge finalizes the contraction (Figure 4): CrossMerge produces the
 /// full cross product of factor columns (Tucker's X ×₂Bᵀ×₃Cᵀ, Definition 3);
@@ -70,10 +106,22 @@ struct SliceBlocks {
 /// charges only nnz(X)(Q+R) intermediate records, so the implementation keys
 /// the merge jobs by the free-mode index i alone — the only keying
 /// consistent with the stated costs (see DESIGN.md).
+///
+/// The evaluation is expressed as a dataflow Plan (mapreduce/plan.h) and
+/// submitted through a PlanScheduler, so with
+/// ClusterConfig::max_concurrent_jobs > 1 independent jobs (DRN's per-column
+/// Hadamard jobs, DNN/Naive per-column chains) overlap. Job names, job
+/// counts, and every numeric output are identical at any concurrency level:
+/// per-node output slots are concatenated in fixed node order before any
+/// float summation (see docs/INTERNALS.md, "Dataflow plan layer").
+///
+/// `cache` (optional) serves the DNN/Naive input scan from a per-
+/// decomposition ContractCache instead of re-decoding `x`; pass nullptr for
+/// tensors that change between calls.
 Result<SliceBlocks> MultiModeContract(
     Engine* engine, const SparseTensor& x,
     const std::vector<const DenseMatrix*>& factors, int free_mode,
-    MergeKind kind, Variant variant);
+    MergeKind kind, Variant variant, ContractCache* cache = nullptr);
 
 }  // namespace haten2
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/als_harness.h"
 #include "core/records.h"
 #include "linalg/linalg.h"
 #include "util/random.h"
@@ -127,8 +128,13 @@ Result<MissingValueModel> Haten2ParafacMissing(
         DenseMatrix::RandomUniform(x.dim(m), rank, &rng));
   }
 
-  double prev_fit = -1.0;
-  for (int em = 1; em <= options.em_iterations; ++em) {
+  AlsHarness::Options harness_options;
+  harness_options.max_iterations = options.em_iterations;
+  harness_options.tolerance = options.em_tolerance;
+  harness_options.trace = options.base.trace;
+  AlsHarness harness(engine, harness_options);
+  Status loop_status = harness.Run(
+      [&](int em, AlsIterationOutcome* outcome) -> Status {
     // E-step: freeze the model; residual D makes X̂ = M_old + D match x on
     // the mask and the model off it.
     KruskalModel frozen = out.model;
@@ -189,11 +195,14 @@ Result<MissingValueModel> Haten2ParafacMissing(
     HATEN2_ASSIGN_OR_RETURN(double fit, ObservedFit(x, observed, out.model));
     out.observed_fit = fit;
     out.observed_fit_history.push_back(fit);
-    if (prev_fit >= 0.0 && std::fabs(fit - prev_fit) < options.em_tolerance) {
-      break;
-    }
-    prev_fit = fit;
-  }
+    outcome->has_fit = true;
+    outcome->fit = fit;
+    outcome->has_metric = true;
+    outcome->metric = fit;
+    outcome->lambda = out.model.lambda;
+    return Status::OK();
+      });
+  if (!loop_status.ok()) return loop_status;
   out.model.fit = out.observed_fit;
   out.model.iterations = out.em_iterations;
   return out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/als_harness.h"
 #include "core/records.h"
 #include "linalg/linalg.h"
 #include "tensor/tensor_ops.h"
@@ -119,20 +120,20 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
   for (int m = 0; m < order; ++m) grams.push_back(Gram(model.factors[m]));
 
   const double x_sq = x.SumSquares();
-  double prev_fit = -1.0;
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    const size_t jobs_before = engine->pipeline().jobs.size();
-    WallTimer iter_timer;
-    bool iter_complete = false;
-    // The iteration body runs in a lambda so a mid-iteration failure
-    // (o.o.m. inside a contraction) can still be traced before returning.
-    Status iter_status = [&]() -> Status {
+  AlsHarness::Options harness_options;
+  harness_options.max_iterations = options.max_iterations;
+  harness_options.tolerance = options.tolerance;
+  harness_options.trace = options.trace;
+  AlsHarness harness(engine, harness_options);
+  Status loop_status = harness.Run(
+      [&](int iter, AlsIterationOutcome* outcome) -> Status {
     // ---- Factor updates ----
     for (int n = 0; n < order; ++n) {
       HATEN2_ASSIGN_OR_RETURN(
           SliceBlocks y,
           MultiModeContract(engine, x, model.FactorPtrs(), n,
-                            MergeKind::kCross, options.variant));
+                            MergeKind::kCross, options.variant,
+                            harness.cache()));
       DenseMatrix g_n = model.core.Unfold(n);  // J_n x ПJ_other
       const int64_t jn = g_n.rows();
       // Numerator: Y₍ₙ₎ G₍ₙ₎ᵀ, accumulated over nonempty slices only.
@@ -169,7 +170,8 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
     HATEN2_ASSIGN_OR_RETURN(
         SliceBlocks y_last,
         MultiModeContract(engine, x, model.FactorPtrs(), order - 1,
-                          MergeKind::kCross, options.variant));
+                          MergeKind::kCross, options.variant,
+                          harness.cache()));
     const DenseMatrix& a_last = model.factors[static_cast<size_t>(order - 1)];
     DenseMatrix p_unfolded(core_dims[static_cast<size_t>(order - 1)],
                            y_last.BlockSize());
@@ -207,32 +209,15 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
     double resid_sq = std::max(x_sq - 2.0 * inner + model_sq, 0.0);
     model.fit = 1.0 - std::sqrt(resid_sq / x_sq);
     model.core_norm_history.push_back(model.core.FrobeniusNorm());
-    iter_complete = true;
+    outcome->has_fit = true;
+    outcome->fit = model.fit;
+    outcome->has_core_norm = true;
+    outcome->core_norm = model.core_norm_history.back();
+    outcome->has_metric = true;
+    outcome->metric = model.fit;
     return Status::OK();
-    }();
-    if (options.trace != nullptr) {
-      IterationStats it;
-      it.iteration = iter;
-      it.wall_seconds = iter_timer.ElapsedSeconds();
-      if (iter_complete) {
-        it.has_fit = true;
-        it.fit = model.fit;
-        it.has_core_norm = true;
-        it.core_norm = model.core_norm_history.back();
-      }
-      const std::vector<JobStats>& jobs = engine->pipeline().jobs;
-      for (size_t j = jobs_before; j < jobs.size(); ++j) {
-        it.pipeline.jobs.push_back(jobs[j]);
-      }
-      options.trace->iterations.push_back(std::move(it));
-    }
-    if (!iter_status.ok()) return iter_status;
-    if (prev_fit >= 0.0 && std::fabs(model.fit - prev_fit) <
-                               options.tolerance) {
-      break;
-    }
-    prev_fit = model.fit;
-  }
+      });
+  if (!loop_status.ok()) return loop_status;
   return model;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/als_harness.h"
 #include "core/records.h"
 #include "linalg/linalg.h"
 #include "util/random.h"
@@ -67,19 +68,19 @@ Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
   grams.reserve(static_cast<size_t>(order));
   for (int m = 0; m < order; ++m) grams.push_back(Gram(model.factors[m]));
 
-  double prev_fit = -1.0;
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    const size_t jobs_before = engine->pipeline().jobs.size();
-    WallTimer iter_timer;
-    bool fit_computed = false;
-    // The iteration body runs in a lambda so a mid-iteration failure
-    // (o.o.m. inside an MTTKRP) can still be traced before returning.
-    Status iter_status = [&]() -> Status {
+  AlsHarness::Options harness_options;
+  harness_options.max_iterations = options.max_iterations;
+  harness_options.tolerance = options.tolerance;
+  harness_options.trace = options.trace;
+  AlsHarness harness(engine, harness_options);
+  Status loop_status = harness.Run(
+      [&](int iter, AlsIterationOutcome* outcome) -> Status {
       for (int n = 0; n < order; ++n) {
         HATEN2_ASSIGN_OR_RETURN(
             SliceBlocks y,
             MultiModeContract(engine, x, model.FactorPtrs(), n,
-                              MergeKind::kPairwise, options.variant));
+                              MergeKind::kPairwise, options.variant,
+                              harness.cache()));
         DenseMatrix mttkrp = y.ToDenseMatrix();  // I_n x R
 
         // V = ∗_{m != n} A_mᵀ A_m.
@@ -123,34 +124,15 @@ Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
         HATEN2_ASSIGN_OR_RETURN(double fit, KruskalFit(x, model));
         model.fit = fit;
         model.fit_history.push_back(fit);
-        fit_computed = true;
+        outcome->has_fit = true;
+        outcome->fit = fit;
+        outcome->has_metric = true;
+        outcome->metric = fit;
       }
+      outcome->lambda = model.lambda;
       return Status::OK();
-    }();
-    if (options.trace != nullptr) {
-      IterationStats it;
-      it.iteration = iter;
-      it.wall_seconds = iter_timer.ElapsedSeconds();
-      if (iter_status.ok()) it.lambda = model.lambda;
-      if (fit_computed) {
-        it.has_fit = true;
-        it.fit = model.fit;
-      }
-      const std::vector<JobStats>& jobs = engine->pipeline().jobs;
-      for (size_t j = jobs_before; j < jobs.size(); ++j) {
-        it.pipeline.jobs.push_back(jobs[j]);
-      }
-      options.trace->iterations.push_back(std::move(it));
-    }
-    if (!iter_status.ok()) return iter_status;
-    if (fit_computed) {
-      if (prev_fit >= 0.0 &&
-          std::fabs(model.fit - prev_fit) < options.tolerance) {
-        break;
-      }
-      prev_fit = model.fit;
-    }
-  }
+      });
+  if (!loop_status.ok()) return loop_status;
   return model;
 }
 

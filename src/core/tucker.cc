@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/als_harness.h"
 #include "core/records.h"
 #include "linalg/linalg.h"
 #include "util/random.h"
@@ -155,20 +156,22 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
   }
 
   const double x_norm = x.FrobeniusNorm();
-  double prev_core_norm = -1.0;
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    const size_t jobs_before = engine->pipeline().jobs.size();
-    WallTimer iter_timer;
-    double core_norm = 0.0;
-    // The iteration body runs in a lambda so a mid-iteration failure
-    // (o.o.m. inside a contraction) can still be traced before returning.
-    Status iter_status = [&]() -> Status {
+  AlsHarness::Options harness_options;
+  harness_options.max_iterations = options.max_iterations;
+  harness_options.tolerance = options.tolerance;
+  harness_options.tolerance_scale = x_norm;
+  harness_options.converge_on_equal = true;
+  harness_options.trace = options.trace;
+  AlsHarness harness(engine, harness_options);
+  Status loop_status = harness.Run(
+      [&](int iter, AlsIterationOutcome* outcome) -> Status {
       SliceBlocks last_y;
       for (int n = 0; n < order; ++n) {
         HATEN2_ASSIGN_OR_RETURN(
             SliceBlocks y,
             MultiModeContract(engine, x, model.FactorPtrs(), n,
-                              MergeKind::kCross, options.variant));
+                              MergeKind::kCross, options.variant,
+                              harness.cache()));
         HATEN2_ASSIGN_OR_RETURN(
             DenseMatrix factor,
             LeadingVectorsFromBlocks(y, core_dims[static_cast<size_t>(n)]));
@@ -194,31 +197,15 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
       HATEN2_ASSIGN_OR_RETURN(
           model.core, DenseTensor::Fold(core_unfolded, last, core_dims));
       model.iterations = iter;
-      core_norm = model.core.FrobeniusNorm();
+      const double core_norm = model.core.FrobeniusNorm();
       model.core_norm_history.push_back(core_norm);
+      outcome->has_core_norm = true;
+      outcome->core_norm = core_norm;
+      outcome->has_metric = true;
+      outcome->metric = core_norm;
       return Status::OK();
-    }();
-    if (options.trace != nullptr) {
-      IterationStats it;
-      it.iteration = iter;
-      it.wall_seconds = iter_timer.ElapsedSeconds();
-      if (iter_status.ok()) {
-        it.has_core_norm = true;
-        it.core_norm = core_norm;
-      }
-      const std::vector<JobStats>& jobs = engine->pipeline().jobs;
-      for (size_t j = jobs_before; j < jobs.size(); ++j) {
-        it.pipeline.jobs.push_back(jobs[j]);
-      }
-      options.trace->iterations.push_back(std::move(it));
-    }
-    if (!iter_status.ok()) return iter_status;
-    if (prev_core_norm >= 0.0 &&
-        std::fabs(core_norm - prev_core_norm) <= options.tolerance * x_norm) {
-      break;
-    }
-    prev_core_norm = core_norm;
-  }
+      });
+  if (!loop_status.ok()) return loop_status;
   HATEN2_ASSIGN_OR_RETURN(model.fit, TuckerFit(x, model));
   return model;
 }

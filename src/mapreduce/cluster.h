@@ -24,6 +24,14 @@ struct ClusterConfig {
   /// Real execution threads for the in-process engine.
   int num_threads = 1;
 
+  /// Maximum MapReduce jobs a PlanScheduler runs concurrently when a plan
+  /// contains independent nodes (e.g. HaTen2-DRN's per-(stream, column)
+  /// Hadamard jobs). 1 executes plans serially in node order — exactly the
+  /// legacy eager-Run sequence. Values > 1 overlap independent jobs on the
+  /// engine's thread pool; note the shuffle-memory budget is shared, so
+  /// concurrent jobs can together exhaust a budget each would fit alone.
+  int max_concurrent_jobs = 1;
+
   /// Number of map tasks a job's input is split into; 0 = one per map slot.
   int num_map_tasks = 0;
 

@@ -245,8 +245,95 @@ class Engine {
   MemoryTracker& memory() { return tracker_; }
 
   /// Log of every job executed since the last ClearPipeline().
+  ///
+  /// The returned reference is only safe to read while no Run() call or
+  /// plan is in flight; under concurrent scheduling use PipelineSnapshot().
   const PipelineStats& pipeline() const { return pipeline_; }
-  void ClearPipeline() { pipeline_.Clear(); }
+
+  /// Locked copy of the pipeline log — safe to take while jobs are running
+  /// on other threads (each completed job appears atomically).
+  PipelineStats PipelineSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pipeline_;
+  }
+
+  /// Locked copy restricted to jobs with job_id >= first_job_id (and the
+  /// plans whose jobs all fall in that range). This is how drivers
+  /// attribute jobs to one ALS iteration: by id watermark, which is stable
+  /// under concurrent scheduling, rather than by position in the log.
+  PipelineStats PipelineSince(int64_t first_job_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    PipelineStats out;
+    for (const JobStats& j : pipeline_.jobs) {
+      if (j.job_id >= first_job_id) out.jobs.push_back(j);
+    }
+    for (const PlanStats& p : pipeline_.plans) {
+      bool in_range = true;
+      for (const PlanNodeStats& n : p.nodes) {
+        for (int64_t id : n.job_ids) in_range &= id >= first_job_id;
+      }
+      if (in_range) out.plans.push_back(p);
+    }
+    return out;
+  }
+
+  void ClearPipeline() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_.Clear();
+  }
+
+  /// The id the next job started on this engine will receive. Taken before
+  /// a batch of work, it is the watermark PipelineSince() filters by.
+  int64_t NextJobId() const {
+    return job_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// The id the next scheduled plan will receive (used by PlanScheduler).
+  int64_t TakePlanId() {
+    return plan_sequence_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends one scheduled plan's statistics to the pipeline log.
+  void RecordPlan(const PlanStats& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pipeline_.plans.push_back(stats);
+  }
+
+  /// Accounts one lookup of the iteration-invariant input-scan cache
+  /// (core/contract.h ContractCache) against the pipeline log.
+  void NoteInvariantCache(bool hit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit) {
+      ++pipeline_.invariant_cache_hits;
+    } else {
+      ++pipeline_.invariant_cache_misses;
+    }
+  }
+
+  /// \brief RAII plan-execution context for the current thread.
+  ///
+  /// While alive, every Engine::Run on this thread tags its JobStats with
+  /// `plan_id` and appends its job id to `sink` (the scheduler's per-node
+  /// job list). The scheduler instantiates one around each node executor;
+  /// scopes nest (the previous context is restored on destruction).
+  class PlanScope {
+   public:
+    PlanScope(int64_t plan_id, std::vector<int64_t>* sink)
+        : prev_plan_id_(current_plan_id_), prev_sink_(job_id_sink_) {
+      current_plan_id_ = plan_id;
+      job_id_sink_ = sink;
+    }
+    ~PlanScope() {
+      current_plan_id_ = prev_plan_id_;
+      job_id_sink_ = prev_sink_;
+    }
+    PlanScope(const PlanScope&) = delete;
+    PlanScope& operator=(const PlanScope&) = delete;
+
+   private:
+    int64_t prev_plan_id_;
+    std::vector<int64_t>* prev_sink_;
+  };
 
   /// Runs one MapReduce job.
   ///
@@ -298,6 +385,9 @@ class Engine {
     // other's spill files.)
     const int64_t job_seq =
         job_sequence_.fetch_add(1, std::memory_order_relaxed);
+    stats.job_id = job_seq;
+    stats.plan_id = current_plan_id_;
+    if (job_id_sink_ != nullptr) job_id_sink_->push_back(job_seq);
     std::vector<ShuffleEmitter<KMid, VMid>> emitters;
     emitters.reserve(static_cast<size_t>(num_tasks));
     for (int t = 0; t < num_tasks; ++t) {
@@ -565,8 +655,16 @@ class Engine {
   ThreadPool pool_;
   MemoryTracker tracker_;
   PipelineStats pipeline_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::atomic<int64_t> job_sequence_{0};
+  std::atomic<int64_t> plan_sequence_{0};
+
+  /// Per-thread plan context installed by PlanScope. thread_local (rather
+  /// than a member) because the scheduler runs node executors on its own
+  /// threads while unrelated threads may call Run() directly on the same
+  /// engine — those direct jobs must stay untagged (plan_id -1).
+  inline static thread_local int64_t current_plan_id_ = -1;
+  inline static thread_local std::vector<int64_t>* job_id_sink_ = nullptr;
 };
 
 }  // namespace haten2

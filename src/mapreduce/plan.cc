@@ -1,0 +1,29 @@
+#include "mapreduce/plan.h"
+
+namespace haten2 {
+
+int Plan::AddJob(std::string label, std::vector<int> deps,
+                 std::function<Status()> run) {
+  const int index = static_cast<int>(nodes_.size());
+  for (int d : deps) {
+    if (d < 0 || d >= index) {
+      // Keep the first error: it names the edge that actually broke the
+      // build, later ones are usually knock-on effects.
+      if (build_status_.ok()) {
+        build_status_ = Status::InvalidArgument(
+            "plan '" + name_ + "': node '" + label + "' (index " +
+            std::to_string(index) + ") depends on invalid node index " +
+            std::to_string(d));
+      }
+      return -1;
+    }
+  }
+  JobSpec spec;
+  spec.label = std::move(label);
+  spec.deps = std::move(deps);
+  spec.run = std::move(run);
+  nodes_.push_back(std::move(spec));
+  return index;
+}
+
+}  // namespace haten2

@@ -65,8 +65,31 @@ double PipelineStats::TotalWallSeconds() const {
   return t;
 }
 
+int PipelineStats::MaxScheduledConcurrency() const {
+  int m = 0;
+  for (const PlanStats& p : plans) {
+    m = std::max(m, p.max_observed_concurrency);
+  }
+  return m;
+}
+
+double PipelineStats::TotalCriticalPathSeconds() const {
+  double t = 0.0;
+  for (const PlanStats& p : plans) t += p.critical_path_seconds;
+  return t;
+}
+
+double PipelineStats::TotalPlanNodeSeconds() const {
+  double t = 0.0;
+  for (const PlanStats& p : plans) t += p.total_node_seconds;
+  return t;
+}
+
 void PipelineStats::Append(const PipelineStats& other) {
   jobs.insert(jobs.end(), other.jobs.begin(), other.jobs.end());
+  plans.insert(plans.end(), other.plans.begin(), other.plans.end());
+  invariant_cache_hits += other.invariant_cache_hits;
+  invariant_cache_misses += other.invariant_cache_misses;
 }
 
 std::string PipelineStats::ToString() const {
@@ -98,6 +121,19 @@ std::string PipelineStats::ToString() const {
     }
     if (j.failed()) out += StrFormat(" FAILED(%s)", j.failure.c_str());
     out += "\n";
+  }
+  if (!plans.empty()) {
+    out += StrFormat(
+        "  plans: %zu scheduled, max concurrency %d, critical path %s of "
+        "%s total node time\n",
+        plans.size(), MaxScheduledConcurrency(),
+        HumanSeconds(TotalCriticalPathSeconds()).c_str(),
+        HumanSeconds(TotalPlanNodeSeconds()).c_str());
+  }
+  if (invariant_cache_hits + invariant_cache_misses > 0) {
+    out += StrFormat("  invariant cache: %lld hits, %lld misses\n",
+                     (long long)invariant_cache_hits,
+                     (long long)invariant_cache_misses);
   }
   return out;
 }

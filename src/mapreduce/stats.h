@@ -53,6 +53,15 @@ TaskSkew SkewOf(std::vector<int64_t> counts);
 struct JobStats {
   std::string name;
 
+  /// Engine-wide monotonically increasing job identifier (the same sequence
+  /// number that keys spill-file prefixes). Stable under concurrent
+  /// scheduling: drivers attribute jobs to ALS iterations by id ranges, not
+  /// by position in the pipeline log (which records completion order).
+  int64_t job_id = -1;
+  /// Identifier of the Plan this job ran under, or -1 for a job issued
+  /// directly through Engine::Run outside any plan.
+  int64_t plan_id = -1;
+
   int64_t map_input_records = 0;
   /// Records emitted by mappers before the combiner (if any) ran.
   int64_t pre_combine_records = 0;
@@ -96,10 +105,66 @@ struct JobStats {
   }
 };
 
+/// \brief Execution record of one node of a dataflow Plan (see
+/// mapreduce/plan.h). A node usually wraps exactly one Engine::Run call
+/// (its job id then appears in `job_ids`); assembly nodes that only
+/// concatenate upstream outputs run no engine job and have an empty list.
+struct PlanNodeStats {
+  std::string label;
+  /// Indices (into PlanStats::nodes) of the nodes this one depends on —
+  /// the plan's dependency edges.
+  std::vector<int> deps;
+  /// Engine job ids issued while this node executed.
+  std::vector<int64_t> job_ids;
+  /// Wall time of the node's executor (0 for nodes that never ran).
+  double seconds = 0.0;
+  /// "ok", "failed", or "skipped" (a dependency failed first).
+  std::string status = "skipped";
+};
+
+/// \brief Statistics of one scheduled Plan: the DAG shape, the concurrency
+/// the scheduler actually achieved, and the critical-path/total-work split
+/// that bounds what more concurrency could buy (critical_path_seconds is
+/// the lower bound on plan wall time with infinite workers).
+struct PlanStats {
+  int64_t plan_id = -1;
+  std::string name;
+  std::vector<PlanNodeStats> nodes;
+
+  /// Configured cap on concurrently running nodes.
+  int concurrency_limit = 1;
+  /// Maximum number of nodes observed running simultaneously.
+  int max_observed_concurrency = 0;
+
+  /// End-to-end wall time of the plan (schedule + execute + join).
+  double wall_seconds = 0.0;
+  /// Longest dependency-chain sum of node seconds.
+  double critical_path_seconds = 0.0;
+  /// Sum of node seconds over every node that ran.
+  double total_node_seconds = 0.0;
+
+  bool failed() const {
+    for (const PlanNodeStats& n : nodes) {
+      if (n.status == "failed") return true;
+    }
+    return false;
+  }
+};
+
 /// \brief Aggregate over the jobs of one logical operation (e.g. one
 /// evaluation of X ×₂ Bᵀ ×₃ Cᵀ, or one full decomposition).
 struct PipelineStats {
   std::vector<JobStats> jobs;
+  /// One entry per Plan scheduled through the engine (empty when every job
+  /// was issued directly). Jobs of a plan also appear in `jobs`, tagged
+  /// with the matching JobStats::plan_id.
+  std::vector<PlanStats> plans;
+
+  /// Iteration-invariant input-scan cache (core/contract.h ContractCache):
+  /// how often a repeated bottleneck-op evaluation reused the decoded
+  /// coordinate records of its input tensor instead of re-scanning it.
+  int64_t invariant_cache_hits = 0;
+  int64_t invariant_cache_misses = 0;
 
   int64_t NumJobs() const { return static_cast<int64_t>(jobs.size()); }
 
@@ -116,8 +181,22 @@ struct PipelineStats {
   int64_t NumFailedJobs() const;
   double TotalWallSeconds() const;
 
+  /// Max over plans of the concurrency the scheduler actually achieved
+  /// (0 when no plan ran).
+  int MaxScheduledConcurrency() const;
+  /// Sum over plans of the critical-path seconds — the lower bound on their
+  /// combined wall time under unlimited concurrency.
+  double TotalCriticalPathSeconds() const;
+  /// Sum over plans of total node seconds (the serial-execution cost).
+  double TotalPlanNodeSeconds() const;
+
   void Append(const PipelineStats& other);
-  void Clear() { jobs.clear(); }
+  void Clear() {
+    jobs.clear();
+    plans.clear();
+    invariant_cache_hits = 0;
+    invariant_cache_misses = 0;
+  }
 
   /// Multi-line human-readable summary.
   std::string ToString() const;

@@ -23,6 +23,8 @@ void JobStatsToJson(const JobStats& job, const CostModel* cost,
                     JsonWriter* w) {
   w->BeginObject();
   w->Key("name").Value(job.name);
+  w->Key("job_id").Value(job.job_id);
+  w->Key("plan_id").Value(job.plan_id);
   w->Key("status").Value(job.failed() ? std::string_view(job.failure)
                                       : std::string_view("ok"));
   w->Key("wall_seconds").Value(job.wall_seconds);
@@ -91,11 +93,47 @@ void PipelineStatsToJson(const PipelineStats& pipeline, const CostModel* cost,
   w->Key("total_intermediate_bytes").Value(pipeline.TotalIntermediateBytes());
   w->Key("total_spilled_records").Value(pipeline.TotalSpilledRecords());
   w->Key("total_map_task_retries").Value(pipeline.TotalMapTaskRetries());
+  w->Key("scheduled_concurrency").Value(pipeline.MaxScheduledConcurrency());
+  w->Key("critical_path_seconds").Value(pipeline.TotalCriticalPathSeconds());
+  w->Key("total_node_seconds").Value(pipeline.TotalPlanNodeSeconds());
+  w->Key("invariant_cache_hits").Value(pipeline.invariant_cache_hits);
+  w->Key("invariant_cache_misses").Value(pipeline.invariant_cache_misses);
   if (cost != nullptr) {
     w->Key("simulated_seconds").Value(cost->SimulatePipeline(pipeline));
   }
   w->Key("jobs").BeginArray();
   for (const JobStats& job : pipeline.jobs) JobStatsToJson(job, cost, w);
+  w->EndArray();
+  w->Key("plans").BeginArray();
+  for (const PlanStats& plan : pipeline.plans) PlanStatsToJson(plan, w);
+  w->EndArray();
+  w->EndObject();
+}
+
+void PlanStatsToJson(const PlanStats& plan, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("plan_id").Value(plan.plan_id);
+  w->Key("name").Value(plan.name);
+  w->Key("status").Value(plan.failed() ? "failed" : "ok");
+  w->Key("concurrency_limit").Value(plan.concurrency_limit);
+  w->Key("max_observed_concurrency").Value(plan.max_observed_concurrency);
+  w->Key("wall_seconds").Value(plan.wall_seconds);
+  w->Key("critical_path_seconds").Value(plan.critical_path_seconds);
+  w->Key("total_node_seconds").Value(plan.total_node_seconds);
+  w->Key("nodes").BeginArray();
+  for (const PlanNodeStats& node : plan.nodes) {
+    w->BeginObject();
+    w->Key("label").Value(node.label);
+    w->Key("status").Value(node.status);
+    w->Key("seconds").Value(node.seconds);
+    w->Key("deps").BeginArray();
+    for (int d : node.deps) w->Value(d);
+    w->EndArray();
+    w->Key("job_ids").BeginArray();
+    for (int64_t id : node.job_ids) w->Value(id);
+    w->EndArray();
+    w->EndObject();
+  }
   w->EndArray();
   w->EndObject();
 }
@@ -129,6 +167,8 @@ void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w) {
       .Value(config.reduce_slots_per_machine)
       .Key("num_threads")
       .Value(config.num_threads)
+      .Key("max_concurrent_jobs")
+      .Value(config.max_concurrent_jobs)
       .Key("job_startup_seconds")
       .Value(config.job_startup_seconds)
       .Key("total_shuffle_memory_bytes")
@@ -148,7 +188,7 @@ std::string StatsReportToJson(const StatsReport& report) {
   const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").Value("haten2-stats-v1");
+  w.Key("schema").Value("haten2-stats-v2");
   if (!report.tool.empty()) w.Key("tool").Value(report.tool);
   if (!report.method.empty()) w.Key("method").Value(report.method);
   if (!report.variant.empty()) w.Key("variant").Value(report.variant);

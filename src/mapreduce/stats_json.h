@@ -12,9 +12,15 @@
 namespace haten2 {
 
 /// JSON serialization of the engine's and drivers' statistics — the stable
-/// "haten2-stats-v1" schema documented in docs/INTERNALS.md. The schema is
+/// "haten2-stats-v2" schema documented in docs/INTERNALS.md. The schema is
 /// what --stats_json and the BENCH_*.json harness exports emit, so the
 /// perf trajectory can be read by machines across PRs.
+///
+/// v2 extends v1 (purely additive) with the dataflow-plan layer: jobs carry
+/// job_id/plan_id, pipelines carry a plans array plus scheduling aggregates
+/// (scheduled_concurrency, critical_path_seconds, total_node_seconds) and
+/// the invariant input-scan cache counters, and the cluster object carries
+/// max_concurrent_jobs.
 ///
 /// All byte counters use the engine's serialized record width
 /// (sizeof of the intermediate record pair, padding included) — the same
@@ -25,9 +31,13 @@ namespace haten2 {
 void JobStatsToJson(const JobStats& job, const CostModel* cost,
                     JsonWriter* w);
 
-/// Appends a pipeline (aggregates plus the per-job array).
+/// Appends a pipeline (aggregates plus the per-job and per-plan arrays).
 void PipelineStatsToJson(const PipelineStats& pipeline, const CostModel* cost,
                          JsonWriter* w);
+
+/// Appends one scheduled plan (DAG shape, per-node timing/status, achieved
+/// concurrency, and the critical-path/total-work split).
+void PlanStatsToJson(const PlanStats& plan, JsonWriter* w);
 
 /// Appends one driver-level ALS iteration (fit / λ / ||G|| plus its jobs).
 void IterationStatsToJson(const IterationStats& iteration,
@@ -56,7 +66,7 @@ struct StatsReport {
   const PipelineStats* pipeline = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v1").
+/// Serializes the whole report ("haten2-stats-v2").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

@@ -43,18 +43,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Scoped completion state: the caller waits for its own shards only, so
+  // concurrent ParallelFor calls from different external threads never wait
+  // on each other's work (Wait() would block until the whole pool drains).
+  struct Scope {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  };
   std::atomic<size_t> next{0};
-  size_t shards = std::min(n, threads_.size());
+  const size_t shards = std::min(n, threads_.size());
+  Scope scope{{}, {}, shards};
   for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
+    Submit([&next, n, &fn, &scope] {
       while (true) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
         fn(i);
       }
+      std::unique_lock<std::mutex> lock(scope.mu);
+      if (--scope.remaining == 0) scope.done.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(scope.mu);
+  scope.done.wait(lock, [&scope] { return scope.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

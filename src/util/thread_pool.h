@@ -36,6 +36,13 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// fn must be safe to invoke concurrently for distinct i.
+  ///
+  /// Waiting is scoped to this call: the caller blocks only until its own
+  /// shard tasks finish, not until the whole pool drains. That makes
+  /// ParallelFor safe and efficient to invoke from several external threads
+  /// at once (the plan scheduler runs independent MapReduce jobs
+  /// concurrently, and each job issues its own ParallelFor phases) — their
+  /// shards interleave through the shared queue without cross-waiting.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -4,10 +4,11 @@
 #   tools/check.sh [sanitizer...]
 #
 # With no arguments, runs address and undefined over the full suite, then
-# thread over the serving tests (the subsystem built around concurrent
-# hot-swap, sharded caching, and a multi-threaded pipeline — where a data
-# race would actually live; TSan over the whole suite roughly 10x-es the
-# run for code that is single-threaded by construction). Each sanitizer
+# thread over the concurrency-bearing subsystems: the serving tests
+# (concurrent hot-swap, sharded caching, multi-threaded pipeline), the
+# MapReduce engine / spill tests, and the plan-scheduler and concurrent-Run
+# stress tests. TSan over the whole suite roughly 10x-es the run for code
+# that is single-threaded by construction. Each sanitizer
 # gets its own build tree (build-<sanitizer>) so the instrumented objects
 # never mix with the normal build. Benchmarks and examples are skipped —
 # the tests are what the sanitizers need to see.
@@ -31,7 +32,7 @@ for san in "${sanitizers[@]}"; do
   cmake --build "${build_dir}" -j
   ctest_args=()
   if [[ "${san}" == "thread" ]]; then
-    ctest_args=(-R '^Serving')
+    ctest_args=(-R '^(Serving|Engine|MapReduce|Spill|Scheduler|Plan)')
   fi
   echo "=== ${san}: testing ==="
   (cd "${build_dir}" && ctest --output-on-failure "${ctest_args[@]}" -j)

@@ -17,6 +17,9 @@
 //   --seed=S                             initialization seed (default 17)
 //   --machines=M                         simulated cluster size (default 40)
 //   --threads=T                          execution threads (default 2)
+//   --max_concurrent_jobs=J              cap on plan nodes the scheduler
+//                                        runs concurrently (default 1 =
+//                                        serial legacy order)
 //   --budget-mb=B                        shuffle-memory budget (0=unlimited)
 //   --output=PREFIX                      write factors to PREFIX.mode<k>.txt
 //                                        (and PREFIX.lambda.txt / .core.txt)
@@ -28,7 +31,7 @@
 //   --stats_json=PATH                    write the run's statistics (per-job
 //                                        phase times, intermediate-data
 //                                        records/bytes, per-iteration fit)
-//                                        as "haten2-stats-v1" JSON; written
+//                                        as "haten2-stats-v2" JSON; written
 //                                        on failures too, so o.o.m. runs
 //                                        keep their post-mortem numbers
 //
@@ -58,8 +61,9 @@ constexpr const char* kUsage =
     "       [--method=parafac|tucker|parafac-nn|tucker-nn]\n"
     "       [--rank=R] [--core=PxQxR] [--variant=dri|drn|dnn|naive]\n"
     "       [--iterations=N] [--tolerance=T] [--seed=S] [--machines=M]\n"
-    "       [--threads=T] [--budget-mb=B] [--output=PREFIX]\n"
-    "       [--resume=PREFIX] [--stats] [--stats_json=PATH]\n";
+    "       [--threads=T] [--max_concurrent_jobs=J] [--budget-mb=B]\n"
+    "       [--output=PREFIX] [--resume=PREFIX] [--stats]\n"
+    "       [--stats_json=PATH]\n";
 
 Result<Variant> ParseVariant(const std::string& name) {
   if (name == "dri") return Variant::kDri;
@@ -82,7 +86,8 @@ int RealMain(int argc, char** argv) {
   FlagParser flags(argc, argv);
   Status valid = flags.Validate({"method", "rank", "core", "variant",
                                  "iterations", "tolerance", "seed",
-                                 "machines", "threads", "budget-mb",
+                                 "machines", "threads",
+                                 "max_concurrent_jobs", "budget-mb",
                                  "output", "resume", "stats", "stats_json",
                                  "one-based", "help"});
   if (!valid.ok() || flags.GetBool("help", false) ||
@@ -112,6 +117,8 @@ int RealMain(int argc, char** argv) {
   Result<int64_t> seed = flags.GetInt("seed", 17);
   Result<int64_t> machines = flags.GetInt("machines", 40);
   Result<int64_t> threads = flags.GetInt("threads", 2);
+  Result<int64_t> max_concurrent_jobs =
+      flags.GetInt("max_concurrent_jobs", 1);
   Result<int64_t> budget_mb = flags.GetInt("budget-mb", 0);
   Result<std::vector<int64_t>> core =
       flags.GetDims("core", std::vector<int64_t>(
@@ -119,7 +126,8 @@ int RealMain(int argc, char** argv) {
   for (const Status& s :
        {variant.status(), rank.status(), iterations.status(),
         tolerance.status(), seed.status(), machines.status(),
-        threads.status(), budget_mb.status(), core.status()}) {
+        threads.status(), max_concurrent_jobs.status(), budget_mb.status(),
+        core.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -129,6 +137,7 @@ int RealMain(int argc, char** argv) {
   ClusterConfig config;
   config.num_machines = static_cast<int>(*machines);
   config.num_threads = static_cast<int>(*threads);
+  config.max_concurrent_jobs = static_cast<int>(*max_concurrent_jobs);
   config.total_shuffle_memory_bytes =
       static_cast<uint64_t>(*budget_mb) << 20;
   Engine engine(config);
@@ -243,6 +252,8 @@ int RealMain(int argc, char** argv) {
     return 1;
   }
 
+  const PipelineStats pipeline_snapshot = engine.PipelineSnapshot();
+
   // The JSON export runs before the exit-code handling so failed runs
   // (the paper's o.o.m. deaths in particular) keep their post-mortem stats.
   if (!stats_json.empty()) {
@@ -268,7 +279,7 @@ int RealMain(int argc, char** argv) {
     report.iterations_run = iterations_run;
     report.cluster = &config;
     report.trace = &trace;
-    report.pipeline = &engine.pipeline();
+    report.pipeline = &pipeline_snapshot;
     Status json_status = WriteStatsJsonFile(report, stats_json);
     if (!json_status.ok()) {
       std::fprintf(stderr, "--stats_json: %s\n",
@@ -296,10 +307,10 @@ int RealMain(int argc, char** argv) {
   }
 
   if (flags.GetBool("stats", false)) {
-    std::printf("\n%s", engine.pipeline().ToString().c_str());
+    std::printf("\n%s", pipeline_snapshot.ToString().c_str());
     std::printf("simulated %d-machine time: %s\n", config.num_machines,
                 HumanSeconds(CostModel(config).SimulatePipeline(
-                                 engine.pipeline()))
+                                 pipeline_snapshot))
                     .c_str());
   }
   return 0;
