@@ -8,8 +8,13 @@
 namespace haten2 {
 
 Status AlsHarness::Run(const IterationBody& body) {
-  double prev_metric = -1.0;
-  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+  // -1.0 is the legacy cold-start sentinel; a resumed run restores the
+  // exact prev-metric double recorded at checkpoint time, so the first
+  // resumed convergence test is bit-identical to the uninterrupted one.
+  double prev_metric =
+      options_.has_resume_metric ? options_.resume_metric : -1.0;
+  for (int iter = options_.start_iteration + 1;
+       iter <= options_.max_iterations; ++iter) {
     const int64_t first_job_id = engine_->NextJobId();
     WallTimer iter_timer;
     AlsIterationOutcome outcome;
@@ -27,15 +32,21 @@ Status AlsHarness::Run(const IterationBody& body) {
       options_.trace->iterations.push_back(std::move(it));
     }
     if (!iter_status.ok()) return iter_status;
+    bool converged = false;
     if (outcome.has_metric) {
       const double bound = options_.tolerance * options_.tolerance_scale;
       if (prev_metric >= 0.0) {
         const double delta = std::fabs(outcome.metric - prev_metric);
-        if (options_.converge_on_equal ? delta <= bound : delta < bound) {
-          break;
-        }
+        converged =
+            options_.converge_on_equal ? delta <= bound : delta < bound;
       }
-      prev_metric = outcome.metric;
+      if (!converged) prev_metric = outcome.metric;
+    }
+    if (converged) break;
+    if (options_.checkpoint_every > 0 && options_.checkpoint_fn &&
+        iter % options_.checkpoint_every == 0 &&
+        iter < options_.max_iterations) {
+      HATEN2_RETURN_IF_ERROR(options_.checkpoint_fn(iter, prev_metric));
     }
   }
   return Status::OK();

@@ -72,6 +72,30 @@ class AlsHarness {
     bool converge_on_equal = false;
     /// Optional per-iteration trace sink (Haten2Options::trace). Not owned.
     DecompositionTrace* trace = nullptr;
+
+    /// Resume (checkpoint restart): the loop runs iterations
+    /// [start_iteration + 1, max_iterations], so a resumed run and an
+    /// uninterrupted one number their iterations — and their trace entries
+    /// and history appends — identically. 0 = a fresh run.
+    int start_iteration = 0;
+    /// Restored convergence state: the metric recorded by the checkpoint
+    /// (the harness's prev-metric at checkpoint time). With
+    /// has_resume_metric false the test starts cold, exactly like a fresh
+    /// run. Restoring it makes the first resumed iteration's convergence
+    /// test compare against the pre-interruption metric — bit-identical to
+    /// never having stopped.
+    bool has_resume_metric = false;
+    double resume_metric = 0.0;
+
+    /// Periodic checkpointing: after every `checkpoint_every`-th completed
+    /// iteration (and only when the iteration did not converge — a
+    /// converged run returns its final model, there is nothing left to
+    /// protect), the harness calls `checkpoint_fn(iteration, prev_metric)`
+    /// where prev_metric is the convergence state a resume must restore.
+    /// A checkpoint failure fails the run: the caller asked for
+    /// durability, silently losing it would defeat the point. 0 disables.
+    int checkpoint_every = 0;
+    std::function<Status(int iteration, double prev_metric)> checkpoint_fn;
   };
 
   /// The iteration body: runs one full ALS sweep (iteration numbers start

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/als_harness.h"
 #include "core/records.h"
@@ -120,18 +121,73 @@ Result<MissingValueModel> Haten2ParafacMissing(
   HATEN2_RETURN_IF_ERROR(ValidateMask(x, observed));
 
   const int order = x.order();
+  // The EM iterates depend on the observation mask as well as the tensor, so
+  // the mask's size rides along in the rank/core slot of the fingerprint.
+  const uint64_t fingerprint = CheckpointFingerprint(
+      "parafac-em", options.base.variant, options.base.seed,
+      options.em_tolerance, {rank, observed.nnz()}, x);
+
   Rng rng(options.base.seed);
   MissingValueModel out;
-  out.model.lambda.assign(static_cast<size_t>(rank), 1.0);
-  for (int m = 0; m < order; ++m) {
-    out.model.factors.push_back(
-        DenseMatrix::RandomUniform(x.dim(m), rank, &rng));
+  int start_iteration = 0;
+  bool has_resume_metric = false;
+  double resume_metric = 0.0;
+  if (options.base.resume_from != nullptr) {
+    const LoadedCheckpoint& ckpt = *options.base.resume_from;
+    HATEN2_RETURN_IF_ERROR(ValidateCheckpointForResume(
+        ckpt.manifest, "parafac-em", "kruskal", fingerprint));
+    if (static_cast<int>(ckpt.kruskal.factors.size()) != order ||
+        ckpt.kruskal.rank() != rank) {
+      return Status::InvalidArgument(
+          "checkpoint model does not match the tensor order or rank");
+    }
+    for (int m = 0; m < order; ++m) {
+      if (ckpt.kruskal.factors[static_cast<size_t>(m)].rows() != x.dim(m)) {
+        return Status::InvalidArgument(
+            StrFormat("checkpoint factor %d rows do not match mode size", m));
+      }
+    }
+    out.model.lambda = ckpt.kruskal.lambda;
+    out.model.factors = ckpt.kruskal.factors;
+    out.observed_fit_history = ckpt.manifest.fit_history;
+    out.em_iterations = ckpt.manifest.iteration;
+    if (!out.observed_fit_history.empty()) {
+      out.observed_fit = out.observed_fit_history.back();
+    }
+    start_iteration = ckpt.manifest.iteration;
+    has_resume_metric = true;
+    resume_metric = ckpt.manifest.metric;
+  } else {
+    out.model.lambda.assign(static_cast<size_t>(rank), 1.0);
+    for (int m = 0; m < order; ++m) {
+      out.model.factors.push_back(
+          DenseMatrix::RandomUniform(x.dim(m), rank, &rng));
+    }
   }
 
   AlsHarness::Options harness_options;
   harness_options.max_iterations = options.em_iterations;
   harness_options.tolerance = options.em_tolerance;
   harness_options.trace = options.base.trace;
+  harness_options.start_iteration = start_iteration;
+  harness_options.has_resume_metric = has_resume_metric;
+  harness_options.resume_metric = resume_metric;
+  std::optional<CheckpointWriter> checkpoint_writer;
+  if (options.base.checkpoint != nullptr) {
+    checkpoint_writer.emplace(*options.base.checkpoint);
+    harness_options.checkpoint_every =
+        options.base.checkpoint->every_n_iterations;
+    harness_options.checkpoint_fn = [&](int iteration, double prev_metric) {
+      CheckpointManifest m;
+      m.method = "parafac-em";
+      m.model_kind = "kruskal";
+      m.fingerprint = fingerprint;
+      m.iteration = iteration;
+      m.metric = prev_metric;
+      m.fit_history = out.observed_fit_history;
+      return checkpoint_writer->Write(m, &out.model, nullptr);
+    };
+  }
   AlsHarness harness(engine, harness_options);
   Status loop_status = harness.Run(
       [&](int em, AlsIterationOutcome* outcome) -> Status {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/als_harness.h"
 #include "core/records.h"
@@ -105,14 +106,51 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
     }
   }
 
+  const uint64_t fingerprint =
+      CheckpointFingerprint("tucker-nn", options.variant, options.seed,
+                            options.tolerance, core_dims, x);
+
   Rng rng(options.seed);
   TuckerModel model;
-  HATEN2_ASSIGN_OR_RETURN(model.core, DenseTensor::Create(core_dims));
-  for (double& g : model.core.data()) g = rng.Uniform(0.1, 1.0);
-  model.factors.reserve(static_cast<size_t>(order));
-  for (int m = 0; m < order; ++m) {
-    model.factors.push_back(DenseMatrix::RandomUniform(
-        x.dim(m), core_dims[static_cast<size_t>(m)], &rng));
+  int start_iteration = 0;
+  bool has_resume_metric = false;
+  double resume_metric = 0.0;
+  if (options.resume_from != nullptr) {
+    const LoadedCheckpoint& ckpt = *options.resume_from;
+    HATEN2_RETURN_IF_ERROR(ValidateCheckpointForResume(
+        ckpt.manifest, "tucker-nn", "tucker", fingerprint));
+    if (static_cast<int>(ckpt.tucker.factors.size()) != order ||
+        ckpt.tucker.core.dims() != core_dims) {
+      return Status::InvalidArgument(
+          "checkpoint model does not match the tensor order or core dims");
+    }
+    for (int m = 0; m < order; ++m) {
+      const DenseMatrix& f = ckpt.tucker.factors[static_cast<size_t>(m)];
+      if (f.rows() != x.dim(m) ||
+          f.cols() != core_dims[static_cast<size_t>(m)]) {
+        return Status::InvalidArgument(
+            StrFormat("checkpoint factor %d shape does not match", m));
+      }
+    }
+    // The multiplicative updates rescale the *core* as well as the factors,
+    // so resuming must restore both — factors alone would restart from a
+    // different point in the iterate sequence.
+    model.core = ckpt.tucker.core;
+    model.factors = ckpt.tucker.factors;
+    model.core_norm_history = ckpt.manifest.core_norm_history;
+    model.iterations = ckpt.manifest.iteration;
+    start_iteration = ckpt.manifest.iteration;
+    has_resume_metric = true;
+    resume_metric = ckpt.manifest.metric;
+    if (ckpt.manifest.metric >= 0.0) model.fit = ckpt.manifest.metric;
+  } else {
+    HATEN2_ASSIGN_OR_RETURN(model.core, DenseTensor::Create(core_dims));
+    for (double& g : model.core.data()) g = rng.Uniform(0.1, 1.0);
+    model.factors.reserve(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      model.factors.push_back(DenseMatrix::RandomUniform(
+          x.dim(m), core_dims[static_cast<size_t>(m)], &rng));
+    }
   }
 
   std::vector<DenseMatrix> grams;
@@ -124,6 +162,24 @@ Result<TuckerModel> Haten2NonnegativeTuckerAls(
   harness_options.max_iterations = options.max_iterations;
   harness_options.tolerance = options.tolerance;
   harness_options.trace = options.trace;
+  harness_options.start_iteration = start_iteration;
+  harness_options.has_resume_metric = has_resume_metric;
+  harness_options.resume_metric = resume_metric;
+  std::optional<CheckpointWriter> checkpoint_writer;
+  if (options.checkpoint != nullptr) {
+    checkpoint_writer.emplace(*options.checkpoint);
+    harness_options.checkpoint_every = options.checkpoint->every_n_iterations;
+    harness_options.checkpoint_fn = [&](int iteration, double prev_metric) {
+      CheckpointManifest m;
+      m.method = "tucker-nn";
+      m.model_kind = "tucker";
+      m.fingerprint = fingerprint;
+      m.iteration = iteration;
+      m.metric = prev_metric;
+      m.core_norm_history = model.core_norm_history;
+      return checkpoint_writer->Write(m, nullptr, &model);
+    };
+  }
   AlsHarness harness(engine, harness_options);
   Status loop_status = harness.Run(
       [&](int iter, AlsIterationOutcome* outcome) -> Status {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/als_harness.h"
 #include "core/records.h"
@@ -14,6 +15,25 @@ namespace haten2 {
 namespace {
 
 constexpr double kNonnegativeEps = 1e-12;
+
+/// Shared by the warm-start and checkpoint-resume paths: the given model
+/// must fit the tensor's order, the requested rank, and every mode size.
+Status CheckKruskalShape(const KruskalModel& init, const SparseTensor& x,
+                         int64_t rank, const char* what) {
+  const int order = x.order();
+  if (static_cast<int>(init.factors.size()) != order || init.rank() != rank ||
+      static_cast<int64_t>(init.lambda.size()) != rank) {
+    return Status::InvalidArgument(
+        std::string(what) + " model does not match the tensor order or rank");
+  }
+  for (int m = 0; m < order; ++m) {
+    if (init.factors[static_cast<size_t>(m)].rows() != x.dim(m)) {
+      return Status::InvalidArgument(StrFormat(
+          "%s factor %d rows do not match mode size", what, m));
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -36,23 +56,37 @@ Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
   }
   const int order = x.order();
 
+  const std::string ckpt_method =
+      options.nonnegative ? "parafac-nn" : "parafac";
+  const uint64_t fingerprint =
+      CheckpointFingerprint(ckpt_method, options.variant, options.seed,
+                            options.tolerance, {rank}, x);
+
   Rng rng(options.seed);
   KruskalModel model;
-  if (options.initial_kruskal != nullptr) {
+  int start_iteration = 0;
+  bool has_resume_metric = false;
+  double resume_metric = 0.0;
+  if (options.resume_from != nullptr) {
+    const LoadedCheckpoint& ckpt = *options.resume_from;
+    HATEN2_RETURN_IF_ERROR(ValidateCheckpointForResume(
+        ckpt.manifest, ckpt_method, "kruskal", fingerprint));
+    HATEN2_RETURN_IF_ERROR(
+        CheckKruskalShape(ckpt.kruskal, x, rank, "checkpoint"));
+    model.lambda = ckpt.kruskal.lambda;
+    model.factors = ckpt.kruskal.factors;
+    // Continue — not restart — the histories and iteration numbering, so a
+    // resumed trace appends after the checkpointed entries instead of
+    // duplicating them.
+    model.fit_history = ckpt.manifest.fit_history;
+    model.iterations = ckpt.manifest.iteration;
+    if (!model.fit_history.empty()) model.fit = model.fit_history.back();
+    start_iteration = ckpt.manifest.iteration;
+    has_resume_metric = true;
+    resume_metric = ckpt.manifest.metric;
+  } else if (options.initial_kruskal != nullptr) {
     const KruskalModel& init = *options.initial_kruskal;
-    if (static_cast<int>(init.factors.size()) != order ||
-        init.rank() != rank ||
-        static_cast<int64_t>(init.lambda.size()) != rank) {
-      return Status::InvalidArgument(
-          "warm-start model does not match the tensor order or rank");
-    }
-    for (int m = 0; m < order; ++m) {
-      if (init.factors[static_cast<size_t>(m)].rows() != x.dim(m)) {
-        return Status::InvalidArgument(
-            StrFormat("warm-start factor %d rows do not match mode size",
-                      m));
-      }
-    }
+    HATEN2_RETURN_IF_ERROR(CheckKruskalShape(init, x, rank, "warm-start"));
     model.lambda = init.lambda;
     model.factors = init.factors;
   } else {
@@ -72,6 +106,24 @@ Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
   harness_options.max_iterations = options.max_iterations;
   harness_options.tolerance = options.tolerance;
   harness_options.trace = options.trace;
+  harness_options.start_iteration = start_iteration;
+  harness_options.has_resume_metric = has_resume_metric;
+  harness_options.resume_metric = resume_metric;
+  std::optional<CheckpointWriter> checkpoint_writer;
+  if (options.checkpoint != nullptr) {
+    checkpoint_writer.emplace(*options.checkpoint);
+    harness_options.checkpoint_every = options.checkpoint->every_n_iterations;
+    harness_options.checkpoint_fn = [&](int iteration, double prev_metric) {
+      CheckpointManifest m;
+      m.method = ckpt_method;
+      m.model_kind = "kruskal";
+      m.fingerprint = fingerprint;
+      m.iteration = iteration;
+      m.metric = prev_metric;
+      m.fit_history = model.fit_history;
+      return checkpoint_writer->Write(m, &model, nullptr);
+    };
+  }
   AlsHarness harness(engine, harness_options);
   Status loop_status = harness.Run(
       [&](int iter, AlsIterationOutcome* outcome) -> Status {

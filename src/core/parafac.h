@@ -1,6 +1,7 @@
 #ifndef HATEN2_CORE_PARAFAC_H_
 #define HATEN2_CORE_PARAFAC_H_
 
+#include "core/checkpoint.h"
 #include "core/contract.h"
 #include "core/variant.h"
 #include "mapreduce/engine.h"
@@ -40,6 +41,20 @@ struct Haten2Options {
   /// (ALS state is fully captured by the factors). Not owned.
   const KruskalModel* initial_kruskal = nullptr;
   const TuckerModel* initial_tucker = nullptr;
+
+  /// Optional fault tolerance (core/checkpoint.h). With `checkpoint` set,
+  /// the driver writes an atomic checkpoint (factors + λ/core + iteration
+  /// counter + fit history + convergence state + config fingerprint) every
+  /// checkpoint->every_n_iterations iterations. With `resume_from` set, the
+  /// driver restores that state and continues the exact iterate sequence —
+  /// iteration numbering, histories, traces, and the convergence test all
+  /// pick up where the checkpoint left off (unlike the initial_* warm
+  /// starts above, which begin a fresh run from the given factors). The
+  /// checkpoint's fingerprint must match the current run (method, variant,
+  /// seed, tolerance, rank/core dims, tensor shape+nnz) or the driver
+  /// refuses with kFailedPrecondition. Not owned.
+  const CheckpointOptions* checkpoint = nullptr;
+  const LoadedCheckpoint* resume_from = nullptr;
 
   /// Optional per-iteration observability: when non-null, the driver
   /// appends one IterationStats per ALS iteration (fit / λ / ||G||, wall

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/als_harness.h"
 #include "core/records.h"
@@ -123,9 +124,43 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
     }
   }
 
+  const uint64_t fingerprint =
+      CheckpointFingerprint("tucker", options.variant, options.seed,
+                            options.tolerance, core_dims, x);
+
   Rng rng(options.seed);
   TuckerModel model;
-  if (options.initial_tucker != nullptr) {
+  int start_iteration = 0;
+  bool has_resume_metric = false;
+  double resume_metric = 0.0;
+  if (options.resume_from != nullptr) {
+    const LoadedCheckpoint& ckpt = *options.resume_from;
+    HATEN2_RETURN_IF_ERROR(ValidateCheckpointForResume(
+        ckpt.manifest, "tucker", "tucker", fingerprint));
+    if (static_cast<int>(ckpt.tucker.factors.size()) != order) {
+      return Status::InvalidArgument(
+          "checkpoint model does not match the tensor order");
+    }
+    for (int m = 0; m < order; ++m) {
+      const DenseMatrix& f = ckpt.tucker.factors[static_cast<size_t>(m)];
+      if (f.rows() != x.dim(m) ||
+          f.cols() != core_dims[static_cast<size_t>(m)]) {
+        return Status::InvalidArgument(
+            StrFormat("checkpoint factor %d shape does not match", m));
+      }
+    }
+    // Restore the factors verbatim — no defensive QR here. The checkpoint's
+    // text format round-trips doubles exactly, and re-orthonormalizing
+    // already-orthonormal factors would perturb them in the last ulp,
+    // breaking the resumed run's bit-identity with the uninterrupted one.
+    model.factors = ckpt.tucker.factors;
+    model.core = ckpt.tucker.core;
+    model.core_norm_history = ckpt.manifest.core_norm_history;
+    model.iterations = ckpt.manifest.iteration;
+    start_iteration = ckpt.manifest.iteration;
+    has_resume_metric = true;
+    resume_metric = ckpt.manifest.metric;
+  } else if (options.initial_tucker != nullptr) {
     const TuckerModel& init = *options.initial_tucker;
     if (static_cast<int>(init.factors.size()) != order) {
       return Status::InvalidArgument(
@@ -162,6 +197,24 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
   harness_options.tolerance_scale = x_norm;
   harness_options.converge_on_equal = true;
   harness_options.trace = options.trace;
+  harness_options.start_iteration = start_iteration;
+  harness_options.has_resume_metric = has_resume_metric;
+  harness_options.resume_metric = resume_metric;
+  std::optional<CheckpointWriter> checkpoint_writer;
+  if (options.checkpoint != nullptr) {
+    checkpoint_writer.emplace(*options.checkpoint);
+    harness_options.checkpoint_every = options.checkpoint->every_n_iterations;
+    harness_options.checkpoint_fn = [&](int iteration, double prev_metric) {
+      CheckpointManifest m;
+      m.method = "tucker";
+      m.model_kind = "tucker";
+      m.fingerprint = fingerprint;
+      m.iteration = iteration;
+      m.metric = prev_metric;
+      m.core_norm_history = model.core_norm_history;
+      return checkpoint_writer->Write(m, nullptr, &model);
+    };
+  }
   AlsHarness harness(engine, harness_options);
   Status loop_status = harness.Run(
       [&](int iter, AlsIterationOutcome* outcome) -> Status {

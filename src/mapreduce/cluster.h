@@ -77,6 +77,29 @@ struct ClusterConfig {
   int max_task_attempts = 4;
   uint64_t failure_seed = 0xfa11u;
 
+  /// Plan-level recovery (mapreduce/scheduler.h): how many times the
+  /// PlanScheduler runs one plan node end-to-end before giving up, counting
+  /// the first attempt. 1 disables node retries (any failure is final —
+  /// the pre-recovery behaviour). Only *transient* failures are retried:
+  /// kAborted (a job exhausted its task attempts) and kIOError; permanent
+  /// statuses (bad input, contract violations) fail immediately.
+  int max_node_attempts = 1;
+
+  /// Whether kResourceExhausted ("o.o.m.") counts as transient for node
+  /// retries. Off by default: re-running an o.o.m. node under the same
+  /// shuffle-memory budget fails identically; turn this on only when the
+  /// budget was raised between attempts (e.g. by an external controller).
+  bool retry_oom_nodes = false;
+
+  /// Simulated backoff before the k-th node retry:
+  /// min(base * multiplier^(k-1), cap) seconds. Backoff is *simulated
+  /// cluster time* — recorded in PlanNodeStats::backoff_seconds and added
+  /// to the CostModel's pipeline makespan, never slept for real (the
+  /// in-process engine has no contended resource worth waiting out).
+  double node_backoff_base_seconds = 4.0;
+  double node_backoff_multiplier = 2.0;
+  double node_backoff_cap_seconds = 64.0;
+
   int TotalMapSlots() const { return num_machines * map_slots_per_machine; }
   int TotalReduceSlots() const {
     return num_machines * reduce_slots_per_machine;

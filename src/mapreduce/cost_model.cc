@@ -74,6 +74,10 @@ double CostModel::SimulateJob(const JobStats& stats) const {
 double CostModel::SimulatePipeline(const PipelineStats& stats) const {
   double total = 0.0;
   for (const JobStats& j : stats.jobs) total += SimulateJob(j);
+  // Plan-level retry backoff is simulated cluster time: the in-process
+  // engine never sleeps it, so it is charged here, where the retried jobs'
+  // costs already accrued (each attempt's jobs appear in `jobs`).
+  total += stats.TotalNodeBackoffSeconds();
   return total;
 }
 

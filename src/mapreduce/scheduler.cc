@@ -36,9 +36,60 @@ void FinalizeStats(PlanStats* stats, double wall_seconds) {
   stats->wall_seconds = wall_seconds;
   stats->critical_path_seconds = CriticalPathSeconds(*stats);
   stats->total_node_seconds = 0.0;
+  stats->total_node_retries = 0;
+  stats->total_backoff_seconds = 0.0;
   for (const PlanNodeStats& n : stats->nodes) {
     stats->total_node_seconds += n.seconds;
+    if (n.attempts > 1) stats->total_node_retries += n.attempts - 1;
+    stats->total_backoff_seconds += n.backoff_seconds;
   }
+}
+
+/// Transient node failures worth re-running: an aborted job (a task ran out
+/// of attempts — fresh job ids draw a fresh injection pattern) and I/O
+/// errors (spill read/write). kResourceExhausted is transient only when the
+/// config says the budget may have been raised between attempts. Everything
+/// else (bad input, contract violations) is permanent and fails fast.
+bool IsTransientNodeFailure(const Status& s, const ClusterConfig& config) {
+  switch (s.code()) {
+    case StatusCode::kAborted:
+    case StatusCode::kIOError:
+      return true;
+    case StatusCode::kResourceExhausted:
+      return config.retry_oom_nodes;
+    default:
+      return false;
+  }
+}
+
+/// Simulated backoff before retry number `retry` (1-based): capped
+/// exponential, min(base * multiplier^(retry-1), cap).
+double NodeBackoffSeconds(const ClusterConfig& config, int retry) {
+  double backoff = config.node_backoff_base_seconds;
+  for (int i = 1; i < retry; ++i) backoff *= config.node_backoff_multiplier;
+  return std::min(backoff, config.node_backoff_cap_seconds);
+}
+
+/// Runs one node executor up to config.max_node_attempts times, accumulating
+/// per-attempt wall time into node->seconds and simulated backoff into
+/// node->backoff_seconds. Callers wrap this in the node's Engine::PlanScope,
+/// so the jobs of *every* attempt are attributed to the node.
+Status RunNodeWithRetries(const JobSpec& spec, const ClusterConfig& config,
+                          PlanNodeStats* node) {
+  const int max_attempts = std::max(1, config.max_node_attempts);
+  Status s = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    node->attempts = attempt;
+    WallTimer attempt_timer;
+    s = spec.run();
+    node->seconds += attempt_timer.ElapsedSeconds();
+    if (s.ok()) return s;
+    if (attempt == max_attempts || !IsTransientNodeFailure(s, config)) {
+      return s;
+    }
+    node->backoff_seconds += NodeBackoffSeconds(config, attempt);
+  }
+  return s;
 }
 
 }  // namespace
@@ -83,9 +134,7 @@ Status PlanScheduler::ExecuteSerial(const Plan& plan, PlanStats* stats) {
     const JobSpec& spec = plan.nodes()[static_cast<size_t>(i)];
     PlanNodeStats& node = stats->nodes[static_cast<size_t>(i)];
     Engine::PlanScope scope(stats->plan_id, &node.job_ids);
-    WallTimer node_timer;
-    Status s = spec.run();
-    node.seconds = node_timer.ElapsedSeconds();
+    Status s = RunNodeWithRetries(spec, engine_->config(), &node);
     if (!s.ok()) {
       node.status = "failed";
       return s;  // later nodes keep their initial "skipped" status
@@ -148,9 +197,8 @@ Status PlanScheduler::ExecuteConcurrent(const Plan& plan, PlanStats* stats) {
       Status s;
       {
         Engine::PlanScope scope(stats->plan_id, &node.job_ids);
-        WallTimer node_timer;
-        s = plan.nodes()[static_cast<size_t>(i)].run();
-        node.seconds = node_timer.ElapsedSeconds();
+        s = RunNodeWithRetries(plan.nodes()[static_cast<size_t>(i)],
+                               engine_->config(), &node);
       }
 
       lock.lock();

@@ -21,6 +21,19 @@ namespace haten2 {
 ///     log). Un-run nodes are recorded as "skipped", and Execute returns the
 ///     failed node's Status (the lowest-index failure when several nodes
 ///     fail in the same wave).
+///   - **Recovery** (ClusterConfig::max_node_attempts > 1): a node whose
+///     executor returns a *transient* failure — kAborted (a job exhausted
+///     its task attempts) or kIOError, plus kResourceExhausted when
+///     retry_oom_nodes is set — is re-run in place, up to the attempt cap,
+///     with capped exponential backoff between attempts. Backoff is
+///     *simulated* cluster time: it is recorded in
+///     PlanNodeStats::backoff_seconds and charged by the CostModel, never
+///     slept for real. Retries get fresh engine job ids, so the
+///     deterministic failure injection draws a fresh pattern and a crashed
+///     job's retry genuinely can succeed; producers write their output slots
+///     only on success, so re-running a node is idempotent. Permanent
+///     failures (bad input, contract violations) fail fast, and a node that
+///     exhausts its attempts fails the plan exactly as before.
 ///
 /// Node executors run on scheduler-owned threads, never on the engine's
 /// worker pool: a node calls Engine::Run, which itself fans out onto the

@@ -85,6 +85,18 @@ double PipelineStats::TotalPlanNodeSeconds() const {
   return t;
 }
 
+int64_t PipelineStats::TotalNodeRetries() const {
+  int64_t t = 0;
+  for (const PlanStats& p : plans) t += p.total_node_retries;
+  return t;
+}
+
+double PipelineStats::TotalNodeBackoffSeconds() const {
+  double t = 0.0;
+  for (const PlanStats& p : plans) t += p.total_backoff_seconds;
+  return t;
+}
+
 void PipelineStats::Append(const PipelineStats& other) {
   jobs.insert(jobs.end(), other.jobs.begin(), other.jobs.end());
   plans.insert(plans.end(), other.plans.begin(), other.plans.end());
@@ -129,6 +141,11 @@ std::string PipelineStats::ToString() const {
         plans.size(), MaxScheduledConcurrency(),
         HumanSeconds(TotalCriticalPathSeconds()).c_str(),
         HumanSeconds(TotalPlanNodeSeconds()).c_str());
+    if (TotalNodeRetries() > 0) {
+      out += StrFormat("  node retries: %lld (backoff %s simulated)\n",
+                       (long long)TotalNodeRetries(),
+                       HumanSeconds(TotalNodeBackoffSeconds()).c_str());
+    }
   }
   if (invariant_cache_hits + invariant_cache_misses > 0) {
     out += StrFormat("  invariant cache: %lld hits, %lld misses\n",

@@ -116,8 +116,16 @@ struct PlanNodeStats {
   std::vector<int> deps;
   /// Engine job ids issued while this node executed.
   std::vector<int64_t> job_ids;
-  /// Wall time of the node's executor (0 for nodes that never ran).
+  /// Wall time of the node's executor, summed over every attempt (0 for
+  /// nodes that never ran).
   double seconds = 0.0;
+  /// Executor attempts: 0 = never ran, 1 = ran once (no retry), k > 1 =
+  /// retried k-1 times after transient failures
+  /// (ClusterConfig::max_node_attempts).
+  int attempts = 0;
+  /// Simulated backoff accumulated before this node's retries (cluster
+  /// time, counted by the CostModel — the in-process run never sleeps).
+  double backoff_seconds = 0.0;
   /// "ok", "failed", or "skipped" (a dependency failed first).
   std::string status = "skipped";
 };
@@ -142,6 +150,11 @@ struct PlanStats {
   double critical_path_seconds = 0.0;
   /// Sum of node seconds over every node that ran.
   double total_node_seconds = 0.0;
+  /// Retried node attempts across the plan: sum of (attempts - 1) over the
+  /// nodes that ran.
+  int total_node_retries = 0;
+  /// Sum of simulated retry backoff across the plan's nodes.
+  double total_backoff_seconds = 0.0;
 
   bool failed() const {
     for (const PlanNodeStats& n : nodes) {
@@ -189,6 +202,10 @@ struct PipelineStats {
   double TotalCriticalPathSeconds() const;
   /// Sum over plans of total node seconds (the serial-execution cost).
   double TotalPlanNodeSeconds() const;
+  /// Sum over plans of retried node attempts (plan-level recovery).
+  int64_t TotalNodeRetries() const;
+  /// Sum over plans of simulated retry backoff (counted by the CostModel).
+  double TotalNodeBackoffSeconds() const;
 
   void Append(const PipelineStats& other);
   void Clear() {

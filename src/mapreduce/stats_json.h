@@ -12,7 +12,7 @@
 namespace haten2 {
 
 /// JSON serialization of the engine's and drivers' statistics — the stable
-/// "haten2-stats-v2" schema documented in docs/INTERNALS.md. The schema is
+/// "haten2-stats-v3" schema documented in docs/INTERNALS.md. The schema is
 /// what --stats_json and the BENCH_*.json harness exports emit, so the
 /// perf trajectory can be read by machines across PRs.
 ///
@@ -21,6 +21,12 @@ namespace haten2 {
 /// (scheduled_concurrency, critical_path_seconds, total_node_seconds) and
 /// the invariant input-scan cache counters, and the cluster object carries
 /// max_concurrent_jobs.
+///
+/// v3 extends v2 (purely additive) with plan-level recovery: plan nodes
+/// carry attempts/backoff_seconds, plans carry
+/// total_node_retries/total_backoff_seconds, pipelines carry
+/// node_retries/node_backoff_seconds, and the cluster object carries
+/// max_node_attempts.
 ///
 /// All byte counters use the engine's serialized record width
 /// (sizeof of the intermediate record pair, padding included) — the same
@@ -66,7 +72,7 @@ struct StatsReport {
   const PipelineStats* pipeline = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v2").
+/// Serializes the whole report ("haten2-stats-v3").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

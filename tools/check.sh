@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite under sanitizers. Usage:
+# Checks documentation links, then runs the tier-1 test suite under
+# sanitizers. Usage:
 #
 #   tools/check.sh [sanitizer...]
 #
@@ -15,6 +16,9 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "=== docs: checking markdown links ==="
+tools/check_links.sh
 
 sanitizers=("$@")
 if [[ ${#sanitizers[@]} -eq 0 ]]; then

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's documentation
+# points at a file that exists. Usage:
+#
+#   tools/check_links.sh [file.md ...]
+#
+# With no arguments, checks the top-level *.md plus docs/*.md. External
+# links (http/https/mailto) and pure #fragments are skipped; a link's
+# target is resolved relative to the file that contains it, and an
+# optional #fragment is stripped before the existence check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  files=(*.md docs/*.md)
+fi
+
+failures=0
+for file in "${files[@]}"; do
+  [[ -f "${file}" ]] || { echo "no such file: ${file}" >&2; exit 2; }
+  dir="$(dirname "${file}")"
+  # Inline links: ](target) — one per line after -o, skipping images' size
+  # hints and code spans is unnecessary at this repo's markdown dialect.
+  while IFS= read -r target; do
+    case "${target}" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -n "${path}" ]] || continue
+    if [[ ! -e "${dir}/${path}" ]]; then
+      echo "${file}: broken link -> ${target}"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o ']([^)]*)' "${file}" | sed 's/^](//; s/)$//' || true)
+done
+
+if [[ "${failures}" -gt 0 ]]; then
+  echo "check_links: ${failures} broken link(s)" >&2
+  exit 1
+fi
+echo "check_links: all documentation links resolve"

@@ -23,15 +23,37 @@
 //   --budget-mb=B                        shuffle-memory budget (0=unlimited)
 //   --output=PREFIX                      write factors to PREFIX.mode<k>.txt
 //                                        (and PREFIX.lambda.txt / .core.txt)
+//   --checkpoint_dir=DIR                 write atomic iteration checkpoints
+//                                        under DIR (factors + iteration
+//                                        counter + convergence state); a
+//                                        killed run resumes bit-identically
+//                                        with --resume
+//   --checkpoint_every=N                 checkpoint after every N-th
+//                                        iteration (default 5)
+//   --checkpoint_keep=K                  retain the newest K checkpoints
+//                                        (default 2)
+//   --resume                             (bare) resume from the newest
+//                                        checkpoint in --checkpoint_dir,
+//                                        continuing the exact iterate
+//                                        sequence mid-run
 //   --resume=PREFIX                      warm-start from a model previously
-//                                        written with --output (continues
-//                                        the exact iterate sequence)
+//                                        written with --output (fresh run
+//                                        from those factors)
+//   --task_failure_prob=P                failure injection: probability each
+//                                        map-task attempt crashes
+//                                        (deterministic; default 0)
+//   --max_task_attempts=A                attempts per map task before the
+//                                        job aborts (default 4)
+//   --max_node_attempts=A                plan-level recovery: attempts per
+//                                        plan node before the run fails
+//                                        (default 1 = no node retries)
 //   --one-based                          read FROSTT-style 1-based indices
 //   --stats                              print the MapReduce job log
 //   --stats_json=PATH                    write the run's statistics (per-job
 //                                        phase times, intermediate-data
-//                                        records/bytes, per-iteration fit)
-//                                        as "haten2-stats-v2" JSON; written
+//                                        records/bytes, per-iteration fit,
+//                                        retry/backoff counters)
+//                                        as "haten2-stats-v3" JSON; written
 //                                        on failures too, so o.o.m. runs
 //                                        keep their post-mortem numbers
 //
@@ -62,7 +84,10 @@ constexpr const char* kUsage =
     "       [--rank=R] [--core=PxQxR] [--variant=dri|drn|dnn|naive]\n"
     "       [--iterations=N] [--tolerance=T] [--seed=S] [--machines=M]\n"
     "       [--threads=T] [--max_concurrent_jobs=J] [--budget-mb=B]\n"
-    "       [--output=PREFIX] [--resume=PREFIX] [--stats]\n"
+    "       [--output=PREFIX] [--resume[=PREFIX]] [--stats]\n"
+    "       [--checkpoint_dir=DIR] [--checkpoint_every=N]\n"
+    "       [--checkpoint_keep=K] [--task_failure_prob=P]\n"
+    "       [--max_task_attempts=A] [--max_node_attempts=A]\n"
     "       [--stats_json=PATH]\n";
 
 Result<Variant> ParseVariant(const std::string& name) {
@@ -89,6 +114,9 @@ int RealMain(int argc, char** argv) {
                                  "machines", "threads",
                                  "max_concurrent_jobs", "budget-mb",
                                  "output", "resume", "stats", "stats_json",
+                                 "checkpoint_dir", "checkpoint_every",
+                                 "checkpoint_keep", "task_failure_prob",
+                                 "max_task_attempts", "max_node_attempts",
                                  "one-based", "help"});
   if (!valid.ok() || flags.GetBool("help", false) ||
       flags.positional().size() != 1) {
@@ -120,6 +148,12 @@ int RealMain(int argc, char** argv) {
   Result<int64_t> max_concurrent_jobs =
       flags.GetInt("max_concurrent_jobs", 1);
   Result<int64_t> budget_mb = flags.GetInt("budget-mb", 0);
+  Result<int64_t> checkpoint_every = flags.GetInt("checkpoint_every", 5);
+  Result<int64_t> checkpoint_keep = flags.GetInt("checkpoint_keep", 2);
+  Result<double> task_failure_prob =
+      flags.GetDouble("task_failure_prob", 0.0);
+  Result<int64_t> max_task_attempts = flags.GetInt("max_task_attempts", 4);
+  Result<int64_t> max_node_attempts = flags.GetInt("max_node_attempts", 1);
   Result<std::vector<int64_t>> core =
       flags.GetDims("core", std::vector<int64_t>(
                                 static_cast<size_t>(tensor->order()), 10));
@@ -127,7 +161,9 @@ int RealMain(int argc, char** argv) {
        {variant.status(), rank.status(), iterations.status(),
         tolerance.status(), seed.status(), machines.status(),
         threads.status(), max_concurrent_jobs.status(), budget_mb.status(),
-        core.status()}) {
+        checkpoint_every.status(), checkpoint_keep.status(),
+        task_failure_prob.status(), max_task_attempts.status(),
+        max_node_attempts.status(), core.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -140,6 +176,9 @@ int RealMain(int argc, char** argv) {
   config.max_concurrent_jobs = static_cast<int>(*max_concurrent_jobs);
   config.total_shuffle_memory_bytes =
       static_cast<uint64_t>(*budget_mb) << 20;
+  config.task_failure_probability = *task_failure_prob;
+  config.max_task_attempts = static_cast<int>(*max_task_attempts);
+  config.max_node_attempts = static_cast<int>(*max_node_attempts);
   Engine engine(config);
 
   Haten2Options options;
@@ -152,6 +191,7 @@ int RealMain(int argc, char** argv) {
   const std::string output = flags.GetString("output", "");
   const std::string resume = flags.GetString("resume", "");
   const std::string stats_json = flags.GetString("stats_json", "");
+  const std::string checkpoint_dir = flags.GetString("checkpoint_dir", "");
   DecompositionTrace trace;
   if (!stats_json.empty()) options.trace = &trace;
   WallTimer timer;
@@ -161,10 +201,40 @@ int RealMain(int argc, char** argv) {
   double fit = 0.0;
   int iterations_run = 0;
 
-  // Warm starts: load the checkpoint matching the method family.
+  CheckpointOptions checkpoint_options;
+  if (!checkpoint_dir.empty()) {
+    checkpoint_options.directory = checkpoint_dir;
+    checkpoint_options.every_n_iterations =
+        static_cast<int>(*checkpoint_every);
+    checkpoint_options.keep_last = static_cast<int>(*checkpoint_keep);
+    options.checkpoint = &checkpoint_options;
+  }
+
+  // Bare --resume (FlagParser reads it as "true"): continue mid-run from
+  // the newest committed checkpoint. --resume=PREFIX stays the legacy
+  // warm start from factors written with --output.
   KruskalModel resume_kruskal;
   TuckerModel resume_tucker;
-  if (!resume.empty()) {
+  LoadedCheckpoint resume_checkpoint;
+  if (resume == "true") {
+    if (checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "bare --resume needs --checkpoint_dir=DIR to know where "
+                   "the checkpoints live\n");
+      return 1;
+    }
+    Result<LoadedCheckpoint> loaded = LoadLatestCheckpoint(checkpoint_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--resume: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    resume_checkpoint = std::move(loaded).value();
+    options.resume_from = &resume_checkpoint;
+    std::printf("resuming %s from checkpoint iteration %d under %s\n",
+                resume_checkpoint.manifest.method.c_str(),
+                resume_checkpoint.manifest.iteration, checkpoint_dir.c_str());
+  } else if (!resume.empty()) {
     if (method == "parafac" || method == "parafac-nn") {
       Result<KruskalModel> loaded =
           LoadKruskalModel(resume, tensor->order());
