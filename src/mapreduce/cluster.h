@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "mapreduce/spill_codec.h"
+
 namespace haten2 {
 
 /// \brief Configuration of the (simulated) MapReduce cluster.
@@ -66,6 +68,22 @@ struct ClusterConfig {
   /// disks together), which is what the paper's o.o.m. events exhaust.
   std::string spill_directory;
   int64_t spill_threshold_records = 64 * 1024;
+
+  /// On-disk encoding of spill runs (mapreduce/spill_codec.h). `kNone`
+  /// writes raw records — byte-for-byte the historical format, kept as the
+  /// deterministic test double; `kDeltaVarint` block-compresses each run
+  /// (delta+varint on a sorted key prefix, values raw). Budget charges and
+  /// the `spilled_bytes`/`spilled_raw_bytes` counters always use the raw
+  /// record width; `spilled_compressed_bytes` and the CostModel's disk term
+  /// use what actually reached disk.
+  SpillCompression spill_compression = SpillCompression::kNone;
+
+  /// Failure injection for the spill *write* path: when > 0, the spill
+  /// write that would push an emitter's cumulative spill-file bytes past
+  /// this limit fails partway through (a torn write, as a full disk
+  /// produces), exercising the torn-file cleanup. 0 disables. Deterministic
+  /// like task_failure_probability: reruns tear at the same byte.
+  int64_t inject_spill_failure_after_bytes = 0;
 
   /// Failure injection: probability that each map-task attempt fails and is
   /// re-executed, as Hadoop does with crashed tasks. Attempts are decided

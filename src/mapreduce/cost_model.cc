@@ -26,15 +26,18 @@ double CostModel::Makespan(std::vector<double> task_costs, int workers) {
 }
 
 double CostModel::SimulateJob(const JobStats& stats) const {
-  // Map tasks: CPU per record plus the task's share of spill I/O.
+  // Map tasks: CPU per record plus the disk time of the bytes the task
+  // actually spilled (post-codec width). An in-memory shuffle spills
+  // nothing and pays no disk bandwidth; the historical model charged every
+  // task its share of map_output_bytes even with spilling disabled.
   std::vector<double> map_costs;
   map_costs.reserve(stats.map_task_records.size());
-  const double total_input =
-      std::max<double>(1.0, static_cast<double>(stats.map_input_records));
   for (size_t t = 0; t < stats.map_task_records.size(); ++t) {
     int64_t records = stats.map_task_records[t];
-    double share = static_cast<double>(records) / total_input;
-    double spill_bytes = share * static_cast<double>(stats.map_output_bytes);
+    double spill_bytes =
+        t < stats.map_task_spilled_bytes.size()
+            ? static_cast<double>(stats.map_task_spilled_bytes[t])
+            : 0.0;
     double cost = static_cast<double>(records) *
                       config_.map_seconds_per_record +
                   spill_bytes / config_.disk_bytes_per_second;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <mutex>
@@ -15,6 +17,7 @@
 
 #include "mapreduce/cluster.h"
 #include "mapreduce/hash.h"
+#include "mapreduce/spill_codec.h"
 #include "mapreduce/stats.h"
 #include "util/memory_tracker.h"
 #include "util/result.h"
@@ -60,14 +63,22 @@ class ShuffleEmitter {
   /// holds `spill_threshold` records (Hadoop's sort-spill), bounding the
   /// task's resident memory. Spilled records remain charged against the
   /// budget: it models the cluster's total intermediate-data capacity.
+  /// `compression` selects the on-disk run encoding (spill_codec.h);
+  /// `inject_failure_after_bytes` > 0 tears the spill write that would pass
+  /// that cumulative byte count (failure injection, see ClusterConfig).
   ShuffleEmitter(int num_partitions, MemoryTracker* tracker,
                  std::string spill_prefix = "",
-                 int64_t spill_threshold = 0)
+                 int64_t spill_threshold = 0,
+                 SpillCompression compression = SpillCompression::kNone,
+                 int64_t inject_failure_after_bytes = 0)
       : buffers_(static_cast<size_t>(num_partitions)),
         spilled_counts_(static_cast<size_t>(num_partitions), 0),
+        spilled_disk_bytes_(static_cast<size_t>(num_partitions), 0),
         tracker_(tracker),
         spill_prefix_(std::move(spill_prefix)),
-        spill_threshold_(spill_threshold) {}
+        spill_threshold_(spill_threshold),
+        compression_(compression),
+        inject_failure_after_bytes_(inject_failure_after_bytes) {}
 
   void Emit(const K& key, const V& value) {
     if (failed_) return;
@@ -112,34 +123,55 @@ class ShuffleEmitter {
     return spilled_counts_[partition];
   }
 
+  /// Bytes this emitter's spill runs occupy on disk (compressed width;
+  /// equals TotalSpilledRecords() * kRecordBytes when compression is none).
+  uint64_t TotalSpilledDiskBytes() const {
+    uint64_t n = 0;
+    for (uint64_t b : spilled_disk_bytes_) n += b;
+    return n;
+  }
+
   std::string SpillPath(size_t partition) const {
     return spill_prefix_ + "_p" + std::to_string(partition) + ".spill";
   }
 
   /// Streams partition `p`'s spilled records (if any) into `consume`, then
-  /// removes the spill file. Returns false on a read error.
+  /// removes the spill file. On a read error returns an IOError naming the
+  /// spill path and the failing byte offset, and leaves `spilled_counts_`
+  /// intact so RemoveSpill / RemoveAllSpills still clean the file up.
   template <typename ConsumeFn>
-  bool DrainSpill(size_t p, ConsumeFn&& consume) {
-    if (spilled_counts_[p] == 0) return true;
-    std::ifstream in(SpillPath(p), std::ios::binary);
-    if (!in) return false;
-    Record rec;
-    for (int64_t i = 0; i < spilled_counts_[p]; ++i) {
-      in.read(reinterpret_cast<char*>(&rec), sizeof(Record));
-      if (in.gcount() != static_cast<std::streamsize>(sizeof(Record))) {
-        return false;
+  Status DrainSpill(size_t p, ConsumeFn&& consume) {
+    if (spilled_counts_[p] == 0) return Status::OK();
+    const std::string path = SpillPath(p);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot open spill file " + path);
+    }
+    if (compression_ == SpillCompression::kNone) {
+      Record rec;
+      for (int64_t i = 0; i < spilled_counts_[p]; ++i) {
+        in.read(reinterpret_cast<char*>(&rec), sizeof(Record));
+        if (in.gcount() != static_cast<std::streamsize>(sizeof(Record))) {
+          return Status::IOError(
+              "short read in spill file " + path + " at offset " +
+              std::to_string(static_cast<uint64_t>(i) * sizeof(Record)));
+        }
+        consume(rec);
       }
-      consume(rec);
+    } else {
+      Status s = DrainCompressedSpill(p, in, path, consume);
+      if (!s.ok()) return s;
     }
     in.close();
     RemoveSpill(p);
-    return true;
+    return Status::OK();
   }
 
   void RemoveSpill(size_t p) {
     if (spilled_counts_[p] > 0) {
       std::remove(SpillPath(p).c_str());
       spilled_counts_[p] = 0;
+      spilled_disk_bytes_[p] = 0;
     }
   }
 
@@ -151,22 +183,113 @@ class ShuffleEmitter {
 
  private:
   void SpillPartition(size_t p) {
-    std::ofstream out(SpillPath(p),
-                      std::ios::binary | std::ios::app);
-    if (out) {
-      out.write(reinterpret_cast<const char*>(buffers_[p].data()),
-                static_cast<std::streamsize>(buffers_[p].size() *
-                                             sizeof(Record)));
-      out.flush();
+    const char* data = reinterpret_cast<const char*>(buffers_[p].data());
+    size_t nbytes = buffers_[p].size() * sizeof(Record);
+    std::string encoded;
+    if (compression_ == SpillCompression::kDeltaVarint) {
+      EncodeSpillBlock(data, buffers_[p].size(), sizeof(Record), sizeof(K),
+                       &encoded);
+      data = encoded.data();
+      nbytes = encoded.size();
     }
-    if (!out) {
+    const std::string path = SpillPath(p);
+    if (!WriteSpillBytes(path, data, nbytes)) {
+      // A partial append leaves a torn file whose tail no reader can parse.
+      // Roll the file back to the last committed run boundary — or remove
+      // it outright when nothing was committed — *before* failing, so
+      // RemoveAllSpills (keyed on spilled_counts_) cannot leak an orphan.
+      std::error_code ec;
+      if (spilled_disk_bytes_[p] == 0) {
+        std::filesystem::remove(path, ec);
+      } else {
+        std::filesystem::resize_file(path, spilled_disk_bytes_[p], ec);
+        if (ec) {
+          std::filesystem::remove(path, ec);
+          spilled_counts_[p] = 0;
+          spilled_disk_bytes_[p] = 0;
+        }
+      }
       failed_ = true;
-      failure_status_ = Status::IOError("spill write failed: " +
-                                        SpillPath(p));
+      failure_status_ = Status::IOError("spill write failed: " + path);
       return;
     }
     spilled_counts_[p] += static_cast<int64_t>(buffers_[p].size());
+    spilled_disk_bytes_[p] += static_cast<uint64_t>(nbytes);
     buffers_[p].clear();
+  }
+
+  /// Appends `nbytes` to the spill file; false on failure. The injection
+  /// knob tears the write that would pass the configured cumulative byte
+  /// count: half the bytes land on disk, as a mid-write disk-full would
+  /// leave them.
+  bool WriteSpillBytes(const std::string& path, const char* data,
+                       size_t nbytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) return false;
+    if (inject_failure_after_bytes_ > 0 &&
+        spill_bytes_written_ + static_cast<int64_t>(nbytes) >
+            inject_failure_after_bytes_) {
+      out.write(data, static_cast<std::streamsize>(nbytes / 2));
+      out.flush();
+      return false;
+    }
+    out.write(data, static_cast<std::streamsize>(nbytes));
+    out.flush();
+    if (!out) return false;
+    spill_bytes_written_ += static_cast<int64_t>(nbytes);
+    return true;
+  }
+
+  /// Block-decoding drain loop for delta_varint spill files: reads
+  /// header + payload per run until every spilled record is consumed,
+  /// validating counts against `spilled_counts_[p]` as it goes.
+  template <typename ConsumeFn>
+  Status DrainCompressedSpill(size_t p, std::ifstream& in,
+                              const std::string& path, ConsumeFn&& consume) {
+    int64_t remaining = spilled_counts_[p];
+    uint64_t offset = 0;
+    char header_buf[kSpillBlockHeaderBytes];
+    std::string payload;
+    std::string decoded;
+    while (remaining > 0) {
+      const std::string context =
+          path + " at offset " + std::to_string(offset);
+      in.read(header_buf, kSpillBlockHeaderBytes);
+      if (in.gcount() !=
+          static_cast<std::streamsize>(kSpillBlockHeaderBytes)) {
+        return Status::IOError("truncated spill block header in " + context);
+      }
+      Result<SpillBlockHeader> header = ParseSpillBlockHeader(
+          header_buf, kSpillBlockHeaderBytes, context);
+      if (!header.ok()) return header.status();
+      if (static_cast<int64_t>(header->record_count) > remaining) {
+        return Status::IOError("spill block overruns the spilled record "
+                               "count in " +
+                               context);
+      }
+      payload.resize(header->payload_bytes);
+      in.read(payload.data(),
+              static_cast<std::streamsize>(header->payload_bytes));
+      if (in.gcount() !=
+          static_cast<std::streamsize>(header->payload_bytes)) {
+        return Status::IOError("truncated spill block payload in " + context);
+      }
+      decoded.clear();
+      HATEN2_RETURN_IF_ERROR(DecodeSpillBlockPayload(
+          *header, payload.data(), payload.size(), sizeof(Record), sizeof(K),
+          context, &decoded));
+      Record rec;
+      for (uint64_t i = 0; i < header->record_count; ++i) {
+        // void* cast: IsFixedSizeRecord guarantees Record is memcpy-safe
+        // even where std::pair is formally non-trivially-copyable.
+        std::memcpy(static_cast<void*>(&rec),
+                    decoded.data() + i * sizeof(Record), sizeof(Record));
+        consume(rec);
+      }
+      remaining -= static_cast<int64_t>(header->record_count);
+      offset += kSpillBlockHeaderBytes + header->payload_bytes;
+    }
+    return Status::OK();
   }
 
   bool ChargePending() {
@@ -188,9 +311,16 @@ class ShuffleEmitter {
 
   std::vector<std::vector<Record>> buffers_;
   std::vector<int64_t> spilled_counts_;
+  /// Bytes committed to each partition's spill file (compressed width) —
+  /// the truncation point a torn write rolls back to, and the disk traffic
+  /// the CostModel charges.
+  std::vector<uint64_t> spilled_disk_bytes_;
   MemoryTracker* tracker_;
   std::string spill_prefix_;
   int64_t spill_threshold_ = 0;
+  SpillCompression compression_ = SpillCompression::kNone;
+  int64_t inject_failure_after_bytes_ = 0;
+  int64_t spill_bytes_written_ = 0;
   int64_t uncharged_records_ = 0;
   uint64_t charged_bytes_ = 0;
   bool failed_ = false;
@@ -400,7 +530,9 @@ class Engine {
       }
       emitters.emplace_back(num_partitions, &tracker_,
                             std::move(spill_prefix),
-                            config_.spill_threshold_records);
+                            config_.spill_threshold_records,
+                            config_.spill_compression,
+                            config_.inject_spill_failure_after_bytes);
     }
     stats.map_task_records.assign(static_cast<size_t>(num_tasks), 0);
     stats.map_task_attempts.assign(static_cast<size_t>(num_tasks), 1);
@@ -458,7 +590,9 @@ class Engine {
     bool exploded = false;
     Status explode_cause = Status::OK();
     int64_t shuffled_records = 0;
-    for (auto& em : emitters) {
+    stats.map_task_spilled_bytes.assign(static_cast<size_t>(num_tasks), 0);
+    for (size_t t = 0; t < emitters.size(); ++t) {
+      auto& em = emitters[t];
       if (em.failed()) {
         exploded = true;
         if (em.failure_status().IsIOError()) {
@@ -467,13 +601,19 @@ class Engine {
       }
       shuffled_records += em.TotalRecords();
       stats.spilled_records += em.TotalSpilledRecords();
+      stats.map_task_spilled_bytes[t] = em.TotalSpilledDiskBytes();
+      stats.spilled_compressed_bytes += em.TotalSpilledDiskBytes();
     }
     stats.pre_combine_records = shuffled_records;
     stats.map_output_records = shuffled_records;
     stats.map_output_bytes =
         static_cast<uint64_t>(shuffled_records) * kRecordBytes;
+    // Raw width — what the records occupy once re-expanded, and the byte
+    // definition every pre-codec stats consumer relied on;
+    // spilled_compressed_bytes above is what actually reached disk.
     stats.spilled_bytes =
         static_cast<uint64_t>(stats.spilled_records) * kRecordBytes;
+    stats.spilled_raw_bytes = stats.spilled_bytes;
 
     // Fails the job: removes spill files (the stats above already captured
     // them), records the job post-mortem, and releases the budget.
@@ -530,16 +670,21 @@ class Engine {
         static_cast<size_t>(num_partitions));
 
     std::atomic<bool> spill_read_failed{false};
+    std::mutex spill_error_mu;
+    Status spill_read_status = Status::OK();
     pool_.ParallelFor(static_cast<size_t>(num_partitions), [&](size_t p) {
       GroupMap& groups = partition_groups[p];
       int64_t received = 0;
       for (auto& em : emitters) {
-        if (!em.DrainSpill(p, [&groups, &received](
-                                  const std::pair<KMid, VMid>& rec) {
+        Status drained = em.DrainSpill(
+            p, [&groups, &received](const std::pair<KMid, VMid>& rec) {
               groups[rec.first].push_back(rec.second);
               ++received;
-            })) {
+            });
+        if (!drained.ok()) {
           spill_read_failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(spill_error_mu);
+          if (spill_read_status.ok()) spill_read_status = drained;
         }
         for (auto& rec : em.buffers()[p]) {
           groups[rec.first].push_back(std::move(rec.second));
@@ -557,8 +702,8 @@ class Engine {
     if (spill_read_failed.load(std::memory_order_relaxed)) {
       return fail_job(
           "io_error",
-          Status::IOError("job '" + name +
-                          "': reading a shuffle spill file failed"));
+          Status::IOError("job '" + name + "': " +
+                          spill_read_status.message()));
     }
 
     // ---- Reduce phase (parallel over partitions) ----

@@ -47,6 +47,18 @@ int64_t PipelineStats::TotalSpilledRecords() const {
   return t;
 }
 
+uint64_t PipelineStats::TotalSpilledRawBytes() const {
+  uint64_t t = 0;
+  for (const JobStats& j : jobs) t += j.spilled_raw_bytes;
+  return t;
+}
+
+uint64_t PipelineStats::TotalSpilledCompressedBytes() const {
+  uint64_t t = 0;
+  for (const JobStats& j : jobs) t += j.spilled_compressed_bytes;
+  return t;
+}
+
 int64_t PipelineStats::TotalMapTaskRetries() const {
   int64_t t = 0;
   for (const JobStats& j : jobs) t += j.map_task_retries;
@@ -127,6 +139,11 @@ std::string PipelineStats::ToString() const {
         HumanSeconds(j.phases.reduce_seconds).c_str());
     if (j.spilled_records > 0) {
       out += StrFormat(" spilled=%s", HumanCount(j.spilled_records).c_str());
+      if (j.spilled_compressed_bytes != j.spilled_raw_bytes) {
+        out += StrFormat(" (%s -> %s on disk)",
+                         HumanBytes(j.spilled_raw_bytes).c_str(),
+                         HumanBytes(j.spilled_compressed_bytes).c_str());
+      }
     }
     if (j.map_task_retries > 0) {
       out += StrFormat(" retries=%lld", (long long)j.map_task_retries);

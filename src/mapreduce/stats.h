@@ -81,8 +81,19 @@ struct JobStats {
   int64_t map_task_retries = 0;
   /// Records written to (and re-read from) spill files during the shuffle.
   int64_t spilled_records = 0;
-  /// Bytes those spilled records occupied on disk.
+  /// Raw serialized width of those records (spilled_records * record
+  /// width) — retained under its historical name for pre-v4 consumers;
+  /// always equals spilled_raw_bytes.
   uint64_t spilled_bytes = 0;
+  /// Raw (pre-codec) bytes of the spilled records.
+  uint64_t spilled_raw_bytes = 0;
+  /// Bytes the spill runs actually occupied on disk after
+  /// ClusterConfig::spill_compression (== spilled_raw_bytes when the codec
+  /// is `none`). This is the width the CostModel charges disk bandwidth.
+  uint64_t spilled_compressed_bytes = 0;
+  /// On-disk (compressed) spill bytes written by each map task — the
+  /// per-task disk traffic behind CostModel::SimulateJob's map disk term.
+  std::vector<uint64_t> map_task_spilled_bytes;
   /// Shuffled records received by each reduce partition.
   std::vector<int64_t> reduce_partition_records;
   /// Shuffled bytes received by each reduce partition.
@@ -189,6 +200,10 @@ struct PipelineStats {
   int64_t TotalIntermediateRecords() const;
   uint64_t TotalIntermediateBytes() const;
   int64_t TotalSpilledRecords() const;
+  /// Raw vs on-disk (post-codec) spill volume over the pipeline's jobs;
+  /// equal when spill compression is off.
+  uint64_t TotalSpilledRawBytes() const;
+  uint64_t TotalSpilledCompressedBytes() const;
   int64_t TotalMapTaskRetries() const;
   /// Jobs that ended with a non-empty JobStats::failure.
   int64_t NumFailedJobs() const;

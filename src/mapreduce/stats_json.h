@@ -12,7 +12,7 @@
 namespace haten2 {
 
 /// JSON serialization of the engine's and drivers' statistics — the stable
-/// "haten2-stats-v3" schema documented in docs/INTERNALS.md. The schema is
+/// "haten2-stats-v4" schema documented in docs/INTERNALS.md. The schema is
 /// what --stats_json and the BENCH_*.json harness exports emit, so the
 /// perf trajectory can be read by machines across PRs.
 ///
@@ -72,7 +72,7 @@ struct StatsReport {
   const PipelineStats* pipeline = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v3").
+/// Serializes the whole report ("haten2-stats-v4").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

@@ -620,7 +620,8 @@ TEST(SchedulerRecovery, ExhaustedAttemptsFailWithCappedBackoff) {
   Status status = PlanScheduler(&engine).Execute(plan);
   EXPECT_TRUE(status.IsIOError());
   EXPECT_EQ(calls, 4);
-  const PlanNodeStats& node = engine.PipelineSnapshot().plans[0].nodes[0];
+  PipelineStats pipeline = engine.PipelineSnapshot();
+  const PlanNodeStats& node = pipeline.plans[0].nodes[0];
   EXPECT_EQ(node.status, "failed");
   EXPECT_EQ(node.attempts, 4);
   // Backoffs 4, then 8→capped 6, then 16→capped 6.
@@ -658,7 +659,8 @@ TEST(SchedulerRecovery, ConcurrentPathAlsoRetries) {
   });
   ASSERT_OK(PlanScheduler(&engine, /*max_concurrent=*/2).Execute(plan));
   EXPECT_EQ(calls, 3);
-  const PlanStats& stats = engine.PipelineSnapshot().plans[0];
+  PipelineStats pipeline = engine.PipelineSnapshot();
+  const PlanStats& stats = pipeline.plans[0];
   EXPECT_EQ(stats.nodes[1].attempts, 3);
   EXPECT_EQ(stats.total_node_retries, 2);
 }

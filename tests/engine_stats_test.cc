@@ -1,6 +1,6 @@
 // Tests for the engine's observability layer: per-phase wall times, skew
 // summaries, failure-path accounting (o.o.m. / abort / spills), the
-// "haten2-stats-v3" JSON export, and the spill-filename race regression
+// "haten2-stats-v4" JSON export, and the spill-filename race regression
 // (concurrent Run calls on one engine).
 
 #include <gtest/gtest.h>
@@ -418,7 +418,7 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
 
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   for (const char* key :
-       {"\"schema\":\"haten2-stats-v3\"", "\"status\":\"ok\"",
+       {"\"schema\":\"haten2-stats-v4\"", "\"status\":\"ok\"",
         "\"cluster\"", "\"iterations\"", "\"pipeline\"", "\"phases\"",
         "\"map_seconds\"", "\"shuffle_seconds\"", "\"reduce_seconds\"",
         "\"spill\"", "\"fit\"", "\"lambda\"", "\"simulated_seconds\"",
@@ -426,7 +426,10 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
         "\"job_id\"", "\"plan_id\"", "\"plans\"", "\"scheduled_concurrency\"",
         "\"critical_path_seconds\"", "\"invariant_cache_hits\"",
         "\"max_concurrent_jobs\"", "\"node_retries\"",
-        "\"node_backoff_seconds\"", "\"max_node_attempts\""}) {
+        "\"node_backoff_seconds\"", "\"max_node_attempts\"",
+        "\"raw_bytes\"", "\"compressed_bytes\"", "\"compression_ratio\"",
+        "\"total_spilled_raw_bytes\"", "\"total_spilled_compressed_bytes\"",
+        "\"spill_compression\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -475,7 +478,7 @@ TEST(EngineStats, WriteStatsJsonFileRoundTrips) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_TRUE(JsonChecker(content).Valid()) << content;
-  EXPECT_NE(content.find("haten2-stats-v3"), std::string::npos);
+  EXPECT_NE(content.find("haten2-stats-v4"), std::string::npos);
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 // Tests for shuffle spilling: output equivalence with and without spills,
 // resident-memory bounding, spill counters, interaction with combiners and
-// decompositions, and cleanup.
+// decompositions, cleanup, torn-write recovery, and the cost model's
+// spill-aware disk term.
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <map>
 
 #include "core/parafac.h"
+#include "mapreduce/cost_model.h"
 #include "mapreduce/engine.h"
 #include "test_util.h"
 
@@ -187,6 +190,186 @@ TEST(Spill, AbortedJobCleansUpSpillFiles) {
   }
   EXPECT_EQ(SpillFilesIn(config.spill_directory), 0);
   EXPECT_EQ(engine.memory().used(), 0u);
+}
+
+TEST(Spill, CostModelChargesNoDiskWithoutSpilledBytes) {
+  // Regression: the model used to charge every map task its share of
+  // map_output_bytes as disk I/O even when nothing was spilled. The disk
+  // term must come from what each task actually wrote.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  JobStats job;
+  job.map_task_records = {1000, 1000};
+  job.map_task_attempts = {1, 1};
+  job.map_output_bytes = 0;  // isolate the map disk term
+  const double base = CostModel(config).SimulateJob(job);
+  EXPECT_DOUBLE_EQ(base, 1000 * config.map_seconds_per_record);
+
+  JobStats spilled = job;
+  spilled.map_task_spilled_bytes = {1 << 20, 0};
+  const double with_disk = CostModel(config).SimulateJob(spilled);
+  EXPECT_DOUBLE_EQ(with_disk - base,
+                   static_cast<double>(1 << 20) /
+                       config.disk_bytes_per_second);
+}
+
+TEST(Spill, SimulatedTimeReflectsActualSpillTraffic) {
+  // Same workload, spilling off vs on: only the spilling run pays map-side
+  // disk time, so its simulated makespan is strictly larger.
+  std::vector<int64_t> words;
+  Rng rng(823);
+  for (int i = 0; i < 20000; ++i) {
+    words.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{64})));
+  }
+  ClusterConfig plain = ClusterConfig::ForTesting();
+  Engine in_memory(plain);
+  WordCount(&in_memory, words);
+
+  ClusterConfig spilling = plain;
+  spilling.spill_directory = SpillDir();
+  spilling.spill_threshold_records = 64;
+  Engine engine(spilling);
+  WordCount(&engine, words);
+
+  EXPECT_EQ(in_memory.pipeline().TotalSpilledCompressedBytes(), 0u);
+  EXPECT_GT(engine.pipeline().TotalSpilledCompressedBytes(), 0u);
+  const double without_spill =
+      CostModel(plain).SimulatePipeline(in_memory.pipeline());
+  const double with_spill =
+      CostModel(spilling).SimulatePipeline(engine.pipeline());
+  EXPECT_GT(with_spill, without_spill);
+}
+
+TEST(Spill, CompressionLowersSimulatedTime) {
+  // delta_varint shrinks the on-disk runs, and the cost model charges disk
+  // bandwidth on actual bytes, so the compressed run simulates faster.
+  std::vector<int64_t> words;
+  Rng rng(824);
+  for (int i = 0; i < 20000; ++i) {
+    words.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{64})));
+  }
+  ClusterConfig raw = ClusterConfig::ForTesting();
+  raw.spill_directory = SpillDir();
+  raw.spill_threshold_records = 64;
+  ClusterConfig packed = raw;
+  packed.spill_compression = SpillCompression::kDeltaVarint;
+
+  Engine raw_engine(raw);
+  std::map<int64_t, int64_t> want = WordCount(&raw_engine, words);
+  Engine packed_engine(packed);
+  EXPECT_EQ(WordCount(&packed_engine, words), want);
+
+  EXPECT_LT(packed_engine.pipeline().TotalSpilledCompressedBytes(),
+            packed_engine.pipeline().TotalSpilledRawBytes());
+  EXPECT_LT(CostModel(packed).SimulatePipeline(packed_engine.pipeline()),
+            CostModel(raw).SimulatePipeline(raw_engine.pipeline()));
+}
+
+TEST(Spill, TornFirstSpillWriteLeavesNoOrphan) {
+  // The very first spill write tears: nothing was ever committed, so the
+  // partial file must be removed at failure time — spilled_counts_ is still
+  // 0 for that partition and RemoveAllSpills would skip it.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.spill_directory = SpillDir();
+  config.spill_threshold_records = 64;
+  config.inject_spill_failure_after_bytes = 1;
+  Engine engine(config);
+  std::vector<int64_t> words(5000, 7);  // one hot key, one partition file
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "torn-first", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError()) << result.status().ToString();
+  EXPECT_NE(result.status().message().find(".spill"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(SpillFilesIn(config.spill_directory), 0);
+  EXPECT_EQ(engine.memory().used(), 0u);
+}
+
+TEST(Spill, TornLaterSpillWriteRollsBackAndCleansUp) {
+  // A later append tears after earlier runs committed: the file is rolled
+  // back to the committed boundary, the counts survive, and the failure
+  // path removes the file. Nothing with partition count 0 is leaked.
+  using Record = std::pair<int64_t, int64_t>;
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.spill_directory = SpillDir();
+  config.spill_threshold_records = 64;
+  // One committed run per emitter (64 records), tear on the second.
+  config.inject_spill_failure_after_bytes =
+      static_cast<int64_t>(64 * sizeof(Record) + 1);
+  Engine engine(config);
+  std::vector<int64_t> words(5000, 7);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "torn-later", static_cast<int64_t>(words.size()),
+      [&words](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+        em->Emit(words[static_cast<size_t>(i)], 1);
+      },
+      [](const int64_t& w, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(w, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError()) << result.status().ToString();
+  EXPECT_EQ(SpillFilesIn(config.spill_directory), 0);
+  EXPECT_EQ(engine.memory().used(), 0u);
+  // The job post-mortem still reports the committed spill traffic.
+  ASSERT_EQ(engine.pipeline().jobs.size(), 1u);
+  EXPECT_EQ(engine.pipeline().jobs[0].failure, "io_error");
+}
+
+TEST(Spill, DrainSpillSurfacesShortReadWithPathAndOffset) {
+  // Truncate a raw spill file behind the emitter's back: DrainSpill must
+  // return an IOError naming the file and offset, keep its counts so
+  // cleanup still works, and must not invoke the consumer past the tear.
+  using Record = std::pair<int64_t, int64_t>;
+  std::string prefix = SpillDir() + "/drain_direct";
+  ShuffleEmitter<int64_t, int64_t> em(/*num_partitions=*/1, nullptr, prefix,
+                                      /*spill_threshold=*/4);
+  for (int64_t i = 0; i < 8; ++i) em.Emit(1, i);  // two runs of 4
+  ASSERT_EQ(em.SpilledRecords(0), 8);
+  const std::string path = em.SpillPath(0);
+  std::filesystem::resize_file(path, 6 * sizeof(Record) + 3);
+
+  int64_t consumed = 0;
+  Status status = em.DrainSpill(0, [&consumed](const Record&) { ++consumed; });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.message().find(path), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+  EXPECT_EQ(consumed, 6);
+  // Counts survive the error, so cleanup still removes the file.
+  EXPECT_EQ(em.SpilledRecords(0), 8);
+  em.RemoveAllSpills();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(Spill, DrainSpillRejectsCorruptCompressedBlock) {
+  std::string prefix = SpillDir() + "/drain_corrupt";
+  ShuffleEmitter<int64_t, int64_t> em(
+      /*num_partitions=*/1, nullptr, prefix, /*spill_threshold=*/4,
+      SpillCompression::kDeltaVarint);
+  for (int64_t i = 0; i < 4; ++i) em.Emit(1, i);
+  ASSERT_EQ(em.SpilledRecords(0), 4);
+  const std::string path = em.SpillPath(0);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.put(static_cast<char>(0x5A));  // clobber the block magic
+  }
+  Status status = em.DrainSpill(
+      0, [](const std::pair<int64_t, int64_t>&) {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.message().find(path), std::string::npos);
+  EXPECT_NE(status.message().find("offset 0"), std::string::npos)
+      << status.ToString();
+  em.RemoveAllSpills();
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST(Spill, UnwritableSpillDirectoryFailsLoudly) {

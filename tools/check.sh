@@ -40,6 +40,18 @@ for san in "${sanitizers[@]}"; do
   fi
   echo "=== ${san}: testing ==="
   (cd "${build_dir}" && ctest --output-on-failure "${ctest_args[@]}" -j)
+  # Focused re-runs of the riskiest I/O paths, kept explicit so a future
+  # filter on the full pass cannot silently drop them: the spill
+  # write/drain/torn-file tests (tiny spill thresholds, heavy heap churn)
+  # under address, and the spill codec (varint shifts, hostile decode
+  # input) under undefined.
+  if [[ "${san}" == "address" ]]; then
+    echo "=== ${san}: focused spill-path pass ==="
+    (cd "${build_dir}" && ctest --output-on-failure -R '^Spill' -j)
+  elif [[ "${san}" == "undefined" ]]; then
+    echo "=== ${san}: focused spill-codec pass ==="
+    (cd "${build_dir}" && ctest --output-on-failure -R '^SpillCodec' -j)
+  fi
 done
 
 echo "=== all sanitizer runs passed: ${sanitizers[*]} ==="

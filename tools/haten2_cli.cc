@@ -21,6 +21,17 @@
 //                                        runs concurrently (default 1 =
 //                                        serial legacy order)
 //   --budget-mb=B                        shuffle-memory budget (0=unlimited)
+//   --spill_dir=DIR                      enable Hadoop-style sort-spill:
+//                                        map tasks write partition buffers
+//                                        exceeding the threshold to spill
+//                                        files under DIR
+//   --spill_threshold=N                  records a partition buffer holds
+//                                        before it spills (default 65536)
+//   --spill_compression=none|delta_varint
+//                                        on-disk spill-run encoding
+//                                        (default none = raw records;
+//                                        delta_varint block-compresses
+//                                        sorted keys, results unchanged)
 //   --output=PREFIX                      write factors to PREFIX.mode<k>.txt
 //                                        (and PREFIX.lambda.txt / .core.txt)
 //   --checkpoint_dir=DIR                 write atomic iteration checkpoints
@@ -53,7 +64,7 @@
 //                                        phase times, intermediate-data
 //                                        records/bytes, per-iteration fit,
 //                                        retry/backoff counters)
-//                                        as "haten2-stats-v3" JSON; written
+//                                        as "haten2-stats-v4" JSON; written
 //                                        on failures too, so o.o.m. runs
 //                                        keep their post-mortem numbers
 //
@@ -84,6 +95,8 @@ constexpr const char* kUsage =
     "       [--rank=R] [--core=PxQxR] [--variant=dri|drn|dnn|naive]\n"
     "       [--iterations=N] [--tolerance=T] [--seed=S] [--machines=M]\n"
     "       [--threads=T] [--max_concurrent_jobs=J] [--budget-mb=B]\n"
+    "       [--spill_dir=DIR] [--spill_threshold=N]\n"
+    "       [--spill_compression=none|delta_varint]\n"
     "       [--output=PREFIX] [--resume[=PREFIX]] [--stats]\n"
     "       [--checkpoint_dir=DIR] [--checkpoint_every=N]\n"
     "       [--checkpoint_keep=K] [--task_failure_prob=P]\n"
@@ -113,6 +126,8 @@ int RealMain(int argc, char** argv) {
                                  "iterations", "tolerance", "seed",
                                  "machines", "threads",
                                  "max_concurrent_jobs", "budget-mb",
+                                 "spill_dir", "spill_threshold",
+                                 "spill_compression",
                                  "output", "resume", "stats", "stats_json",
                                  "checkpoint_dir", "checkpoint_every",
                                  "checkpoint_keep", "task_failure_prob",
@@ -148,6 +163,9 @@ int RealMain(int argc, char** argv) {
   Result<int64_t> max_concurrent_jobs =
       flags.GetInt("max_concurrent_jobs", 1);
   Result<int64_t> budget_mb = flags.GetInt("budget-mb", 0);
+  Result<int64_t> spill_threshold = flags.GetInt("spill_threshold", 64 * 1024);
+  Result<SpillCompression> spill_compression =
+      ParseSpillCompression(flags.GetString("spill_compression", "none"));
   Result<int64_t> checkpoint_every = flags.GetInt("checkpoint_every", 5);
   Result<int64_t> checkpoint_keep = flags.GetInt("checkpoint_keep", 2);
   Result<double> task_failure_prob =
@@ -161,6 +179,7 @@ int RealMain(int argc, char** argv) {
        {variant.status(), rank.status(), iterations.status(),
         tolerance.status(), seed.status(), machines.status(),
         threads.status(), max_concurrent_jobs.status(), budget_mb.status(),
+        spill_threshold.status(), spill_compression.status(),
         checkpoint_every.status(), checkpoint_keep.status(),
         task_failure_prob.status(), max_task_attempts.status(),
         max_node_attempts.status(), core.status()}) {
@@ -176,6 +195,9 @@ int RealMain(int argc, char** argv) {
   config.max_concurrent_jobs = static_cast<int>(*max_concurrent_jobs);
   config.total_shuffle_memory_bytes =
       static_cast<uint64_t>(*budget_mb) << 20;
+  config.spill_directory = flags.GetString("spill_dir", "");
+  config.spill_threshold_records = *spill_threshold;
+  config.spill_compression = *spill_compression;
   config.task_failure_probability = *task_failure_prob;
   config.max_task_attempts = static_cast<int>(*max_task_attempts);
   config.max_node_attempts = static_cast<int>(*max_node_attempts);
