@@ -1,12 +1,64 @@
 #ifndef HATEN2_MAPREDUCE_COST_MODEL_H_
 #define HATEN2_MAPREDUCE_COST_MODEL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "mapreduce/cluster.h"
 #include "mapreduce/stats.h"
 
 namespace haten2 {
+
+/// \brief Speculative-execution counters from one simulated task phase, job,
+/// or pipeline (summed): how many backup copies were launched, how many
+/// finished before their primary, and the simulated seconds spent on copies
+/// that were killed (the price of speculation).
+struct SpeculationStats {
+  int64_t speculated = 0;
+  int64_t won = 0;
+  double wasted_seconds = 0.0;
+
+  void Add(const SpeculationStats& o) {
+    speculated += o.speculated;
+    won += o.won;
+    wasted_seconds += o.wasted_seconds;
+  }
+};
+
+/// \brief One task's work as the slot simulation sees it: the CPU+disk cost
+/// of a single successful attempt, split so re-execution can be charged on
+/// CPU only (a failed attempt never reached the spill path — failure
+/// injection decides attempts before any work runs), plus the attempt count
+/// the engine measured.
+struct TaskWork {
+  /// Seconds of per-attempt work on the reference machine (CPU per record).
+  double cpu_once = 0.0;
+  /// Seconds of once-only disk traffic on the reference machine (spill
+  /// writes for map tasks, partition I/O for reduce tasks).
+  double disk_once = 0.0;
+  /// Execution attempts (>= 1); attempts - 1 re-executions are charged
+  /// cpu_once each, scaled by the hosting machine's failure_multiplier.
+  int attempts = 1;
+};
+
+/// Result of simulating one task phase (map or reduce).
+struct PhaseSim {
+  double seconds = 0.0;
+  SpeculationStats speculation;
+};
+
+/// Result of simulating one job: startup + map phase + shuffle + reduce
+/// phase, with the phases' speculation counters summed.
+struct JobSim {
+  double seconds = 0.0;
+  SpeculationStats speculation;
+};
+
+/// Result of simulating a pipeline (serialized jobs + retry backoff).
+struct PipelineSim {
+  double seconds = 0.0;
+  SpeculationStats speculation;
+};
 
 /// \brief Converts measured job counters into the makespan the same job
 /// would have on a ClusterConfig-sized Hadoop cluster.
@@ -18,6 +70,16 @@ namespace haten2 {
 /// overhead. Because startup does not shrink with M while the work terms do,
 /// the simulated scale-up T_10/T_M flattens as machines are added — the
 /// behaviour of Figure 8.
+///
+/// Scheduling is an event-driven slot simulation: each of the M machines
+/// contributes its configured slots, tasks are dispatched longest-first onto
+/// the fastest idle slot, and task durations are scaled by the hosting
+/// machine's MachineProfile (plus optional seeded jitter). On a uniform
+/// cluster with speculation off this reduces exactly — bit-for-bit — to the
+/// greedy-LPT `Makespan` list schedule the model historically used (kept
+/// below as the reference implementation). With `speculative_execution` on,
+/// stragglers get Hadoop-style backup copies on idle slots; see
+/// docs/OPERATIONS.md for tuning.
 class CostModel {
  public:
   explicit CostModel(const ClusterConfig& config) : config_(config) {}
@@ -25,12 +87,28 @@ class CostModel {
   /// Simulated seconds for one job on the configured cluster.
   double SimulateJob(const JobStats& stats) const;
 
+  /// SimulateJob plus the job's speculation counters.
+  JobSim SimulateJobDetailed(const JobStats& stats) const;
+
   /// Simulated seconds for a job sequence (jobs are serialized on Hadoop:
   /// each waits for the previous to finish).
   double SimulatePipeline(const PipelineStats& stats) const;
 
+  /// SimulatePipeline plus speculation counters summed over the jobs.
+  PipelineSim SimulatePipelineDetailed(const PipelineStats& stats) const;
+
+  /// Event-driven simulation of one task phase over
+  /// num_machines * slots_per_machine slots carrying the configured machine
+  /// profiles. `salt` keys the per-task jitter draws (distinct per job and
+  /// phase so map and reduce jitter independently); identical inputs are
+  /// bit-reproducible. Exposed for testing.
+  PhaseSim SimulateTaskPhase(const std::vector<TaskWork>& tasks,
+                             int slots_per_machine, uint64_t salt) const;
+
   /// Greedy longest-processing-time makespan of `task_costs` on `workers`
-  /// parallel workers. Exposed for testing.
+  /// parallel workers — the historical uniform-cluster model, kept as the
+  /// reference the slot simulation must match bit-for-bit on uniform
+  /// profiles with speculation off (asserted in tests).
   static double Makespan(std::vector<double> task_costs, int workers);
 
  private:

@@ -363,6 +363,7 @@ class Engine {
  public:
   explicit Engine(const ClusterConfig& config)
       : config_(config),
+        init_status_(config.Validate()),
         pool_(static_cast<size_t>(std::max(1, config.num_threads))),
         tracker_(config.total_shuffle_memory_bytes == 0
                      ? MemoryTracker::kUnlimited
@@ -489,6 +490,10 @@ class Engine {
     static_assert(IsFixedSizeRecord<VMid>::value,
                   "intermediate values must be fixed-size records");
     constexpr uint64_t kRecordBytes = ShuffleEmitter<KMid, VMid>::kRecordBytes;
+    // Fail fast on an invalid cluster configuration (the constructor cannot
+    // return a Status): a zero bandwidth or negative slot count would
+    // otherwise surface only as Inf/NaN simulated seconds in stats JSON.
+    if (!init_status_.ok()) return init_status_;
     WallTimer timer;
     WallTimer phase_timer;
     // Attributes the time since the previous phase boundary to one phase;
@@ -797,6 +802,9 @@ class Engine {
   }
 
   ClusterConfig config_;
+  /// Result of config_.Validate(), taken at construction and returned by
+  /// every Run() when not OK.
+  Status init_status_;
   ThreadPool pool_;
   MemoryTracker tracker_;
   PipelineStats pipeline_;

@@ -14,7 +14,13 @@ namespace haten2 {
 namespace {
 
 /// Longest dependency-chain sum of node seconds over the nodes that ran.
-double CriticalPathSeconds(const PlanStats& stats) {
+/// With `include_backoff`, each node's simulated retry backoff counts as
+/// part of the node's time on the chain — the view that is reconcilable
+/// with CostModel::SimulatePipeline, which charges backoff on the serial
+/// total (see docs/INTERNALS.md, stats v5). Without it, the path is pure
+/// executor time: the lower bound on wall time with infinite workers and
+/// no retries, which is what the in-process scheduler actually slept.
+double CriticalPathSeconds(const PlanStats& stats, bool include_backoff) {
   std::vector<double> cp(stats.nodes.size(), 0.0);
   double best = 0.0;
   // Nodes are stored in topological order (deps reference lower indices),
@@ -27,6 +33,7 @@ double CriticalPathSeconds(const PlanStats& stats) {
       longest_dep = std::max(longest_dep, cp[static_cast<size_t>(d)]);
     }
     cp[i] = n.seconds + longest_dep;
+    if (include_backoff) cp[i] += n.backoff_seconds;
     best = std::max(best, cp[i]);
   }
   return best;
@@ -34,7 +41,10 @@ double CriticalPathSeconds(const PlanStats& stats) {
 
 void FinalizeStats(PlanStats* stats, double wall_seconds) {
   stats->wall_seconds = wall_seconds;
-  stats->critical_path_seconds = CriticalPathSeconds(*stats);
+  stats->critical_path_seconds =
+      CriticalPathSeconds(*stats, /*include_backoff=*/false);
+  stats->critical_path_with_backoff_seconds =
+      CriticalPathSeconds(*stats, /*include_backoff=*/true);
   stats->total_node_seconds = 0.0;
   stats->total_node_retries = 0;
   stats->total_backoff_seconds = 0.0;

@@ -91,6 +91,12 @@ double PipelineStats::TotalCriticalPathSeconds() const {
   return t;
 }
 
+double PipelineStats::TotalCriticalPathWithBackoffSeconds() const {
+  double t = 0.0;
+  for (const PlanStats& p : plans) t += p.critical_path_with_backoff_seconds;
+  return t;
+}
+
 double PipelineStats::TotalPlanNodeSeconds() const {
   double t = 0.0;
   for (const PlanStats& p : plans) t += p.total_node_seconds;

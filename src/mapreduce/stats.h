@@ -159,6 +159,12 @@ struct PlanStats {
   double wall_seconds = 0.0;
   /// Longest dependency-chain sum of node seconds.
   double critical_path_seconds = 0.0;
+  /// The same longest chain with each node's simulated retry backoff
+  /// included — the critical path as the CostModel's simulated cluster
+  /// would experience it (the scheduler never sleeps backoff for real, so
+  /// it is excluded from critical_path_seconds). Equal to
+  /// critical_path_seconds when no node retried.
+  double critical_path_with_backoff_seconds = 0.0;
   /// Sum of node seconds over every node that ran.
   double total_node_seconds = 0.0;
   /// Retried node attempts across the plan: sum of (attempts - 1) over the
@@ -215,6 +221,9 @@ struct PipelineStats {
   /// Sum over plans of the critical-path seconds — the lower bound on their
   /// combined wall time under unlimited concurrency.
   double TotalCriticalPathSeconds() const;
+  /// Sum over plans of the backoff-inclusive critical path (the simulated
+  /// cluster's view; == TotalCriticalPathSeconds() when nothing retried).
+  double TotalCriticalPathWithBackoffSeconds() const;
   /// Sum over plans of total node seconds (the serial-execution cost).
   double TotalPlanNodeSeconds() const;
   /// Sum over plans of retried node attempts (plan-level recovery).

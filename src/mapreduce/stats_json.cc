@@ -89,7 +89,17 @@ void JobStatsToJson(const JobStats& job, const CostModel* cost,
   SkewToJson(job.ReducePartitionSkew(), w);
   w->EndObject();
   if (cost != nullptr) {
-    w->Key("simulated_seconds").Value(cost->SimulateJob(job));
+    JobSim sim = cost->SimulateJobDetailed(job);
+    w->Key("simulated_seconds").Value(sim.seconds);
+    w->Key("speculation")
+        .BeginObject()
+        .Key("speculated")
+        .Value(sim.speculation.speculated)
+        .Key("won")
+        .Value(sim.speculation.won)
+        .Key("wasted_seconds")
+        .Value(sim.speculation.wasted_seconds)
+        .EndObject();
   }
   w->EndObject();
 }
@@ -112,13 +122,20 @@ void PipelineStatsToJson(const PipelineStats& pipeline, const CostModel* cost,
   w->Key("total_map_task_retries").Value(pipeline.TotalMapTaskRetries());
   w->Key("scheduled_concurrency").Value(pipeline.MaxScheduledConcurrency());
   w->Key("critical_path_seconds").Value(pipeline.TotalCriticalPathSeconds());
+  w->Key("critical_path_with_backoff_seconds")
+      .Value(pipeline.TotalCriticalPathWithBackoffSeconds());
   w->Key("total_node_seconds").Value(pipeline.TotalPlanNodeSeconds());
   w->Key("node_retries").Value(pipeline.TotalNodeRetries());
   w->Key("node_backoff_seconds").Value(pipeline.TotalNodeBackoffSeconds());
   w->Key("invariant_cache_hits").Value(pipeline.invariant_cache_hits);
   w->Key("invariant_cache_misses").Value(pipeline.invariant_cache_misses);
   if (cost != nullptr) {
-    w->Key("simulated_seconds").Value(cost->SimulatePipeline(pipeline));
+    PipelineSim sim = cost->SimulatePipelineDetailed(pipeline);
+    w->Key("simulated_seconds").Value(sim.seconds);
+    w->Key("speculated_tasks").Value(sim.speculation.speculated);
+    w->Key("speculation_won").Value(sim.speculation.won);
+    w->Key("speculation_wasted_seconds")
+        .Value(sim.speculation.wasted_seconds);
   }
   w->Key("jobs").BeginArray();
   for (const JobStats& job : pipeline.jobs) JobStatsToJson(job, cost, w);
@@ -138,6 +155,8 @@ void PlanStatsToJson(const PlanStats& plan, JsonWriter* w) {
   w->Key("max_observed_concurrency").Value(plan.max_observed_concurrency);
   w->Key("wall_seconds").Value(plan.wall_seconds);
   w->Key("critical_path_seconds").Value(plan.critical_path_seconds);
+  w->Key("critical_path_with_backoff_seconds")
+      .Value(plan.critical_path_with_backoff_seconds);
   w->Key("total_node_seconds").Value(plan.total_node_seconds);
   w->Key("total_node_retries").Value(plan.total_node_retries);
   w->Key("total_backoff_seconds").Value(plan.total_backoff_seconds);
@@ -206,7 +225,37 @@ void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w) {
       .Value(config.max_task_attempts)
       .Key("max_node_attempts")
       .Value(config.max_node_attempts)
-      .EndObject();
+      .Key("speculative_execution")
+      .Value(config.speculative_execution)
+      .Key("speculation_slowstart")
+      .Value(config.speculation_slowstart)
+      .Key("straggler_jitter")
+      .Value(config.straggler_jitter)
+      .Key("straggler_jitter_seed")
+      .Value(config.straggler_jitter_seed)
+      .Key("machine_profiles")
+      .BeginArray();
+  // Run-length grouped profile list (empty = uniform reference machines).
+  for (size_t i = 0; i < config.machine_profiles.size();) {
+    const MachineProfile& p = config.machine_profiles[i];
+    size_t j = i;
+    while (j < config.machine_profiles.size() &&
+           config.machine_profiles[j].speed_factor == p.speed_factor &&
+           config.machine_profiles[j].failure_multiplier ==
+               p.failure_multiplier) {
+      ++j;
+    }
+    w->BeginObject()
+        .Key("machines")
+        .Value(static_cast<int64_t>(j - i))
+        .Key("speed_factor")
+        .Value(p.speed_factor)
+        .Key("failure_multiplier")
+        .Value(p.failure_multiplier)
+        .EndObject();
+    i = j;
+  }
+  w->EndArray().EndObject();
 }
 
 std::string StatsReportToJson(const StatsReport& report) {
@@ -215,7 +264,7 @@ std::string StatsReportToJson(const StatsReport& report) {
   const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").Value("haten2-stats-v4");
+  w.Key("schema").Value("haten2-stats-v5");
   if (!report.tool.empty()) w.Key("tool").Value(report.tool);
   if (!report.method.empty()) w.Key("method").Value(report.method);
   if (!report.variant.empty()) w.Key("variant").Value(report.variant);

@@ -12,7 +12,7 @@
 namespace haten2 {
 
 /// JSON serialization of the engine's and drivers' statistics — the stable
-/// "haten2-stats-v4" schema documented in docs/INTERNALS.md. The schema is
+/// "haten2-stats-v5" schema documented in docs/INTERNALS.md. The schema is
 /// what --stats_json and the BENCH_*.json harness exports emit, so the
 /// perf trajectory can be read by machines across PRs.
 ///
@@ -27,6 +27,12 @@ namespace haten2 {
 /// total_node_retries/total_backoff_seconds, pipelines carry
 /// node_retries/node_backoff_seconds, and the cluster object carries
 /// max_node_attempts.
+///
+/// v5 extends v4 (purely additive) with heterogeneous clusters and
+/// speculative execution: jobs and pipelines carry speculation counters
+/// (cost-model-gated, like simulated_seconds), plans and pipelines carry
+/// critical_path_with_backoff_seconds, and the cluster object carries the
+/// speculation knobs plus a run-length-grouped machine_profiles summary.
 ///
 /// All byte counters use the engine's serialized record width
 /// (sizeof of the intermediate record pair, padding included) — the same
@@ -72,7 +78,7 @@ struct StatsReport {
   const PipelineStats* pipeline = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v4").
+/// Serializes the whole report ("haten2-stats-v5").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "mapreduce/engine.h"
 #include "test_util.h"
 
@@ -81,6 +83,156 @@ TEST(ClusterConfigTest, FewerInputRecordsThanTasksShrinksTheTaskCount) {
       });
   ASSERT_OK(result.status());
   EXPECT_EQ(engine.pipeline().jobs[0].map_task_records.size(), 2u);
+}
+
+TEST(ClusterConfigValidateTest, DefaultAndTestingConfigsAreValid) {
+  EXPECT_OK(ClusterConfig().Validate());
+  EXPECT_OK(ClusterConfig::ForTesting().Validate());
+}
+
+// Each rejected field produces kInvalidArgument naming the field, so the
+// CLI error message tells the user which flag to fix.
+TEST(ClusterConfigValidateTest, RejectsEachBadFieldByName) {
+  struct Case {
+    const char* field;
+    void (*set)(ClusterConfig*);
+  };
+  const Case cases[] = {
+      {"num_machines", [](ClusterConfig* c) { c->num_machines = 0; }},
+      {"map_slots_per_machine",
+       [](ClusterConfig* c) { c->map_slots_per_machine = 0; }},
+      {"reduce_slots_per_machine",
+       [](ClusterConfig* c) { c->reduce_slots_per_machine = -1; }},
+      {"num_threads", [](ClusterConfig* c) { c->num_threads = 0; }},
+      {"max_concurrent_jobs",
+       [](ClusterConfig* c) { c->max_concurrent_jobs = 0; }},
+      {"num_map_tasks", [](ClusterConfig* c) { c->num_map_tasks = -1; }},
+      {"num_reduce_tasks", [](ClusterConfig* c) { c->num_reduce_tasks = -2; }},
+      {"job_startup_seconds",
+       [](ClusterConfig* c) { c->job_startup_seconds = -1.0; }},
+      {"map_seconds_per_record",
+       [](ClusterConfig* c) {
+         c->map_seconds_per_record = std::numeric_limits<double>::infinity();
+       }},
+      {"reduce_seconds_per_record",
+       [](ClusterConfig* c) { c->reduce_seconds_per_record = -1e-9; }},
+      {"network_bytes_per_second",
+       [](ClusterConfig* c) { c->network_bytes_per_second = 0.0; }},
+      {"disk_bytes_per_second",
+       [](ClusterConfig* c) { c->disk_bytes_per_second = -200e6; }},
+      {"spill_threshold_records",
+       [](ClusterConfig* c) { c->spill_threshold_records = 0; }},
+      {"inject_spill_failure_after_bytes",
+       [](ClusterConfig* c) { c->inject_spill_failure_after_bytes = -1; }},
+      {"task_failure_probability",
+       [](ClusterConfig* c) { c->task_failure_probability = 1.5; }},
+      {"task_failure_probability",
+       [](ClusterConfig* c) {
+         c->task_failure_probability =
+             std::numeric_limits<double>::quiet_NaN();
+       }},
+      {"max_task_attempts",
+       [](ClusterConfig* c) { c->max_task_attempts = 0; }},
+      {"max_node_attempts",
+       [](ClusterConfig* c) { c->max_node_attempts = 0; }},
+      {"node_backoff_base_seconds",
+       [](ClusterConfig* c) { c->node_backoff_base_seconds = -4.0; }},
+      {"node_backoff_multiplier",
+       [](ClusterConfig* c) { c->node_backoff_multiplier = 0.5; }},
+      {"node_backoff_cap_seconds",
+       [](ClusterConfig* c) { c->node_backoff_cap_seconds = -1.0; }},
+      {"speculation_slowstart",
+       [](ClusterConfig* c) { c->speculation_slowstart = 0.0; }},
+      {"straggler_jitter",
+       [](ClusterConfig* c) { c->straggler_jitter = -0.1; }},
+      {"machine_profiles",
+       [](ClusterConfig* c) { c->machine_profiles = {{0.0, 1.0}}; }},
+      {"machine_profiles",
+       [](ClusterConfig* c) { c->machine_profiles = {{1.0, -1.0}}; }},
+  };
+  for (const Case& c : cases) {
+    ClusterConfig config;
+    c.set(&config);
+    Status s = config.Validate();
+    EXPECT_TRUE(s.IsInvalidArgument()) << c.field << ": " << s.ToString();
+    EXPECT_NE(s.ToString().find(c.field), std::string::npos)
+        << "error does not name the field: " << s.ToString();
+  }
+}
+
+TEST(ClusterConfigValidateTest, AcceptsWholeFailureProbabilityRange) {
+  // The failure-injection tests legitimately run with prob 0.25 / 0.5 / 1.0.
+  for (double p : {0.0, 0.25, 0.5, 1.0}) {
+    ClusterConfig config;
+    config.task_failure_probability = p;
+    EXPECT_OK(config.Validate());
+  }
+}
+
+TEST(ClusterConfigValidateTest, EngineFailsFastOnInvalidConfig) {
+  // The Engine constructor cannot return a Status; the first Run() does.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.network_bytes_per_second = 0.0;
+  Engine engine(config);
+  auto result = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+      "invalid", 4,
+      [](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) { em->Emit(i, 1); },
+      [](const int64_t& k, std::vector<int64_t>& vs,
+         OutputEmitter<int64_t, int64_t>* out) {
+        out->Emit(k, static_cast<int64_t>(vs.size()));
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().ToString().find("network_bytes_per_second"),
+            std::string::npos)
+      << result.status().ToString();
+  // Nothing ran: the pipeline log stays empty.
+  EXPECT_TRUE(engine.pipeline().jobs.empty());
+}
+
+TEST(MachineProfileTest, ParseSingleSpeed) {
+  auto profiles = ParseMachineProfiles("0.5");
+  ASSERT_OK(profiles.status());
+  ASSERT_EQ(profiles->size(), 1u);
+  EXPECT_DOUBLE_EQ((*profiles)[0].speed_factor, 0.5);
+  EXPECT_DOUBLE_EQ((*profiles)[0].failure_multiplier, 1.0);
+}
+
+TEST(MachineProfileTest, ParseCountsAndFailureMultipliers) {
+  auto profiles = ParseMachineProfiles("1.0x30, 0.5x10@2.0");
+  ASSERT_OK(profiles.status());
+  ASSERT_EQ(profiles->size(), 40u);
+  EXPECT_DOUBLE_EQ((*profiles)[0].speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ((*profiles)[29].speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ((*profiles)[30].speed_factor, 0.5);
+  EXPECT_DOUBLE_EQ((*profiles)[30].failure_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ((*profiles)[39].failure_multiplier, 2.0);
+}
+
+TEST(MachineProfileTest, EmptySpecIsUniform) {
+  auto profiles = ParseMachineProfiles("");
+  ASSERT_OK(profiles.status());
+  EXPECT_TRUE(profiles->empty());
+}
+
+TEST(MachineProfileTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseMachineProfiles("fast").ok());
+  EXPECT_FALSE(ParseMachineProfiles("1.0,,2.0").ok());
+  EXPECT_FALSE(ParseMachineProfiles("0.0").ok());       // zero speed
+  EXPECT_FALSE(ParseMachineProfiles("1.0x0").ok());     // zero count
+  EXPECT_FALSE(ParseMachineProfiles("1.0x2@-1").ok());  // negative fail mult
+}
+
+TEST(MachineProfileTest, ProfilesApplyCyclically) {
+  ClusterConfig config;
+  config.machine_profiles = ParseMachineProfiles("1.0,0.5").value();
+  EXPECT_DOUBLE_EQ(config.ProfileOf(0).speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(config.ProfileOf(1).speed_factor, 0.5);
+  EXPECT_DOUBLE_EQ(config.ProfileOf(2).speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(config.ProfileOf(39).speed_factor, 0.5);
+  // Empty list: every machine is the reference machine.
+  ClusterConfig uniform;
+  EXPECT_DOUBLE_EQ(uniform.ProfileOf(7).speed_factor, 1.0);
 }
 
 }  // namespace

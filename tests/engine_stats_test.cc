@@ -1,6 +1,6 @@
 // Tests for the engine's observability layer: per-phase wall times, skew
 // summaries, failure-path accounting (o.o.m. / abort / spills), the
-// "haten2-stats-v4" JSON export, and the spill-filename race regression
+// "haten2-stats-v5" JSON export, and the spill-filename race regression
 // (concurrent Run calls on one engine).
 
 #include <gtest/gtest.h>
@@ -25,8 +25,12 @@
 namespace haten2 {
 namespace {
 
-std::string SpillDir() {
-  std::string dir = std::string(::testing::TempDir()) + "/haten2_stats_spills";
+// Per-test spill directory: ctest runs each TEST as its own process in
+// parallel, so tests that assert "no .spill files remain" must not share a
+// directory with tests that are actively spilling.
+std::string SpillDir(const std::string& test) {
+  std::string dir =
+      std::string(::testing::TempDir()) + "/haten2_stats_spills_" + test;
   std::filesystem::create_directories(dir);
   return dir;
 }
@@ -172,7 +176,7 @@ TEST(EngineStats, CountersIdenticalAcrossThreadCounts) {
 
 TEST(EngineStats, OomJobKeepsSpillAndVolumeCounters) {
   ClusterConfig config = ClusterConfig::ForTesting();
-  config.spill_directory = SpillDir();
+  config.spill_directory = SpillDir("oom");
   config.spill_threshold_records = 64;
   config.total_shuffle_memory_bytes = 64 * 1024;
   Engine engine(config);
@@ -216,7 +220,7 @@ TEST(EngineStats, AbortedJobRecordsFailureKindAndSpills) {
   for (uint64_t seed = 1; seed <= 50; ++seed) {
     ClusterConfig config = ClusterConfig::ForTesting();
     config.num_machines = 8;
-    config.spill_directory = SpillDir();
+    config.spill_directory = SpillDir("aborted");
     config.spill_threshold_records = 16;
     config.task_failure_probability = 0.4;
     config.max_task_attempts = 1;
@@ -312,7 +316,7 @@ TEST(EngineStats, ConcurrentRunsWithSpillingProduceCorrectOutputs) {
   std::map<int64_t, int64_t> want_b = WordCount(&reference, words_b, "ref-b");
 
   ClusterConfig spilling = plain;
-  spilling.spill_directory = SpillDir();
+  spilling.spill_directory = SpillDir("volume");
   spilling.spill_threshold_records = 32;  // force many spill files
   for (int round = 0; round < 4; ++round) {
     Engine engine(spilling);
@@ -418,7 +422,7 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
 
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   for (const char* key :
-       {"\"schema\":\"haten2-stats-v4\"", "\"status\":\"ok\"",
+       {"\"schema\":\"haten2-stats-v5\"", "\"status\":\"ok\"",
         "\"cluster\"", "\"iterations\"", "\"pipeline\"", "\"phases\"",
         "\"map_seconds\"", "\"shuffle_seconds\"", "\"reduce_seconds\"",
         "\"spill\"", "\"fit\"", "\"lambda\"", "\"simulated_seconds\"",
@@ -429,7 +433,14 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
         "\"node_backoff_seconds\"", "\"max_node_attempts\"",
         "\"raw_bytes\"", "\"compressed_bytes\"", "\"compression_ratio\"",
         "\"total_spilled_raw_bytes\"", "\"total_spilled_compressed_bytes\"",
-        "\"spill_compression\""}) {
+        "\"spill_compression\"",
+        // stats-v5: speculation + heterogeneous-cluster additions.
+        "\"critical_path_with_backoff_seconds\"", "\"speculation\"",
+        "\"speculated\"", "\"won\"", "\"wasted_seconds\"",
+        "\"speculated_tasks\"", "\"speculation_won\"",
+        "\"speculation_wasted_seconds\"", "\"speculative_execution\"",
+        "\"speculation_slowstart\"", "\"straggler_jitter\"",
+        "\"straggler_jitter_seed\"", "\"machine_profiles\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -478,7 +489,7 @@ TEST(EngineStats, WriteStatsJsonFileRoundTrips) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_TRUE(JsonChecker(content).Valid()) << content;
-  EXPECT_NE(content.find("haten2-stats-v4"), std::string::npos);
+  EXPECT_NE(content.find("haten2-stats-v5"), std::string::npos);
 }
 
 }  // namespace

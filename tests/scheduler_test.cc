@@ -157,10 +157,45 @@ TEST(Scheduler, ObservedConcurrencyAndCriticalPath) {
   EXPECT_EQ(stats.max_observed_concurrency, 2);
   EXPECT_GT(stats.total_node_seconds, 0.0);
   EXPECT_LT(stats.critical_path_seconds, stats.total_node_seconds);
+  // No node retried, so the backoff-inclusive path equals the pure one.
+  EXPECT_EQ(stats.total_node_retries, 0);
+  EXPECT_EQ(stats.critical_path_with_backoff_seconds,
+            stats.critical_path_seconds);
   // Pipeline-level aggregates see the same numbers.
   EXPECT_EQ(pipeline.MaxScheduledConcurrency(), 2);
   EXPECT_LT(pipeline.TotalCriticalPathSeconds(),
             pipeline.TotalPlanNodeSeconds());
+  EXPECT_EQ(pipeline.TotalCriticalPathWithBackoffSeconds(),
+            pipeline.TotalCriticalPathSeconds());
+}
+
+TEST(Scheduler, CriticalPathWithBackoffChargesRetriedNodes) {
+  // A node that fails transiently once serves one simulated backoff wait
+  // before succeeding. The pure critical path reports only executor time
+  // (what the scheduler actually slept); the backoff-inclusive variant adds
+  // the wait, reconciling with CostModel::SimulatePipeline's serial charge.
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.max_node_attempts = 3;
+  config.node_backoff_base_seconds = 5.0;
+  config.node_backoff_cap_seconds = 60.0;
+  Engine engine(config);
+  Plan plan("retrying");
+  int tries = 0;
+  plan.AddJob("flaky", {}, [&tries]() -> Status {
+    return (++tries < 2) ? Status::IOError("transient") : Status::OK();
+  });
+  ASSERT_OK(PlanScheduler(&engine).Execute(plan));
+  EXPECT_EQ(tries, 2);
+
+  PipelineStats pipeline = engine.PipelineSnapshot();
+  ASSERT_EQ(pipeline.plans.size(), 1u);
+  const PlanStats& stats = pipeline.plans[0];
+  EXPECT_EQ(stats.total_node_retries, 1);
+  EXPECT_EQ(stats.total_backoff_seconds, 5.0);
+  EXPECT_EQ(stats.critical_path_with_backoff_seconds,
+            stats.critical_path_seconds + 5.0);
+  EXPECT_EQ(pipeline.TotalCriticalPathWithBackoffSeconds(),
+            pipeline.TotalCriticalPathSeconds() + 5.0);
 }
 
 TEST(Scheduler, SerialFailureSkipsEverythingAfter) {

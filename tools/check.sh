@@ -7,8 +7,11 @@
 # With no arguments, runs address and undefined over the full suite, then
 # thread over the concurrency-bearing subsystems: the serving tests
 # (concurrent hot-swap, sharded caching, multi-threaded pipeline), the
-# MapReduce engine / spill tests, and the plan-scheduler and concurrent-Run
-# stress tests. TSan over the whole suite roughly 10x-es the run for code
+# MapReduce engine / spill tests, the plan-scheduler and concurrent-Run
+# stress tests, and the cost-model / speculative-execution simulation and
+# cluster-config validation suites (the slot simulation is consulted from
+# worker threads via stats export). TSan over the whole suite roughly
+# 10x-es the run for code
 # that is single-threaded by construction. Each sanitizer
 # gets its own build tree (build-<sanitizer>) so the instrumented objects
 # never mix with the normal build. Benchmarks and examples are skipped —
@@ -36,7 +39,7 @@ for san in "${sanitizers[@]}"; do
   cmake --build "${build_dir}" -j
   ctest_args=()
   if [[ "${san}" == "thread" ]]; then
-    ctest_args=(-R '^(Serving|Engine|MapReduce|Spill|Scheduler|Plan)')
+    ctest_args=(-R '^(Serving|Engine|MapReduce|Spill|Scheduler|Plan|CostModel|Speculation|ClusterConfig|MachineProfile)')
   fi
   echo "=== ${san}: testing ==="
   (cd "${build_dir}" && ctest --output-on-failure "${ctest_args[@]}" -j)
