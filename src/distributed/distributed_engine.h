@@ -1,0 +1,34 @@
+#ifndef HATEN2_DISTRIBUTED_DISTRIBUTED_ENGINE_H_
+#define HATEN2_DISTRIBUTED_DISTRIBUTED_ENGINE_H_
+
+// Engine pinned to the subprocess backend — the programmatic equivalent of
+// `--backend=subprocess [--num_workers=N]`. The backend itself lives behind
+// the plain Engine API (set ClusterConfig::backend); this wrapper exists for
+// call sites that want the choice in the type rather than in a string field.
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/engine.h"
+
+namespace haten2 {
+namespace distributed {
+
+/// Returns `config` with the subprocess backend selected (and, when
+/// `num_workers` > 0, that worker count).
+inline ClusterConfig WithSubprocessBackend(ClusterConfig config,
+                                           int num_workers = 0) {
+  config.backend = "subprocess";
+  if (num_workers > 0) config.num_workers = num_workers;
+  return config;
+}
+
+/// \brief Engine whose jobs always run on forked worker processes.
+class DistributedEngine : public Engine {
+ public:
+  explicit DistributedEngine(const ClusterConfig& config, int num_workers = 0)
+      : Engine(WithSubprocessBackend(config, num_workers)) {}
+};
+
+}  // namespace distributed
+}  // namespace haten2
+
+#endif  // HATEN2_DISTRIBUTED_DISTRIBUTED_ENGINE_H_

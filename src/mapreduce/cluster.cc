@@ -129,6 +129,19 @@ Status ClusterConfig::Validate() const {
   if (!FiniteNonNegative(straggler_jitter)) {
     return BadField("straggler_jitter", "finite and >= 0");
   }
+  if (backend != "inprocess" && backend != "subprocess") {
+    return Status::InvalidArgument(
+        StrFormat("ClusterConfig: backend must be \"inprocess\" or "
+                  "\"subprocess\", got \"%s\"",
+                  backend.c_str()));
+  }
+  if (num_workers < 0) return BadField("num_workers", ">= 0");
+  if (!FinitePositive(worker_io_timeout_seconds)) {
+    return BadField("worker_io_timeout_seconds", "finite and > 0");
+  }
+  if (inject_worker_kill_after_tasks < 0) {
+    return BadField("inject_worker_kill_after_tasks", ">= 0");
+  }
   for (size_t i = 0; i < machine_profiles.size(); ++i) {
     const MachineProfile& p = machine_profiles[i];
     if (!FinitePositive(p.speed_factor)) {

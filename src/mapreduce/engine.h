@@ -3,20 +3,19 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "distributed/subprocess_job.h"
+#include "distributed/worker_pool.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/hash.h"
+#include "mapreduce/shuffle.h"
 #include "mapreduce/spill_codec.h"
 #include "mapreduce/stats.h"
 #include "util/memory_tracker.h"
@@ -25,320 +24,6 @@
 #include "util/timer.h"
 
 namespace haten2 {
-
-/// Fixed-size record trait: byte accounting (and hence the o.o.m.
-/// semantics) needs sizeof(T) to be the serialized size. std::pair of
-/// fixed-size members qualifies even though the standard does not make it
-/// trivially copyable.
-template <typename T>
-struct IsFixedSizeRecord : std::is_trivially_copyable<T> {};
-template <typename A, typename B>
-struct IsFixedSizeRecord<std::pair<A, B>>
-    : std::conjunction<IsFixedSizeRecord<A>, IsFixedSizeRecord<B>> {};
-
-/// \brief Collects a map task's (key, value) emissions into per-reduce-
-/// partition buffers (the in-process equivalent of the Hadoop shuffle
-/// write path).
-///
-/// Emissions are charged incrementally against the engine's memory budget in
-/// chunks; once the budget is exhausted the emitter enters a failed state and
-/// silently drops further records — the engine then fails the whole job with
-/// kResourceExhausted. This reproduces the paper's intermediate-data
-/// explosion: a job whose shuffle exceeds cluster memory dies mid-flight.
-template <typename K, typename V>
-class ShuffleEmitter {
- public:
-  using Record = std::pair<K, V>;
-  static constexpr int64_t kChargeChunkRecords = 4096;
-  /// Serialized width of one intermediate record. Spill files are written
-  /// as raw Record structs, so sizeof(Record) — padding included — is the
-  /// width a record actually occupies on disk; the same width is charged
-  /// against the shuffle budget and reported in every byte counter, keeping
-  /// "bytes" in stats equal to bytes observable outside the process
-  /// (docs/INTERNALS.md, Accounting).
-  static constexpr uint64_t kRecordBytes = sizeof(Record);
-
-  /// `spill_prefix` empty disables spilling; otherwise a partition's buffer
-  /// is appended to "<spill_prefix>_p<partition>.spill" and cleared once it
-  /// holds `spill_threshold` records (Hadoop's sort-spill), bounding the
-  /// task's resident memory. Spilled records remain charged against the
-  /// budget: it models the cluster's total intermediate-data capacity.
-  /// `compression` selects the on-disk run encoding (spill_codec.h);
-  /// `inject_failure_after_bytes` > 0 tears the spill write that would pass
-  /// that cumulative byte count (failure injection, see ClusterConfig).
-  ShuffleEmitter(int num_partitions, MemoryTracker* tracker,
-                 std::string spill_prefix = "",
-                 int64_t spill_threshold = 0,
-                 SpillCompression compression = SpillCompression::kNone,
-                 int64_t inject_failure_after_bytes = 0)
-      : buffers_(static_cast<size_t>(num_partitions)),
-        spilled_counts_(static_cast<size_t>(num_partitions), 0),
-        spilled_disk_bytes_(static_cast<size_t>(num_partitions), 0),
-        tracker_(tracker),
-        spill_prefix_(std::move(spill_prefix)),
-        spill_threshold_(spill_threshold),
-        compression_(compression),
-        inject_failure_after_bytes_(inject_failure_after_bytes) {}
-
-  void Emit(const K& key, const V& value) {
-    if (failed_) return;
-    if (uncharged_records_ == kChargeChunkRecords) {
-      if (!ChargePending()) return;
-    }
-    size_t p = static_cast<size_t>(ShuffleHash<K>()(key) % buffers_.size());
-    buffers_[p].emplace_back(key, value);
-    ++uncharged_records_;
-    if (!spill_prefix_.empty() && spill_threshold_ > 0 &&
-        static_cast<int64_t>(buffers_[p].size()) >= spill_threshold_) {
-      SpillPartition(p);
-    }
-  }
-
-  /// Charges any pending records; returns false when the budget is blown.
-  bool Flush() { return ChargePending(); }
-
-  bool failed() const { return failed_; }
-  const Status& failure_status() const { return failure_status_; }
-  uint64_t charged_bytes() const { return charged_bytes_; }
-
-  int64_t TotalRecords() const {
-    int64_t n = TotalSpilledRecords();
-    for (const auto& b : buffers_) n += static_cast<int64_t>(b.size());
-    return n;
-  }
-
-  int64_t InMemoryRecords() const {
-    int64_t n = 0;
-    for (const auto& b : buffers_) n += static_cast<int64_t>(b.size());
-    return n;
-  }
-
-  int64_t TotalSpilledRecords() const {
-    int64_t n = 0;
-    for (int64_t c : spilled_counts_) n += c;
-    return n;
-  }
-
-  int64_t SpilledRecords(size_t partition) const {
-    return spilled_counts_[partition];
-  }
-
-  /// Bytes this emitter's spill runs occupy on disk (compressed width;
-  /// equals TotalSpilledRecords() * kRecordBytes when compression is none).
-  uint64_t TotalSpilledDiskBytes() const {
-    uint64_t n = 0;
-    for (uint64_t b : spilled_disk_bytes_) n += b;
-    return n;
-  }
-
-  std::string SpillPath(size_t partition) const {
-    return spill_prefix_ + "_p" + std::to_string(partition) + ".spill";
-  }
-
-  /// Streams partition `p`'s spilled records (if any) into `consume`, then
-  /// removes the spill file. On a read error returns an IOError naming the
-  /// spill path and the failing byte offset, and leaves `spilled_counts_`
-  /// intact so RemoveSpill / RemoveAllSpills still clean the file up.
-  template <typename ConsumeFn>
-  Status DrainSpill(size_t p, ConsumeFn&& consume) {
-    if (spilled_counts_[p] == 0) return Status::OK();
-    const std::string path = SpillPath(p);
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      return Status::IOError("cannot open spill file " + path);
-    }
-    if (compression_ == SpillCompression::kNone) {
-      Record rec;
-      for (int64_t i = 0; i < spilled_counts_[p]; ++i) {
-        in.read(reinterpret_cast<char*>(&rec), sizeof(Record));
-        if (in.gcount() != static_cast<std::streamsize>(sizeof(Record))) {
-          return Status::IOError(
-              "short read in spill file " + path + " at offset " +
-              std::to_string(static_cast<uint64_t>(i) * sizeof(Record)));
-        }
-        consume(rec);
-      }
-    } else {
-      Status s = DrainCompressedSpill(p, in, path, consume);
-      if (!s.ok()) return s;
-    }
-    in.close();
-    RemoveSpill(p);
-    return Status::OK();
-  }
-
-  void RemoveSpill(size_t p) {
-    if (spilled_counts_[p] > 0) {
-      std::remove(SpillPath(p).c_str());
-      spilled_counts_[p] = 0;
-      spilled_disk_bytes_[p] = 0;
-    }
-  }
-
-  void RemoveAllSpills() {
-    for (size_t p = 0; p < spilled_counts_.size(); ++p) RemoveSpill(p);
-  }
-
-  std::vector<std::vector<Record>>& buffers() { return buffers_; }
-
- private:
-  void SpillPartition(size_t p) {
-    const char* data = reinterpret_cast<const char*>(buffers_[p].data());
-    size_t nbytes = buffers_[p].size() * sizeof(Record);
-    std::string encoded;
-    if (compression_ == SpillCompression::kDeltaVarint) {
-      EncodeSpillBlock(data, buffers_[p].size(), sizeof(Record), sizeof(K),
-                       &encoded);
-      data = encoded.data();
-      nbytes = encoded.size();
-    }
-    const std::string path = SpillPath(p);
-    if (!WriteSpillBytes(path, data, nbytes)) {
-      // A partial append leaves a torn file whose tail no reader can parse.
-      // Roll the file back to the last committed run boundary — or remove
-      // it outright when nothing was committed — *before* failing, so
-      // RemoveAllSpills (keyed on spilled_counts_) cannot leak an orphan.
-      std::error_code ec;
-      if (spilled_disk_bytes_[p] == 0) {
-        std::filesystem::remove(path, ec);
-      } else {
-        std::filesystem::resize_file(path, spilled_disk_bytes_[p], ec);
-        if (ec) {
-          std::filesystem::remove(path, ec);
-          spilled_counts_[p] = 0;
-          spilled_disk_bytes_[p] = 0;
-        }
-      }
-      failed_ = true;
-      failure_status_ = Status::IOError("spill write failed: " + path);
-      return;
-    }
-    spilled_counts_[p] += static_cast<int64_t>(buffers_[p].size());
-    spilled_disk_bytes_[p] += static_cast<uint64_t>(nbytes);
-    buffers_[p].clear();
-  }
-
-  /// Appends `nbytes` to the spill file; false on failure. The injection
-  /// knob tears the write that would pass the configured cumulative byte
-  /// count: half the bytes land on disk, as a mid-write disk-full would
-  /// leave them.
-  bool WriteSpillBytes(const std::string& path, const char* data,
-                       size_t nbytes) {
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    if (!out) return false;
-    if (inject_failure_after_bytes_ > 0 &&
-        spill_bytes_written_ + static_cast<int64_t>(nbytes) >
-            inject_failure_after_bytes_) {
-      out.write(data, static_cast<std::streamsize>(nbytes / 2));
-      out.flush();
-      return false;
-    }
-    out.write(data, static_cast<std::streamsize>(nbytes));
-    out.flush();
-    if (!out) return false;
-    spill_bytes_written_ += static_cast<int64_t>(nbytes);
-    return true;
-  }
-
-  /// Block-decoding drain loop for delta_varint spill files: reads
-  /// header + payload per run until every spilled record is consumed,
-  /// validating counts against `spilled_counts_[p]` as it goes.
-  template <typename ConsumeFn>
-  Status DrainCompressedSpill(size_t p, std::ifstream& in,
-                              const std::string& path, ConsumeFn&& consume) {
-    int64_t remaining = spilled_counts_[p];
-    uint64_t offset = 0;
-    char header_buf[kSpillBlockHeaderBytes];
-    std::string payload;
-    std::string decoded;
-    while (remaining > 0) {
-      const std::string context =
-          path + " at offset " + std::to_string(offset);
-      in.read(header_buf, kSpillBlockHeaderBytes);
-      if (in.gcount() !=
-          static_cast<std::streamsize>(kSpillBlockHeaderBytes)) {
-        return Status::IOError("truncated spill block header in " + context);
-      }
-      Result<SpillBlockHeader> header = ParseSpillBlockHeader(
-          header_buf, kSpillBlockHeaderBytes, context);
-      if (!header.ok()) return header.status();
-      if (static_cast<int64_t>(header->record_count) > remaining) {
-        return Status::IOError("spill block overruns the spilled record "
-                               "count in " +
-                               context);
-      }
-      payload.resize(header->payload_bytes);
-      in.read(payload.data(),
-              static_cast<std::streamsize>(header->payload_bytes));
-      if (in.gcount() !=
-          static_cast<std::streamsize>(header->payload_bytes)) {
-        return Status::IOError("truncated spill block payload in " + context);
-      }
-      decoded.clear();
-      HATEN2_RETURN_IF_ERROR(DecodeSpillBlockPayload(
-          *header, payload.data(), payload.size(), sizeof(Record), sizeof(K),
-          context, &decoded));
-      Record rec;
-      for (uint64_t i = 0; i < header->record_count; ++i) {
-        // void* cast: IsFixedSizeRecord guarantees Record is memcpy-safe
-        // even where std::pair is formally non-trivially-copyable.
-        std::memcpy(static_cast<void*>(&rec),
-                    decoded.data() + i * sizeof(Record), sizeof(Record));
-        consume(rec);
-      }
-      remaining -= static_cast<int64_t>(header->record_count);
-      offset += kSpillBlockHeaderBytes + header->payload_bytes;
-    }
-    return Status::OK();
-  }
-
-  bool ChargePending() {
-    if (failed_) return false;
-    if (uncharged_records_ == 0) return true;
-    uint64_t bytes = static_cast<uint64_t>(uncharged_records_) * kRecordBytes;
-    if (tracker_ != nullptr) {
-      Status s = tracker_->Charge(bytes);
-      if (!s.ok()) {
-        failed_ = true;
-        failure_status_ = Status::ResourceExhausted(s.message());
-        return false;
-      }
-    }
-    charged_bytes_ += bytes;
-    uncharged_records_ = 0;
-    return true;
-  }
-
-  std::vector<std::vector<Record>> buffers_;
-  std::vector<int64_t> spilled_counts_;
-  /// Bytes committed to each partition's spill file (compressed width) —
-  /// the truncation point a torn write rolls back to, and the disk traffic
-  /// the CostModel charges.
-  std::vector<uint64_t> spilled_disk_bytes_;
-  MemoryTracker* tracker_;
-  std::string spill_prefix_;
-  int64_t spill_threshold_ = 0;
-  SpillCompression compression_ = SpillCompression::kNone;
-  int64_t inject_failure_after_bytes_ = 0;
-  int64_t spill_bytes_written_ = 0;
-  int64_t uncharged_records_ = 0;
-  uint64_t charged_bytes_ = 0;
-  bool failed_ = false;
-  Status failure_status_;
-};
-
-/// \brief Collects reducer output records.
-template <typename K, typename V>
-class OutputEmitter {
- public:
-  void Emit(const K& key, V value) {
-    out_.emplace_back(key, std::move(value));
-  }
-  std::vector<std::pair<K, V>>& records() { return out_; }
-
- private:
-  std::vector<std::pair<K, V>> out_;
-};
 
 /// \brief In-process MapReduce engine with Hadoop-shaped semantics.
 ///
@@ -359,6 +44,16 @@ class OutputEmitter {
 /// charged against ClusterConfig::total_shuffle_memory_bytes; exceeding the
 /// budget fails the job with kResourceExhausted ("o.o.m."), reproducing the
 /// intermediate-data-explosion failures of Figures 1 and 7.
+///
+/// Two execution backends share this interface (ClusterConfig::backend):
+///   - "inprocess"  — map tasks and reduce partitions run on the engine's
+///     thread pool in this process (the default, implemented below);
+///   - "subprocess" — ClusterConfig::EffectiveNumWorkers() forked worker
+///     processes shard tasks and partitions over Unix-domain sockets
+///     (distributed/subprocess_job.h). A worker death surfaces as failure
+///     kind "worker_lost" with kAborted, which the PlanScheduler's node
+///     retry re-runs — and both backends produce bit-identical output for
+///     the same configuration and seeds (docs/ARCHITECTURE.md, Backends).
 class Engine {
  public:
   explicit Engine(const ClusterConfig& config)
@@ -399,11 +94,20 @@ class Engine {
       if (j.job_id >= first_job_id) out.jobs.push_back(j);
     }
     for (const PlanStats& p : pipeline_.plans) {
+      // A plan is in range when it has at least one job id and all of them
+      // are at or past the watermark. The any_jobs guard matters: a plan
+      // whose nodes recorded no job ids (e.g. every node failed before its
+      // first job, or an empty plan) would otherwise be vacuously in range
+      // and attributed to *every* later iteration.
+      bool any_jobs = false;
       bool in_range = true;
       for (const PlanNodeStats& n : p.nodes) {
-        for (int64_t id : n.job_ids) in_range &= id >= first_job_id;
+        for (int64_t id : n.job_ids) {
+          any_jobs = true;
+          in_range &= id >= first_job_id;
+        }
       }
-      if (in_range) out.plans.push_back(p);
+      if (any_jobs && in_range) out.plans.push_back(p);
     }
     return out;
   }
@@ -494,6 +198,10 @@ class Engine {
     // return a Status): a zero bandwidth or negative slot count would
     // otherwise surface only as Inf/NaN simulated seconds in stats JSON.
     if (!init_status_.ok()) return init_status_;
+    if (config_.backend == "subprocess") {
+      return RunSubprocess<KMid, VMid, KOut, VOut>(name, num_input_records,
+                                                   reader, reducer, combiner);
+    }
     WallTimer timer;
     WallTimer phase_timer;
     // Attributes the time since the previous phase boundary to one phase;
@@ -651,7 +359,7 @@ class Engine {
     if (combiner) {
       pool_.ParallelFor(static_cast<size_t>(num_tasks), [&](size_t t) {
         for (auto& buf : emitters[t].buffers()) {
-          CombineBuffer<KMid, VMid>(&buf, combiner);
+          CombineShuffleBuffer<KMid, VMid>(&buf, combiner);
         }
       });
       // The combiner changed what actually gets shuffled.
@@ -763,25 +471,72 @@ class Engine {
         std::forward<ReduceFn>(reducer), std::move(combiner));
   }
 
+  /// Per-worker-slot counters of the subprocess backend's worker pool
+  /// (empty before the first subprocess job; see haten2-stats-v6 "workers").
+  /// Blocks while a subprocess job is in flight.
+  std::vector<distributed::WorkerStats> WorkerStatsSnapshot() const {
+    std::lock_guard<std::mutex> lock(subprocess_mu_);
+    if (worker_pool_ == nullptr) return {};
+    return worker_pool_->StatsSnapshot();
+  }
+
  private:
-  template <typename K, typename V>
-  static void CombineBuffer(std::vector<std::pair<K, V>>* buf,
-                            const std::function<V(const V&, const V&)>& fold) {
-    if (buf->size() <= 1) return;
-    struct StdHashAdapter {
-      size_t operator()(const K& k) const {
-        return static_cast<size_t>(ShuffleHash<K>()(k));
+  /// Runs one job on the subprocess backend (config_.backend ==
+  /// "subprocess"): forks a worker gang and shards the job over it
+  /// (distributed/subprocess_job.h). Jobs are serialized on the engine's
+  /// single worker pool; concurrent plan nodes queue here instead of
+  /// spawning rival gangs. Output types outside the wire codec's reach run
+  /// in-process only and get kUnimplemented — the four ALS drivers' job
+  /// types are all covered.
+  template <typename KMid, typename VMid, typename KOut, typename VOut,
+            typename ReaderFn, typename ReduceFn>
+  Result<std::vector<std::pair<KOut, VOut>>> RunSubprocess(
+      const std::string& name, int64_t num_input_records, ReaderFn& reader,
+      ReduceFn& reducer,
+      const std::function<VMid(const VMid&, const VMid&)>& combiner) {
+    if constexpr (!distributed::kWireSerializableOutput<KOut, VOut>) {
+      return Status::Unimplemented(
+          "subprocess backend: job '" + name +
+          "' has an output type the wire codec cannot carry (need a "
+          "fixed-size key and a fixed-size or vector-of-fixed-size value); "
+          "use backend=inprocess for this job");
+    } else {
+      std::lock_guard<std::mutex> job_lock(subprocess_mu_);
+      WallTimer timer;
+      JobStats stats;
+      stats.name = name;
+      stats.map_input_records = num_input_records;
+      const int64_t job_seq =
+          job_sequence_.fetch_add(1, std::memory_order_relaxed);
+      stats.job_id = job_seq;
+      stats.plan_id = current_plan_id_;
+      if (job_id_sink_ != nullptr) job_id_sink_->push_back(job_seq);
+
+      if (worker_pool_ == nullptr) {
+        worker_pool_ = std::make_unique<distributed::WorkerPool>(
+            config_.EffectiveNumWorkers());
       }
-    };
-    std::unordered_map<K, V, StdHashAdapter> merged;
-    merged.reserve(buf->size());
-    for (auto& rec : *buf) {
-      auto [it, inserted] = merged.try_emplace(rec.first, rec.second);
-      if (!inserted) it->second = fold(it->second, rec.second);
+      distributed::SubprocessJobEnv env;
+      env.config = &config_;
+      env.pool = worker_pool_.get();
+      env.tracker = &tracker_;
+      if (!config_.spill_directory.empty()) {
+        env.spill_prefix_base =
+            config_.spill_directory + "/haten2_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + "_j" +
+            std::to_string(job_seq);
+      }
+      env.name = name;
+      env.job_id = job_seq;
+      env.num_input_records = num_input_records;
+
+      Result<std::vector<std::pair<KOut, VOut>>> result =
+          distributed::RunSubprocessJob<KMid, VMid, KOut, VOut>(
+              env, reader, reducer, combiner, &stats);
+      stats.wall_seconds = timer.ElapsedSeconds();
+      RecordJob(stats);
+      return result;
     }
-    buf->clear();
-    buf->reserve(merged.size());
-    for (auto& [k, v] : merged) buf->emplace_back(k, std::move(v));
   }
 
   void RecordJob(const JobStats& stats) {
@@ -789,16 +544,11 @@ class Engine {
     pipeline_.jobs.push_back(stats);
   }
 
-  /// Deterministic per-(job, task, attempt) failure decision.
+  /// Deterministic per-(job, task, attempt) failure decision, shared with
+  /// the subprocess workers (mapreduce/shuffle.h) so both backends replay
+  /// identical retry sequences for the same job id.
   bool ShouldFailAttempt(int64_t job, size_t task, int attempt) const {
-    if (config_.task_failure_probability <= 0.0) return false;
-    uint64_t h = Mix64(config_.failure_seed ^
-                       Mix64(static_cast<uint64_t>(job) * 1000003ull +
-                             static_cast<uint64_t>(task) * 1009ull +
-                             static_cast<uint64_t>(attempt)));
-    double u = static_cast<double>(h >> 11) *
-               (1.0 / 9007199254740992.0);  // 53-bit uniform in [0, 1)
-    return u < config_.task_failure_probability;
+    return ShouldFailMapAttempt(config_, job, task, attempt);
   }
 
   ClusterConfig config_;
@@ -808,6 +558,11 @@ class Engine {
   ThreadPool pool_;
   MemoryTracker tracker_;
   PipelineStats pipeline_;
+  /// Subprocess backend state: the pool is created lazily on the first
+  /// subprocess job and persists across jobs (its slots carry the restart
+  /// counters); subprocess_mu_ serializes subprocess jobs on it.
+  std::unique_ptr<distributed::WorkerPool> worker_pool_;
+  mutable std::mutex subprocess_mu_;
   mutable std::mutex mu_;
   std::atomic<int64_t> job_sequence_{0};
   std::atomic<int64_t> plan_sequence_{0};

@@ -1,0 +1,389 @@
+#ifndef HATEN2_MAPREDUCE_SHUFFLE_H_
+#define HATEN2_MAPREDUCE_SHUFFLE_H_
+
+// The engine's shuffle-side building blocks, shared by both execution
+// backends: the in-process Engine (mapreduce/engine.h) and the subprocess
+// workers (distributed/subprocess_job.h) instantiate the same emitters and
+// the same combine fold, which is what makes the two backends bit-identical
+// — a worker process shuffles, spills, combines, and groups with exactly
+// the code the in-process engine uses.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/hash.h"
+#include "mapreduce/spill_codec.h"
+#include "util/memory_tracker.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// Fixed-size record trait: byte accounting (and hence the o.o.m.
+/// semantics) needs sizeof(T) to be the serialized size. std::pair of
+/// fixed-size members qualifies even though the standard does not make it
+/// trivially copyable.
+template <typename T>
+struct IsFixedSizeRecord : std::is_trivially_copyable<T> {};
+template <typename A, typename B>
+struct IsFixedSizeRecord<std::pair<A, B>>
+    : std::conjunction<IsFixedSizeRecord<A>, IsFixedSizeRecord<B>> {};
+
+/// \brief Collects a map task's (key, value) emissions into per-reduce-
+/// partition buffers (the in-process equivalent of the Hadoop shuffle
+/// write path).
+///
+/// Emissions are charged incrementally against the engine's memory budget in
+/// chunks; once the budget is exhausted the emitter enters a failed state and
+/// silently drops further records — the engine then fails the whole job with
+/// kResourceExhausted. This reproduces the paper's intermediate-data
+/// explosion: a job whose shuffle exceeds cluster memory dies mid-flight.
+template <typename K, typename V>
+class ShuffleEmitter {
+ public:
+  using Record = std::pair<K, V>;
+  static constexpr int64_t kChargeChunkRecords = 4096;
+  /// Serialized width of one intermediate record. Spill files are written
+  /// as raw Record structs, so sizeof(Record) — padding included — is the
+  /// width a record actually occupies on disk; the same width is charged
+  /// against the shuffle budget and reported in every byte counter, keeping
+  /// "bytes" in stats equal to bytes observable outside the process
+  /// (docs/INTERNALS.md, Accounting).
+  static constexpr uint64_t kRecordBytes = sizeof(Record);
+
+  /// `spill_prefix` empty disables spilling; otherwise a partition's buffer
+  /// is appended to "<spill_prefix>_p<partition>.spill" and cleared once it
+  /// holds `spill_threshold` records (Hadoop's sort-spill), bounding the
+  /// task's resident memory. Spilled records remain charged against the
+  /// budget: it models the cluster's total intermediate-data capacity.
+  /// `compression` selects the on-disk run encoding (spill_codec.h);
+  /// `inject_failure_after_bytes` > 0 tears the spill write that would pass
+  /// that cumulative byte count (failure injection, see ClusterConfig).
+  ShuffleEmitter(int num_partitions, MemoryTracker* tracker,
+                 std::string spill_prefix = "",
+                 int64_t spill_threshold = 0,
+                 SpillCompression compression = SpillCompression::kNone,
+                 int64_t inject_failure_after_bytes = 0)
+      : buffers_(static_cast<size_t>(num_partitions)),
+        spilled_counts_(static_cast<size_t>(num_partitions), 0),
+        spilled_disk_bytes_(static_cast<size_t>(num_partitions), 0),
+        tracker_(tracker),
+        spill_prefix_(std::move(spill_prefix)),
+        spill_threshold_(spill_threshold),
+        compression_(compression),
+        inject_failure_after_bytes_(inject_failure_after_bytes) {}
+
+  void Emit(const K& key, const V& value) {
+    if (failed_) return;
+    if (uncharged_records_ == kChargeChunkRecords) {
+      if (!ChargePending()) return;
+    }
+    size_t p = static_cast<size_t>(ShuffleHash<K>()(key) % buffers_.size());
+    buffers_[p].emplace_back(key, value);
+    ++uncharged_records_;
+    if (!spill_prefix_.empty() && spill_threshold_ > 0 &&
+        static_cast<int64_t>(buffers_[p].size()) >= spill_threshold_) {
+      SpillPartition(p);
+    }
+  }
+
+  /// Charges any pending records; returns false when the budget is blown.
+  bool Flush() { return ChargePending(); }
+
+  bool failed() const { return failed_; }
+  const Status& failure_status() const { return failure_status_; }
+  uint64_t charged_bytes() const { return charged_bytes_; }
+
+  int64_t TotalRecords() const {
+    int64_t n = TotalSpilledRecords();
+    for (const auto& b : buffers_) n += static_cast<int64_t>(b.size());
+    return n;
+  }
+
+  int64_t InMemoryRecords() const {
+    int64_t n = 0;
+    for (const auto& b : buffers_) n += static_cast<int64_t>(b.size());
+    return n;
+  }
+
+  int64_t TotalSpilledRecords() const {
+    int64_t n = 0;
+    for (int64_t c : spilled_counts_) n += c;
+    return n;
+  }
+
+  int64_t SpilledRecords(size_t partition) const {
+    return spilled_counts_[partition];
+  }
+
+  /// Bytes this emitter's spill runs occupy on disk (compressed width;
+  /// equals TotalSpilledRecords() * kRecordBytes when compression is none).
+  uint64_t TotalSpilledDiskBytes() const {
+    uint64_t n = 0;
+    for (uint64_t b : spilled_disk_bytes_) n += b;
+    return n;
+  }
+
+  std::string SpillPath(size_t partition) const {
+    return spill_prefix_ + "_p" + std::to_string(partition) + ".spill";
+  }
+
+  /// Streams partition `p`'s spilled records (if any) into `consume`, then
+  /// removes the spill file. On a read error returns an IOError naming the
+  /// spill path and the failing byte offset, and leaves `spilled_counts_`
+  /// intact so RemoveSpill / RemoveAllSpills still clean the file up.
+  template <typename ConsumeFn>
+  Status DrainSpill(size_t p, ConsumeFn&& consume) {
+    if (spilled_counts_[p] == 0) return Status::OK();
+    const std::string path = SpillPath(p);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot open spill file " + path);
+    }
+    if (compression_ == SpillCompression::kNone) {
+      Record rec;
+      for (int64_t i = 0; i < spilled_counts_[p]; ++i) {
+        in.read(reinterpret_cast<char*>(&rec), sizeof(Record));
+        if (in.gcount() != static_cast<std::streamsize>(sizeof(Record))) {
+          return Status::IOError(
+              "short read in spill file " + path + " at offset " +
+              std::to_string(static_cast<uint64_t>(i) * sizeof(Record)));
+        }
+        consume(rec);
+      }
+    } else {
+      Status s = DrainCompressedSpill(p, in, path, consume);
+      if (!s.ok()) return s;
+    }
+    in.close();
+    RemoveSpill(p);
+    return Status::OK();
+  }
+
+  void RemoveSpill(size_t p) {
+    if (spilled_counts_[p] > 0) {
+      std::remove(SpillPath(p).c_str());
+      spilled_counts_[p] = 0;
+      spilled_disk_bytes_[p] = 0;
+    }
+  }
+
+  void RemoveAllSpills() {
+    for (size_t p = 0; p < spilled_counts_.size(); ++p) RemoveSpill(p);
+  }
+
+  std::vector<std::vector<Record>>& buffers() { return buffers_; }
+
+ private:
+  void SpillPartition(size_t p) {
+    const char* data = reinterpret_cast<const char*>(buffers_[p].data());
+    size_t nbytes = buffers_[p].size() * sizeof(Record);
+    std::string encoded;
+    if (compression_ == SpillCompression::kDeltaVarint) {
+      EncodeSpillBlock(data, buffers_[p].size(), sizeof(Record), sizeof(K),
+                       &encoded);
+      data = encoded.data();
+      nbytes = encoded.size();
+    }
+    const std::string path = SpillPath(p);
+    if (!WriteSpillBytes(path, data, nbytes)) {
+      // A partial append leaves a torn file whose tail no reader can parse.
+      // Roll the file back to the last committed run boundary — or remove
+      // it outright when nothing was committed — *before* failing, so
+      // RemoveAllSpills (keyed on spilled_counts_) cannot leak an orphan.
+      std::error_code ec;
+      if (spilled_disk_bytes_[p] == 0) {
+        std::filesystem::remove(path, ec);
+      } else {
+        std::filesystem::resize_file(path, spilled_disk_bytes_[p], ec);
+        if (ec) {
+          std::filesystem::remove(path, ec);
+          spilled_counts_[p] = 0;
+          spilled_disk_bytes_[p] = 0;
+        }
+      }
+      failed_ = true;
+      failure_status_ = Status::IOError("spill write failed: " + path);
+      return;
+    }
+    spilled_counts_[p] += static_cast<int64_t>(buffers_[p].size());
+    spilled_disk_bytes_[p] += static_cast<uint64_t>(nbytes);
+    buffers_[p].clear();
+  }
+
+  /// Appends `nbytes` to the spill file; false on failure. The injection
+  /// knob tears the write that would pass the configured cumulative byte
+  /// count: half the bytes land on disk, as a mid-write disk-full would
+  /// leave them.
+  bool WriteSpillBytes(const std::string& path, const char* data,
+                       size_t nbytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) return false;
+    if (inject_failure_after_bytes_ > 0 &&
+        spill_bytes_written_ + static_cast<int64_t>(nbytes) >
+            inject_failure_after_bytes_) {
+      out.write(data, static_cast<std::streamsize>(nbytes / 2));
+      out.flush();
+      return false;
+    }
+    out.write(data, static_cast<std::streamsize>(nbytes));
+    out.flush();
+    if (!out) return false;
+    spill_bytes_written_ += static_cast<int64_t>(nbytes);
+    return true;
+  }
+
+  /// Block-decoding drain loop for delta_varint spill files: reads
+  /// header + payload per run until every spilled record is consumed,
+  /// validating counts against `spilled_counts_[p]` as it goes.
+  template <typename ConsumeFn>
+  Status DrainCompressedSpill(size_t p, std::ifstream& in,
+                              const std::string& path, ConsumeFn&& consume) {
+    int64_t remaining = spilled_counts_[p];
+    uint64_t offset = 0;
+    char header_buf[kSpillBlockHeaderBytes];
+    std::string payload;
+    std::string decoded;
+    while (remaining > 0) {
+      const std::string context =
+          path + " at offset " + std::to_string(offset);
+      in.read(header_buf, kSpillBlockHeaderBytes);
+      if (in.gcount() !=
+          static_cast<std::streamsize>(kSpillBlockHeaderBytes)) {
+        return Status::IOError("truncated spill block header in " + context);
+      }
+      Result<SpillBlockHeader> header = ParseSpillBlockHeader(
+          header_buf, kSpillBlockHeaderBytes, context);
+      if (!header.ok()) return header.status();
+      if (static_cast<int64_t>(header->record_count) > remaining) {
+        return Status::IOError("spill block overruns the spilled record "
+                               "count in " +
+                               context);
+      }
+      payload.resize(header->payload_bytes);
+      in.read(payload.data(),
+              static_cast<std::streamsize>(header->payload_bytes));
+      if (in.gcount() !=
+          static_cast<std::streamsize>(header->payload_bytes)) {
+        return Status::IOError("truncated spill block payload in " + context);
+      }
+      decoded.clear();
+      HATEN2_RETURN_IF_ERROR(DecodeSpillBlockPayload(
+          *header, payload.data(), payload.size(), sizeof(Record), sizeof(K),
+          context, &decoded));
+      Record rec;
+      for (uint64_t i = 0; i < header->record_count; ++i) {
+        // void* cast: IsFixedSizeRecord guarantees Record is memcpy-safe
+        // even where std::pair is formally non-trivially-copyable.
+        std::memcpy(static_cast<void*>(&rec),
+                    decoded.data() + i * sizeof(Record), sizeof(Record));
+        consume(rec);
+      }
+      remaining -= static_cast<int64_t>(header->record_count);
+      offset += kSpillBlockHeaderBytes + header->payload_bytes;
+    }
+    return Status::OK();
+  }
+
+  bool ChargePending() {
+    if (failed_) return false;
+    if (uncharged_records_ == 0) return true;
+    uint64_t bytes = static_cast<uint64_t>(uncharged_records_) * kRecordBytes;
+    if (tracker_ != nullptr) {
+      Status s = tracker_->Charge(bytes);
+      if (!s.ok()) {
+        failed_ = true;
+        failure_status_ = Status::ResourceExhausted(s.message());
+        return false;
+      }
+    }
+    charged_bytes_ += bytes;
+    uncharged_records_ = 0;
+    return true;
+  }
+
+  std::vector<std::vector<Record>> buffers_;
+  std::vector<int64_t> spilled_counts_;
+  /// Bytes committed to each partition's spill file (compressed width) —
+  /// the truncation point a torn write rolls back to, and the disk traffic
+  /// the CostModel charges.
+  std::vector<uint64_t> spilled_disk_bytes_;
+  MemoryTracker* tracker_;
+  std::string spill_prefix_;
+  int64_t spill_threshold_ = 0;
+  SpillCompression compression_ = SpillCompression::kNone;
+  int64_t inject_failure_after_bytes_ = 0;
+  int64_t spill_bytes_written_ = 0;
+  int64_t uncharged_records_ = 0;
+  uint64_t charged_bytes_ = 0;
+  bool failed_ = false;
+  Status failure_status_;
+};
+
+/// \brief Collects reducer output records.
+template <typename K, typename V>
+class OutputEmitter {
+ public:
+  void Emit(const K& key, V value) {
+    out_.emplace_back(key, std::move(value));
+  }
+  std::vector<std::pair<K, V>>& records() { return out_; }
+
+ private:
+  std::vector<std::pair<K, V>> out_;
+};
+
+/// Folds duplicate keys of one in-memory partition buffer through the
+/// combiner, exactly as a Hadoop combiner runs at the end of a map task.
+/// Both backends apply it to in-memory buffers only (spilled runs are
+/// shuffled uncombined), and both inherit the resulting record order from
+/// the fold map's iteration order — which is what keeps the shuffled byte
+/// streams, and hence every reduction, bit-identical across backends.
+template <typename K, typename V>
+void CombineShuffleBuffer(std::vector<std::pair<K, V>>* buf,
+                          const std::function<V(const V&, const V&)>& fold) {
+  if (buf->size() <= 1) return;
+  struct StdHashAdapter {
+    size_t operator()(const K& k) const {
+      return static_cast<size_t>(ShuffleHash<K>()(k));
+    }
+  };
+  std::unordered_map<K, V, StdHashAdapter> merged;
+  merged.reserve(buf->size());
+  for (auto& rec : *buf) {
+    auto [it, inserted] = merged.try_emplace(rec.first, rec.second);
+    if (!inserted) it->second = fold(it->second, rec.second);
+  }
+  buf->clear();
+  buf->reserve(merged.size());
+  for (auto& [k, v] : merged) buf->emplace_back(k, std::move(v));
+}
+
+/// Deterministic per-(job, task, attempt) map-task failure decision, shared
+/// by the in-process engine and the subprocess workers (a worker replays the
+/// same draws for the same job id, so retry counts match across backends).
+inline bool ShouldFailMapAttempt(const ClusterConfig& config, int64_t job,
+                                 size_t task, int attempt) {
+  if (config.task_failure_probability <= 0.0) return false;
+  uint64_t h = Mix64(config.failure_seed ^
+                     Mix64(static_cast<uint64_t>(job) * 1000003ull +
+                           static_cast<uint64_t>(task) * 1009ull +
+                           static_cast<uint64_t>(attempt)));
+  double u = static_cast<double>(h >> 11) *
+             (1.0 / 9007199254740992.0);  // 53-bit uniform in [0, 1)
+  return u < config.task_failure_probability;
+}
+
+}  // namespace haten2
+
+#endif  // HATEN2_MAPREDUCE_SHUFFLE_H_

@@ -209,6 +209,10 @@ void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w) {
       .Value(config.reduce_slots_per_machine)
       .Key("num_threads")
       .Value(config.num_threads)
+      .Key("backend")
+      .Value(config.backend)
+      .Key("num_workers")
+      .Value(config.EffectiveNumWorkers())
       .Key("max_concurrent_jobs")
       .Value(config.max_concurrent_jobs)
       .Key("job_startup_seconds")
@@ -264,7 +268,7 @@ std::string StatsReportToJson(const StatsReport& report) {
   const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").Value("haten2-stats-v5");
+  w.Key("schema").Value("haten2-stats-v6");
   if (!report.tool.empty()) w.Key("tool").Value(report.tool);
   if (!report.method.empty()) w.Key("method").Value(report.method);
   if (!report.variant.empty()) w.Key("variant").Value(report.variant);
@@ -289,6 +293,24 @@ std::string StatsReportToJson(const StatsReport& report) {
   if (report.pipeline != nullptr) {
     w.Key("pipeline");
     PipelineStatsToJson(*report.pipeline, cost, &w);
+  }
+  if (report.workers != nullptr && !report.workers->empty()) {
+    w.Key("workers").BeginArray();
+    for (const distributed::WorkerStats& ws : *report.workers) {
+      w.BeginObject()
+          .Key("worker")
+          .Value(ws.worker)
+          .Key("tasks")
+          .Value(ws.tasks)
+          .Key("wire_bytes_sent")
+          .Value(ws.wire_bytes_sent)
+          .Key("wire_bytes_received")
+          .Value(ws.wire_bytes_received)
+          .Key("restarts")
+          .Value(ws.restarts)
+          .EndObject();
+    }
+    w.EndArray();
   }
   w.EndObject();
   return w.str();

@@ -2,7 +2,9 @@
 #define HATEN2_MAPREDUCE_STATS_JSON_H_
 
 #include <string>
+#include <vector>
 
+#include "distributed/worker_pool.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/cost_model.h"
 #include "mapreduce/stats.h"
@@ -12,7 +14,7 @@
 namespace haten2 {
 
 /// JSON serialization of the engine's and drivers' statistics — the stable
-/// "haten2-stats-v5" schema documented in docs/INTERNALS.md. The schema is
+/// "haten2-stats-v6" schema documented in docs/INTERNALS.md. The schema is
 /// what --stats_json and the BENCH_*.json harness exports emit, so the
 /// perf trajectory can be read by machines across PRs.
 ///
@@ -33,6 +35,12 @@ namespace haten2 {
 /// (cost-model-gated, like simulated_seconds), plans and pipelines carry
 /// critical_path_with_backoff_seconds, and the cluster object carries the
 /// speculation knobs plus a run-length-grouped machine_profiles summary.
+///
+/// v6 extends v5 (purely additive) with the subprocess backend: the
+/// cluster object carries backend/num_workers, the report carries a
+/// `workers` array of per-worker-slot counters (tasks, wire bytes
+/// sent/received, restarts — additive over the engine's lifetime), and
+/// jobs may report the new failure kind "worker_lost".
 ///
 /// All byte counters use the engine's serialized record width
 /// (sizeof of the intermediate record pair, padding included) — the same
@@ -65,7 +73,8 @@ struct StatsReport {
   std::string method;   ///< e.g. "parafac"
   std::string variant;  ///< e.g. "dri"
   std::string dataset;  ///< input path or generator description
-  /// "ok", or the failure kind ("oom", "aborted", "io_error", "error").
+  /// "ok", or the failure kind ("oom", "aborted", "io_error",
+  /// "worker_lost", "error").
   std::string status = "ok";
   double wall_seconds = 0.0;
 
@@ -76,9 +85,12 @@ struct StatsReport {
   const ClusterConfig* cluster = nullptr;   ///< also enables CostModel times
   const DecompositionTrace* trace = nullptr;
   const PipelineStats* pipeline = nullptr;
+  /// Subprocess-backend per-worker-slot counters
+  /// (Engine::WorkerStatsSnapshot); skipped when null or empty.
+  const std::vector<distributed::WorkerStats>* workers = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v5").
+/// Serializes the whole report ("haten2-stats-v6").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

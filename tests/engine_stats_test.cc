@@ -1,6 +1,6 @@
 // Tests for the engine's observability layer: per-phase wall times, skew
 // summaries, failure-path accounting (o.o.m. / abort / spills), the
-// "haten2-stats-v5" JSON export, and the spill-filename race regression
+// "haten2-stats-v6" JSON export, and the spill-filename race regression
 // (concurrent Run calls on one engine).
 
 #include <gtest/gtest.h>
@@ -303,6 +303,69 @@ TEST(EngineStats, MapTaskRecordsCountReaderInvocations) {
   }
 }
 
+TEST(EngineStats, PipelineSinceExcludesPlansWithoutJobIds) {
+  // Regression: a plan whose nodes recorded no job ids (every node failed
+  // before its first job, or a pure-assembly plan) used to be vacuously
+  // "in range" and show up in every later iteration's PipelineSince()
+  // slice. It must not appear in any watermarked slice.
+  Engine engine(ClusterConfig::ForTesting());
+
+  PlanStats before;
+  before.plan_id = 0;
+  before.name = "with-early-jobs";
+  before.nodes.emplace_back();
+  before.nodes[0].label = "n0";
+
+  // One real job below the watermark, attributed to `before`.
+  auto run_one = [&engine]() {
+    auto r = engine.Run<int64_t, int64_t, int64_t, int64_t>(
+        "since-job", 10,
+        [](int64_t i, ShuffleEmitter<int64_t, int64_t>* em) {
+          em->Emit(i % 2, 1);
+        },
+        [](const int64_t& k, std::vector<int64_t>& vs,
+           OutputEmitter<int64_t, int64_t>* out) {
+          out->Emit(k, static_cast<int64_t>(vs.size()));
+        });
+    ASSERT_OK(r.status());
+  };
+  run_one();
+  before.nodes[0].job_ids = {engine.pipeline().jobs.back().job_id};
+  engine.RecordPlan(before);
+
+  PlanStats empty;
+  empty.plan_id = 1;
+  empty.name = "no-jobs-anywhere";
+  empty.nodes.emplace_back();
+  empty.nodes[0].label = "failed-before-first-job";
+  empty.nodes[0].status = "failed";
+  engine.RecordPlan(empty);
+
+  const int64_t watermark = engine.NextJobId();
+  run_one();
+  PlanStats after;
+  after.plan_id = 2;
+  after.name = "with-late-jobs";
+  after.nodes.emplace_back();
+  after.nodes[0].label = "n0";
+  after.nodes[0].job_ids = {engine.pipeline().jobs.back().job_id};
+  engine.RecordPlan(after);
+
+  PipelineStats slice = engine.PipelineSince(watermark);
+  ASSERT_EQ(slice.jobs.size(), 1u);
+  EXPECT_GE(slice.jobs[0].job_id, watermark);
+  ASSERT_EQ(slice.plans.size(), 1u);
+  EXPECT_EQ(slice.plans[0].name, "with-late-jobs");
+
+  // Even a slice of everything excludes the job-less plan: it belongs to no
+  // iteration window.
+  PipelineStats all = engine.PipelineSince(0);
+  EXPECT_EQ(all.jobs.size(), 2u);
+  ASSERT_EQ(all.plans.size(), 2u);
+  EXPECT_EQ(all.plans[0].name, "with-early-jobs");
+  EXPECT_EQ(all.plans[1].name, "with-late-jobs");
+}
+
 // ---------------------------------------------------------------------------
 // S1 regression: concurrent Run() calls on one spilling engine must not
 // collide on spill filenames.
@@ -422,7 +485,7 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
 
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   for (const char* key :
-       {"\"schema\":\"haten2-stats-v5\"", "\"status\":\"ok\"",
+       {"\"schema\":\"haten2-stats-v6\"", "\"status\":\"ok\"",
         "\"cluster\"", "\"iterations\"", "\"pipeline\"", "\"phases\"",
         "\"map_seconds\"", "\"shuffle_seconds\"", "\"reduce_seconds\"",
         "\"spill\"", "\"fit\"", "\"lambda\"", "\"simulated_seconds\"",
@@ -440,7 +503,9 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
         "\"speculated_tasks\"", "\"speculation_won\"",
         "\"speculation_wasted_seconds\"", "\"speculative_execution\"",
         "\"speculation_slowstart\"", "\"straggler_jitter\"",
-        "\"straggler_jitter_seed\"", "\"machine_profiles\""}) {
+        "\"straggler_jitter_seed\"", "\"machine_profiles\"",
+        // stats-v6: subprocess-backend additions.
+        "\"backend\"", "\"num_workers\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -489,7 +554,7 @@ TEST(EngineStats, WriteStatsJsonFileRoundTrips) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_TRUE(JsonChecker(content).Valid()) << content;
-  EXPECT_NE(content.find("haten2-stats-v5"), std::string::npos);
+  EXPECT_NE(content.find("haten2-stats-v6"), std::string::npos);
 }
 
 }  // namespace

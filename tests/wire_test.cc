@@ -1,0 +1,247 @@
+// Tests for the coordinator<->worker wire protocol: frame round-trips,
+// CRC-32, and the corruption paths — truncated frame, bad magic, CRC
+// mismatch, oversized length prefix, unknown type, version mismatch, and
+// read timeout. Every failure must surface as IOError naming the peer and
+// the byte offset, never a crash or a hang.
+
+#include "distributed/wire.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace haten2 {
+namespace distributed {
+namespace {
+
+// Byte offsets of header fields inside an encoded frame (see wire.h):
+// magic u32 | version u16 | type u16 | worker i32 | job i64 | a i64 |
+// b i64 | payload_len u32 | crc u32.
+constexpr size_t kVersionOffset = 4;
+constexpr size_t kTypeOffset = 6;
+constexpr size_t kPayloadLenOffset = 36;
+
+struct ChannelPair {
+  std::unique_ptr<WireChannel> coordinator;  // reads what the worker sends
+  std::unique_ptr<WireChannel> worker;
+};
+
+ChannelPair MakePair() {
+  int a = -1, b = -1;
+  Status s = MakeSocketPair(&a, &b);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  ChannelPair pair;
+  pair.coordinator = std::make_unique<WireChannel>(a, "worker 3");
+  pair.worker = std::make_unique<WireChannel>(b, "coordinator");
+  return pair;
+}
+
+WireFrame TestFrame() {
+  WireFrame frame;
+  frame.type = FrameType::kMapRun;
+  frame.worker = 3;
+  frame.job = 42;
+  frame.a = 7;
+  frame.b = 11;
+  frame.payload = "spill-codec block stand-in \x00\x01\x02 payload";
+  return frame;
+}
+
+// Sends raw (possibly corrupted) bytes through the worker end's socket.
+void SendRaw(const WireChannel& from, const std::string& bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t w = ::send(from.fd(), bytes.data() + done, bytes.size() - done,
+                       MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    done += static_cast<size_t>(w);
+  }
+}
+
+TEST(DistributedWireTest, Crc32MatchesKnownVector) {
+  // The standard CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(DistributedWireTest, FrameRoundTripsThroughSocketPair) {
+  ChannelPair pair = MakePair();
+  const WireFrame sent = TestFrame();
+  Status ws = pair.worker->WriteFrame(sent);
+  ASSERT_TRUE(ws.ok()) << ws.ToString();
+
+  WireFrame got;
+  Status rs = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(rs.ok()) << rs.ToString();
+  EXPECT_EQ(got.type, sent.type);
+  EXPECT_EQ(got.worker, sent.worker);
+  EXPECT_EQ(got.job, sent.job);
+  EXPECT_EQ(got.a, sent.a);
+  EXPECT_EQ(got.b, sent.b);
+  EXPECT_EQ(got.payload, sent.payload);
+
+  EXPECT_EQ(pair.worker->bytes_sent(),
+            kWireHeaderBytes + sent.payload.size());
+  EXPECT_EQ(pair.coordinator->bytes_received(),
+            kWireHeaderBytes + sent.payload.size());
+}
+
+TEST(DistributedWireTest, EmptyPayloadRoundTrips) {
+  ChannelPair pair = MakePair();
+  WireFrame sent;
+  sent.type = FrameType::kRunsDone;
+  sent.worker = 0;
+  ASSERT_TRUE(pair.worker->WriteFrame(sent).ok());
+  WireFrame got;
+  ASSERT_TRUE(pair.coordinator->ReadFrame(5.0, &got).ok());
+  EXPECT_EQ(got.type, FrameType::kRunsDone);
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(DistributedWireTest, TruncatedFrameNamesWorkerAndOffset) {
+  ChannelPair pair = MakePair();
+  std::string bytes;
+  EncodeFrameBytes(TestFrame(), &bytes);
+  // Send the header plus a sliver of payload, then close mid-frame.
+  SendRaw(*pair.worker, bytes.substr(0, kWireHeaderBytes + 5));
+  pair.worker->Close();
+
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("truncated frame from"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("byte offset"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DistributedWireTest, CleanCloseBetweenFramesIsDistinguished) {
+  ChannelPair pair = MakePair();
+  pair.worker->Close();
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("connection closed by"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+}
+
+TEST(DistributedWireTest, BadMagicNamesWorkerAndOffset) {
+  ChannelPair pair = MakePair();
+  std::string bytes;
+  EncodeFrameBytes(TestFrame(), &bytes);
+  bytes[0] = static_cast<char>(bytes[0] ^ 0x5A);
+  SendRaw(*pair.worker, bytes);
+
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("bad magic"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("byte offset"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DistributedWireTest, VersionMismatchRejected) {
+  ChannelPair pair = MakePair();
+  std::string bytes;
+  EncodeFrameBytes(TestFrame(), &bytes);
+  const uint16_t bogus = kWireVersion + 7;
+  std::memcpy(&bytes[kVersionOffset], &bogus, sizeof(bogus));
+  SendRaw(*pair.worker, bytes);
+
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("unsupported protocol version"),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+}
+
+TEST(DistributedWireTest, UnknownFrameTypeRejected) {
+  ChannelPair pair = MakePair();
+  std::string bytes;
+  EncodeFrameBytes(TestFrame(), &bytes);
+  const uint16_t bogus = 999;
+  std::memcpy(&bytes[kTypeOffset], &bogus, sizeof(bogus));
+  SendRaw(*pair.worker, bytes);
+
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("unknown frame type"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+}
+
+TEST(DistributedWireTest, PayloadCrcMismatchNamesWorkerAndOffset) {
+  ChannelPair pair = MakePair();
+  std::string bytes;
+  EncodeFrameBytes(TestFrame(), &bytes);
+  // Flip one payload byte; the header (and its CRC field) stay intact.
+  bytes[kWireHeaderBytes + 3] =
+      static_cast<char>(bytes[kWireHeaderBytes + 3] ^ 0x01);
+  SendRaw(*pair.worker, bytes);
+
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("CRC mismatch"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("byte offset"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DistributedWireTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  ChannelPair pair = MakePair();
+  std::string bytes;
+  EncodeFrameBytes(TestFrame(), &bytes);
+  const uint32_t huge = kMaxWirePayloadBytes + 1;
+  std::memcpy(&bytes[kPayloadLenOffset], &huge, sizeof(huge));
+  SendRaw(*pair.worker, bytes);
+
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(5.0, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("oversized payload length"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+}
+
+TEST(DistributedWireTest, ReadTimesOutInsteadOfHanging) {
+  ChannelPair pair = MakePair();
+  WireFrame got;
+  Status s = pair.coordinator->ReadFrame(0.05, &got);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("timed out"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("worker 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("byte offset"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DistributedWireTest, WriteToClosedPeerReportsIOError) {
+  ChannelPair pair = MakePair();
+  pair.coordinator->Close();
+  // The first write may land in the socket buffer; keep writing until the
+  // broken pipe surfaces. MSG_NOSIGNAL means we get EPIPE, not SIGPIPE.
+  Status s = Status::OK();
+  for (int i = 0; i < 64 && s.ok(); ++i) {
+    s = pair.worker->WriteFrame(TestFrame());
+  }
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("coordinator"), std::string::npos)
+      << s.ToString();
+}
+
+}  // namespace
+}  // namespace distributed
+}  // namespace haten2

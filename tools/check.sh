@@ -8,9 +8,12 @@
 # thread over the concurrency-bearing subsystems: the serving tests
 # (concurrent hot-swap, sharded caching, multi-threaded pipeline), the
 # MapReduce engine / spill tests, the plan-scheduler and concurrent-Run
-# stress tests, and the cost-model / speculative-execution simulation and
+# stress tests, the cost-model / speculative-execution simulation and
 # cluster-config validation suites (the slot simulation is consulted from
-# worker threads via stats export). TSan over the whole suite roughly
+# worker threads via stats export), and the distributed subprocess backend
+# (the coordinator forks worker gangs out of a threaded process — see the
+# die_after_fork note in src/distributed/worker_pool.cc). TSan over the
+# whole suite roughly
 # 10x-es the run for code
 # that is single-threaded by construction. Each sanitizer
 # gets its own build tree (build-<sanitizer>) so the instrumented objects
@@ -39,7 +42,7 @@ for san in "${sanitizers[@]}"; do
   cmake --build "${build_dir}" -j
   ctest_args=()
   if [[ "${san}" == "thread" ]]; then
-    ctest_args=(-R '^(Serving|Engine|MapReduce|Spill|Scheduler|Plan|CostModel|Speculation|ClusterConfig|MachineProfile)')
+    ctest_args=(-R '^(Serving|Engine|MapReduce|Spill|Scheduler|Plan|CostModel|Speculation|ClusterConfig|MachineProfile|Distributed|Worker)')
   fi
   echo "=== ${san}: testing ==="
   (cd "${build_dir}" && ctest --output-on-failure "${ctest_args[@]}" -j)
