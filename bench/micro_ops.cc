@@ -120,6 +120,56 @@ BENCHMARK(BM_ContractVariant)
     ->Arg(static_cast<int>(Variant::kDrn))
     ->Arg(static_cast<int>(Variant::kDri));
 
+// MTTKRP through MultiModeContract with each contraction strategy: the
+// dataflow grouping (IMHP + PairwiseMerge jobs) against the in-core SpMV
+// kernels, across the ranks where the rank-blocked kernel changes regime.
+void BM_MttkrpDataflow(benchmark::State& state) {
+  const int64_t rank = state.range(0);
+  const int64_t dim = 2000;
+  SparseTensor x = MakeTensor(dim, 20000, 11);
+  Rng rng(12);
+  DenseMatrix b = DenseMatrix::RandomUniform(dim, rank, &rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(dim, rank, &rng);
+  std::vector<const DenseMatrix*> factors = {nullptr, &b, &c};
+  ClusterConfig config;
+  config.num_threads = 1;
+  config.contraction = "dataflow";
+  Engine engine(config);
+  for (auto _ : state) {
+    Result<SliceBlocks> y = MultiModeContract(
+        &engine, x, factors, 0, MergeKind::kPairwise, Variant::kDri);
+    benchmark::DoNotOptimize(y);
+    engine.ClearPipeline();
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz() * rank);
+}
+BENCHMARK(BM_MttkrpDataflow)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MttkrpInCore(benchmark::State& state) {
+  const int64_t rank = state.range(0);
+  const int64_t dim = 2000;
+  SparseTensor x = MakeTensor(dim, 20000, 11);
+  Rng rng(12);
+  DenseMatrix b = DenseMatrix::RandomUniform(dim, rank, &rng);
+  DenseMatrix c = DenseMatrix::RandomUniform(dim, rank, &rng);
+  std::vector<const DenseMatrix*> factors = {nullptr, &b, &c};
+  ClusterConfig config;
+  config.num_threads = 1;
+  config.contraction = "incore";
+  Engine engine(config);
+  // Steady-state ALS shape: the layout is served from the cache after the
+  // first evaluation, so the loop times the SpMV passes.
+  ContractCache cache;
+  for (auto _ : state) {
+    Result<SliceBlocks> y = MultiModeContract(
+        &engine, x, factors, 0, MergeKind::kPairwise, Variant::kDri, &cache);
+    benchmark::DoNotOptimize(y);
+    engine.ClearPipeline();
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz() * rank);
+}
+BENCHMARK(BM_MttkrpInCore)->Arg(8)->Arg(32)->Arg(64);
+
 void BM_SparseCanonicalize(benchmark::State& state) {
   const int64_t nnz = state.range(0);
   Rng rng(9);

@@ -1,407 +1,15 @@
 #include "core/contract.h"
 
-#include <algorithm>
-#include <array>
-#include <cstring>
 #include <memory>
+#include <utility>
 
+#include "core/dataflow_contraction.h"
+#include "core/incore_contraction.h"
 #include "core/records.h"
-#include "mapreduce/plan.h"
-#include "mapreduce/scheduler.h"
-#include "util/logging.h"
+#include "mapreduce/cost_model.h"
 #include "util/string_util.h"
 
 namespace haten2 {
-
-namespace {
-
-/// Value shuffled by the IMHP / DRN-Hadamard / DNN-Hadamard jobs: either a
-/// tensor entry (kind 0) or a factor matrix/vector cell (kind 1).
-struct JoinValue {
-  Coord coord;   // tensor entry coordinate (kind 0 only)
-  double value;  // entry value or factor cell value
-  int32_t col;   // factor column (kind 1 only; -1 for vector cells)
-  uint8_t kind;
-};
-
-/// Value shuffled by the Naive broadcast TTV jobs.
-struct NaiveValue {
-  int64_t j;  // index along the contracted mode
-  double value;
-  uint8_t kind;  // 0 = tensor entry, 1 = broadcast vector element
-};
-
-struct CoordStdHash {
-  size_t operator()(const Coord& c) const {
-    return static_cast<size_t>(ShuffleHash<Coord>()(c));
-  }
-};
-
-/// Shared state of one contraction evaluation.
-struct Ctx {
-  Engine* engine;
-  const SparseTensor* x;
-  int free_mode;
-  MergeKind kind;
-  std::vector<int> cmodes;                    // contracted modes, ascending
-  std::vector<const DenseMatrix*> cfactors;   // parallel to cmodes
-  std::vector<int64_t> block_dims;            // cfactors[s]->cols()
-
-  int num_streams() const { return static_cast<int>(cmodes.size()); }
-};
-
-SliceBlocks MakeEmptyBlocks(const Ctx& ctx) {
-  SliceBlocks out;
-  out.free_dim = ctx.x->dim(ctx.free_mode);
-  if (ctx.kind == MergeKind::kPairwise) {
-    out.block_dims = {ctx.block_dims.empty() ? 0 : ctx.block_dims[0]};
-  } else {
-    out.block_dims = ctx.block_dims;
-  }
-  return out;
-}
-
-/// Kolda-order weights for the contracted modes: stream 0 varies fastest.
-std::vector<int64_t> BlockWeights(const Ctx& ctx) {
-  std::vector<int64_t> w(ctx.block_dims.size(), 1);
-  for (size_t s = 1; s < ctx.block_dims.size(); ++s) {
-    w[s] = w[s - 1] * ctx.block_dims[s - 1];
-  }
-  return w;
-}
-
-// ---------------------------------------------------------------------------
-// DRI: one IMHP job producing every Hadamard stream, then one merge job.
-// ---------------------------------------------------------------------------
-
-using KeyedHadamard = std::pair<int64_t, HadamardRecord>;
-
-Result<std::vector<KeyedHadamard>> RunImhpJob(const Ctx& ctx) {
-  const SparseTensor& x = *ctx.x;
-  const int64_t nnz = x.nnz();
-  // Matrix cells are part of the job input, one record per (stream, row,
-  // column), exactly as the paper's IMHP map reads <j, q, B(j,q)> records.
-  std::vector<int64_t> matrix_begin(ctx.cmodes.size() + 1, nnz);
-  for (size_t s = 0; s < ctx.cmodes.size(); ++s) {
-    matrix_begin[s + 1] =
-        matrix_begin[s] +
-        x.dim(ctx.cmodes[s]) * ctx.cfactors[s]->cols();
-  }
-  const int64_t domain = matrix_begin.back();
-  const int free_mode = ctx.free_mode;
-
-  using KMid = std::pair<int32_t, int64_t>;  // (stream, index along mode)
-  auto reader = [&](int64_t i, ShuffleEmitter<KMid, JoinValue>* em) {
-    if (i < nnz) {
-      JoinValue v;
-      v.coord = Coord::FromIndex(x.IndexPtr(i), x.order());
-      v.value = x.value(i);
-      v.col = -1;
-      v.kind = 0;
-      for (int s = 0; s < ctx.num_streams(); ++s) {
-        int64_t along = v.coord.c[static_cast<size_t>(ctx.cmodes[s])];
-        em->Emit(KMid(s, along), v);
-      }
-      return;
-    }
-    // Factor matrix cell.
-    int s = 0;
-    while (i >= matrix_begin[static_cast<size_t>(s) + 1]) ++s;
-    int64_t cell = i - matrix_begin[static_cast<size_t>(s)];
-    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-    int64_t row = cell / f.cols();
-    int64_t col = cell % f.cols();
-    JoinValue v;
-    v.coord.c.fill(-1);
-    v.value = f(row, col);
-    v.col = static_cast<int32_t>(col);
-    v.kind = 1;
-    em->Emit(KMid(s, row), v);
-  };
-
-  auto reducer = [&](const KMid& key, std::vector<JoinValue>& values,
-                     OutputEmitter<int64_t, HadamardRecord>* out) {
-    const int s = key.first;
-    const int64_t q_count = ctx.cfactors[static_cast<size_t>(s)]->cols();
-    std::vector<double> row(static_cast<size_t>(q_count), 0.0);
-    for (const JoinValue& v : values) {
-      if (v.kind == 1) row[static_cast<size_t>(v.col)] = v.value;
-    }
-    for (const JoinValue& v : values) {
-      if (v.kind != 0) continue;
-      // Stream 0 carries the tensor values; the other streams carry
-      // bin(X)-scaled factor values (Lemmas 1 and 2).
-      double base = (s == 0) ? v.value : 1.0;
-      for (int64_t q = 0; q < q_count; ++q) {
-        double scaled = base * row[static_cast<size_t>(q)];
-        if (scaled == 0.0) continue;
-        HadamardRecord rec;
-        rec.coord = v.coord;
-        rec.stream = s;
-        rec.col = static_cast<int32_t>(q);
-        rec.value = scaled;
-        out->Emit(v.coord.c[static_cast<size_t>(free_mode)], rec);
-      }
-    }
-  };
-
-  return ctx.engine->Run<KMid, JoinValue, int64_t, HadamardRecord>(
-      "IMHP", domain, reader, reducer);
-}
-
-// ---------------------------------------------------------------------------
-// DRN: one Hadamard job per (stream, column), then one merge job.
-// ---------------------------------------------------------------------------
-
-Result<std::vector<KeyedHadamard>> RunDrnHadamardJob(const Ctx& ctx, int s,
-                                                     int64_t q) {
-  const SparseTensor& x = *ctx.x;
-  const int64_t nnz = x.nnz();
-  const int mode = ctx.cmodes[static_cast<size_t>(s)];
-  const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-  const int64_t domain = nnz + x.dim(mode);
-  auto reader = [&, s, mode, q](int64_t i,
-                                ShuffleEmitter<int64_t, JoinValue>* em) {
-    if (i < nnz) {
-      JoinValue v;
-      v.coord = Coord::FromIndex(x.IndexPtr(i), x.order());
-      v.value = x.value(i);
-      v.col = -1;
-      v.kind = 0;
-      em->Emit(v.coord.c[static_cast<size_t>(mode)], v);
-      return;
-    }
-    int64_t row = i - nnz;
-    JoinValue v;
-    v.coord.c.fill(-1);
-    v.value = f(row, q);
-    v.col = static_cast<int32_t>(q);
-    v.kind = 1;
-    em->Emit(row, v);
-  };
-  auto reducer = [&, s, q](const int64_t& /*key*/,
-                           std::vector<JoinValue>& values,
-                           OutputEmitter<int64_t, HadamardRecord>* out) {
-    double cell = 0.0;
-    for (const JoinValue& v : values) {
-      if (v.kind == 1) cell = v.value;
-    }
-    if (cell == 0.0) return;
-    for (const JoinValue& v : values) {
-      if (v.kind != 0) continue;
-      double base = (s == 0) ? v.value : 1.0;
-      double scaled = base * cell;
-      if (scaled == 0.0) continue;
-      HadamardRecord rec;
-      rec.coord = v.coord;
-      rec.stream = s;
-      rec.col = static_cast<int32_t>(q);
-      rec.value = scaled;
-      out->Emit(v.coord.c[static_cast<size_t>(ctx.free_mode)], rec);
-    }
-  };
-  std::string job_name = StrFormat("Hadamard[m%d,c%lld]", mode, (long long)q);
-  return ctx.engine->Run<int64_t, JoinValue, int64_t, HadamardRecord>(
-      job_name, domain, reader, reducer);
-}
-
-// ---------------------------------------------------------------------------
-// Merge job shared by DRN and DRI: CrossMerge or PairwiseMerge keyed by the
-// free-mode index (see the header note on keying).
-// ---------------------------------------------------------------------------
-
-Result<SliceBlocks> RunMergeJob(const Ctx& ctx,
-                                const std::vector<KeyedHadamard>& input) {
-  const int num_streams = ctx.num_streams();
-  SliceBlocks blocks = MakeEmptyBlocks(ctx);
-  const int64_t block_size = blocks.BlockSize();
-  const std::vector<int64_t> weights = BlockWeights(ctx);
-
-  auto reader = [&input](int64_t i,
-                         ShuffleEmitter<int64_t, HadamardRecord>* em) {
-    const KeyedHadamard& rec = input[static_cast<size_t>(i)];
-    em->Emit(rec.first, rec.second);
-  };
-
-  auto reducer = [&](const int64_t& /*slice*/,
-                     std::vector<HadamardRecord>& values,
-                     OutputEmitter<int64_t, std::vector<double>>* out) {
-    // Join the streams on the original tensor coordinate.
-    struct PerCoord {
-      std::array<std::vector<double>, kMaxMrOrder - 1> stream_vals;
-    };
-    std::unordered_map<Coord, PerCoord, CoordStdHash> joins;
-    joins.reserve(values.size() / std::max(1, num_streams));
-    for (const HadamardRecord& rec : values) {
-      PerCoord& pc = joins[rec.coord];
-      auto& vals = pc.stream_vals[static_cast<size_t>(rec.stream)];
-      if (vals.empty()) {
-        vals.assign(
-            static_cast<size_t>(ctx.block_dims[static_cast<size_t>(
-                rec.stream)]),
-            0.0);
-      }
-      vals[static_cast<size_t>(rec.col)] += rec.value;
-    }
-    std::vector<double> block(static_cast<size_t>(block_size), 0.0);
-    for (auto& [coord, pc] : joins) {
-      // A coordinate missing any stream contributes nothing (its factor row
-      // was entirely zero).
-      bool complete = true;
-      for (int s = 0; s < num_streams; ++s) {
-        if (pc.stream_vals[static_cast<size_t>(s)].empty()) {
-          complete = false;
-          break;
-        }
-      }
-      if (!complete) continue;
-      if (ctx.kind == MergeKind::kPairwise) {
-        for (int64_t r = 0; r < block_size; ++r) {
-          double p = 1.0;
-          for (int s = 0; s < num_streams; ++s) {
-            p *= pc.stream_vals[static_cast<size_t>(s)]
-                              [static_cast<size_t>(r)];
-          }
-          block[static_cast<size_t>(r)] += p;
-        }
-      } else {
-        // Cross product of all streams' columns (odometer walk).
-        std::vector<int64_t> q(static_cast<size_t>(num_streams), 0);
-        while (true) {
-          double p = 1.0;
-          int64_t off = 0;
-          for (int s = 0; s < num_streams; ++s) {
-            p *= pc.stream_vals[static_cast<size_t>(s)]
-                              [static_cast<size_t>(q[static_cast<size_t>(
-                                  s)])];
-            off += q[static_cast<size_t>(s)] * weights[static_cast<size_t>(s)];
-          }
-          if (p != 0.0) block[static_cast<size_t>(off)] += p;
-          int s = 0;
-          while (s < num_streams) {
-            if (++q[static_cast<size_t>(s)] <
-                ctx.block_dims[static_cast<size_t>(s)]) {
-              break;
-            }
-            q[static_cast<size_t>(s)] = 0;
-            ++s;
-          }
-          if (s == num_streams) break;
-        }
-      }
-    }
-    // Re-use the slice id stored in any record's coordinate.
-    if (!values.empty()) {
-      int64_t slice = values.front()
-                          .coord.c[static_cast<size_t>(ctx.free_mode)];
-      out->Emit(slice, std::move(block));
-    }
-  };
-
-  const char* name =
-      ctx.kind == MergeKind::kCross ? "CrossMerge" : "PairwiseMerge";
-  HATEN2_ASSIGN_OR_RETURN(
-      auto out,
-      (ctx.engine->Run<int64_t, HadamardRecord, int64_t,
-                       std::vector<double>>(
-          name, static_cast<int64_t>(input.size()), reader, reducer)));
-  for (auto& [slice, block] : out) {
-    blocks.rows[slice] = std::move(block);
-  }
-  return blocks;
-}
-
-// ---------------------------------------------------------------------------
-// DNN: decoupled Hadamard + Collapse, chained per stream (Algorithms 5, 6).
-// ---------------------------------------------------------------------------
-
-/// One n-mode vector Hadamard product job over in-flight tensor records:
-/// scales every record by factor column `q` of `f` along `mode`.
-Result<std::vector<HadamardRecord>> RunDnnHadamardJob(
-    const Ctx& ctx, const std::vector<TensorRecord>& records, int mode,
-    const DenseMatrix& f, int64_t q, int64_t mode_dim) {
-  const int64_t n = static_cast<int64_t>(records.size());
-  const int64_t domain = n + mode_dim;
-  auto reader = [&](int64_t i, ShuffleEmitter<int64_t, JoinValue>* em) {
-    if (i < n) {
-      const TensorRecord& rec = records[static_cast<size_t>(i)];
-      JoinValue v;
-      v.coord = rec.coord;
-      v.value = rec.value;
-      v.col = -1;
-      v.kind = 0;
-      em->Emit(rec.coord.c[static_cast<size_t>(mode)], v);
-      return;
-    }
-    int64_t row = i - n;
-    JoinValue v;
-    v.coord.c.fill(-1);
-    v.value = f(row, q);
-    v.col = static_cast<int32_t>(q);
-    v.kind = 1;
-    em->Emit(row, v);
-  };
-  auto reducer = [&, q](const int64_t& /*key*/,
-                        std::vector<JoinValue>& values,
-                        OutputEmitter<int64_t, HadamardRecord>* out) {
-    double cell = 0.0;
-    for (const JoinValue& v : values) {
-      if (v.kind == 1) cell = v.value;
-    }
-    if (cell == 0.0) return;
-    for (const JoinValue& v : values) {
-      if (v.kind != 0) continue;
-      double scaled = v.value * cell;
-      if (scaled == 0.0) continue;
-      HadamardRecord rec;
-      rec.coord = v.coord;
-      rec.stream = 0;
-      rec.col = static_cast<int32_t>(q);
-      rec.value = scaled;
-      out->Emit(0, rec);
-    }
-  };
-  std::string job_name = StrFormat("DNN-Hadamard[m%d,c%lld]", mode,
-                                   (long long)q);
-  HATEN2_ASSIGN_OR_RETURN(
-      auto out, (ctx.engine->Run<int64_t, JoinValue, int64_t, HadamardRecord>(
-                    job_name, domain, reader, reducer)));
-  std::vector<HadamardRecord> result;
-  result.reserve(out.size());
-  for (auto& [k, rec] : out) result.push_back(rec);
-  return result;
-}
-
-/// Collapse job: sums Hadamard records into cells; the collapsed mode's
-/// coordinate is replaced by `replace_with_col ? record.col : 0`.
-Result<std::vector<TensorRecord>> RunDnnCollapseJob(
-    const Ctx& ctx, const std::vector<HadamardRecord>& records, int mode,
-    bool replace_with_col) {
-  auto reader = [&](int64_t i, ShuffleEmitter<Coord, double>* em) {
-    const HadamardRecord& rec = records[static_cast<size_t>(i)];
-    Coord key = rec.coord;
-    key.c[static_cast<size_t>(mode)] =
-        replace_with_col ? static_cast<int64_t>(rec.col) : 0;
-    em->Emit(key, rec.value);
-  };
-  auto reducer = [](const Coord& key, std::vector<double>& values,
-                    OutputEmitter<Coord, double>* out) {
-    double sum = 0.0;
-    for (double v : values) sum += v;
-    if (sum != 0.0) out->Emit(key, sum);
-  };
-  std::string job_name = StrFormat("Collapse[m%d]", mode);
-  HATEN2_ASSIGN_OR_RETURN(
-      auto out,
-      (ctx.engine->Run<Coord, double, Coord, double>(
-          job_name, static_cast<int64_t>(records.size()), reader, reducer)));
-  std::vector<TensorRecord> result;
-  result.reserve(out.size());
-  for (auto& [coord, value] : out) {
-    result.push_back(TensorRecord{coord, value});
-  }
-  return result;
-}
 
 std::vector<TensorRecord> TensorToRecords(const SparseTensor& x) {
   std::vector<TensorRecord> records;
@@ -413,423 +21,49 @@ std::vector<TensorRecord> TensorToRecords(const SparseTensor& x) {
   return records;
 }
 
-/// Assembles Y from the final cross-variant records: coordinates at
-/// contracted modes hold factor-column indices. Record order is the merge
-/// order, so identical inputs give bit-identical float sums.
-SliceBlocks AssembleCrossBlocks(const Ctx& ctx,
-                                const std::vector<TensorRecord>& records) {
-  SliceBlocks blocks = MakeEmptyBlocks(ctx);
-  const std::vector<int64_t> weights = BlockWeights(ctx);
-  const int64_t block_size = blocks.BlockSize();
-  for (const TensorRecord& rec : records) {
-    int64_t off = 0;
-    for (int s = 0; s < ctx.num_streams(); ++s) {
-      off += rec.coord.c[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(
-                 s)])] *
-             weights[static_cast<size_t>(s)];
-    }
-    int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
-    auto [it, inserted] = blocks.rows.try_emplace(slice);
-    if (inserted) it->second.assign(static_cast<size_t>(block_size), 0.0);
-    it->second[static_cast<size_t>(off)] += rec.value;
-  }
-  return blocks;
+bool ContractCache::MatchesOrReset(const SparseTensor& x) {
+  const uint64_t fp = TensorFingerprint(x);
+  if (has_key_ && fp == fingerprint_) return true;
+  // New (or rebuilt-in-place) tensor: every cached form is stale.
+  records_.reset();
+  for (auto& slot : layouts_) slot.reset();
+  has_key_ = true;
+  fingerprint_ = fp;
+  return false;
 }
-
-/// Accumulates one pairwise chain's final records into column `r` of the
-/// blocks. Called in ascending-r order so blocks.rows insertion order (and
-/// hence downstream map-iteration float sums) match the serial evaluation.
-void AccumulatePairwiseColumn(const Ctx& ctx, int64_t rank, int64_t r,
-                              const std::vector<TensorRecord>& records,
-                              SliceBlocks* blocks) {
-  for (const TensorRecord& rec : records) {
-    int64_t slice = rec.coord.c[static_cast<size_t>(ctx.free_mode)];
-    auto [it, inserted] = blocks->rows.try_emplace(slice);
-    if (inserted) it->second.assign(static_cast<size_t>(rank), 0.0);
-    it->second[static_cast<size_t>(r)] += rec.value;
-  }
-}
-
-Result<SliceBlocks> RunDnnCross(const Ctx& ctx,
-                                const std::vector<TensorRecord>& base) {
-  // Per stream: one Hadamard node per factor column (independent of each
-  // other, all reading the previous stream's collapsed records), then one
-  // Collapse node concatenating the per-column outputs in column order —
-  // the fixed concatenation keeps the collapse job's input (and so every
-  // downstream float sum) identical at any concurrency level.
-  Plan plan("contract-dnn-cross");
-  struct StreamState {
-    std::vector<std::vector<HadamardRecord>> parts;
-    std::vector<TensorRecord> collapsed;
-  };
-  std::vector<StreamState> st(static_cast<size_t>(ctx.num_streams()));
-  int prev_collapse = -1;
-  for (int s = 0; s < ctx.num_streams(); ++s) {
-    const int mode = ctx.cmodes[static_cast<size_t>(s)];
-    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-    const std::vector<TensorRecord>* input =
-        s == 0 ? &base : &st[static_cast<size_t>(s) - 1].collapsed;
-    st[static_cast<size_t>(s)].parts.resize(static_cast<size_t>(f.cols()));
-    std::vector<int> hnodes;
-    for (int64_t q = 0; q < f.cols(); ++q) {
-      std::vector<int> deps;
-      if (prev_collapse >= 0) deps.push_back(prev_collapse);
-      hnodes.push_back(plan.AddProducer<std::vector<HadamardRecord>>(
-          StrFormat("DNN-Hadamard[m%d,c%lld]", mode, (long long)q),
-          std::move(deps),
-          [&ctx, input, mode, &f, q] {
-            return RunDnnHadamardJob(ctx, *input, mode, f, q,
-                                     ctx.x->dim(mode));
-          },
-          &st[static_cast<size_t>(s)].parts[static_cast<size_t>(q)]));
-    }
-    prev_collapse = plan.AddProducer<std::vector<TensorRecord>>(
-        StrFormat("Collapse[m%d]", mode), hnodes,
-        [&ctx, &st, s, mode]() -> Result<std::vector<TensorRecord>> {
-          StreamState& state = st[static_cast<size_t>(s)];
-          std::vector<HadamardRecord> scaled;
-          size_t total = 0;
-          for (const auto& p : state.parts) total += p.size();
-          scaled.reserve(total);
-          for (const auto& p : state.parts) {
-            scaled.insert(scaled.end(), p.begin(), p.end());
-          }
-          return RunDnnCollapseJob(ctx, scaled, mode,
-                                   /*replace_with_col=*/true);
-        },
-        &st[static_cast<size_t>(s)].collapsed);
-  }
-  PlanScheduler scheduler(ctx.engine);
-  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
-  return AssembleCrossBlocks(ctx, st.back().collapsed);
-}
-
-Result<SliceBlocks> RunDnnPairwise(const Ctx& ctx,
-                                   const std::vector<TensorRecord>& base) {
-  SliceBlocks blocks = MakeEmptyBlocks(ctx);
-  const int64_t rank = blocks.block_dims[0];
-  // One Hadamard→Collapse chain per rank column; chains share no data, so
-  // the scheduler overlaps them. Accumulation into the blocks happens after
-  // the plan, in ascending-r order (see AccumulatePairwiseColumn).
-  Plan plan("contract-dnn-pairwise");
-  struct Chain {
-    std::vector<std::vector<HadamardRecord>> scaled;   // per stream
-    std::vector<std::vector<TensorRecord>> collapsed;  // per stream
-  };
-  std::vector<Chain> chains(static_cast<size_t>(rank));
-  for (int64_t r = 0; r < rank; ++r) {
-    Chain& ch = chains[static_cast<size_t>(r)];
-    ch.scaled.resize(static_cast<size_t>(ctx.num_streams()));
-    ch.collapsed.resize(static_cast<size_t>(ctx.num_streams()));
-    int prev = -1;
-    for (int s = 0; s < ctx.num_streams(); ++s) {
-      const int mode = ctx.cmodes[static_cast<size_t>(s)];
-      const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-      const std::vector<TensorRecord>* input =
-          s == 0 ? &base : &ch.collapsed[static_cast<size_t>(s) - 1];
-      std::vector<int> hdeps;
-      if (prev >= 0) hdeps.push_back(prev);
-      int h = plan.AddProducer<std::vector<HadamardRecord>>(
-          StrFormat("DNN-Hadamard[m%d,c%lld]", mode, (long long)r),
-          std::move(hdeps),
-          [&ctx, input, mode, &f, r] {
-            return RunDnnHadamardJob(ctx, *input, mode, f, r,
-                                     ctx.x->dim(mode));
-          },
-          &ch.scaled[static_cast<size_t>(s)]);
-      prev = plan.AddProducer<std::vector<TensorRecord>>(
-          StrFormat("Collapse[m%d]", mode), {h},
-          [&ctx, &ch, s, mode] {
-            return RunDnnCollapseJob(ctx, ch.scaled[static_cast<size_t>(s)],
-                                     mode, /*replace_with_col=*/false);
-          },
-          &ch.collapsed[static_cast<size_t>(s)]);
-    }
-  }
-  PlanScheduler scheduler(ctx.engine);
-  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
-  for (int64_t r = 0; r < rank; ++r) {
-    AccumulatePairwiseColumn(ctx, rank, r,
-                             chains[static_cast<size_t>(r)].collapsed.back(),
-                             &blocks);
-  }
-  return blocks;
-}
-
-// ---------------------------------------------------------------------------
-// Naive: per-column broadcast TTV jobs (Algorithms 3, 4). The factor column
-// is copied to every fiber of the current tensor — the nnz(X) + IJK
-// intermediate-data explosion the paper starts from.
-// ---------------------------------------------------------------------------
-
-Result<std::vector<TensorRecord>> RunNaiveTtvJob(
-    const Ctx& ctx, const std::vector<TensorRecord>& records,
-    const std::vector<int64_t>& cur_dims, int mode, const DenseMatrix& f,
-    int64_t q, int64_t replace_value) {
-  const int order = ctx.x->order();
-  const int64_t n = static_cast<int64_t>(records.size());
-  // All fibers along `mode` of the *full* tensor grid, nonzero or not.
-  int64_t num_fibers = 1;
-  std::vector<int64_t> fiber_weights(static_cast<size_t>(order), 0);
-  for (int m = 0; m < order; ++m) {
-    if (m == mode) continue;
-    fiber_weights[static_cast<size_t>(m)] = num_fibers;
-    num_fibers *= cur_dims[static_cast<size_t>(m)];
-  }
-  const int64_t domain = n + num_fibers;
-  const int64_t mode_dim = ctx.x->dim(mode);
-
-  auto reader = [&](int64_t i, ShuffleEmitter<Coord, NaiveValue>* em) {
-    if (i < n) {
-      const TensorRecord& rec = records[static_cast<size_t>(i)];
-      Coord key = rec.coord;
-      key.c[static_cast<size_t>(mode)] = -1;
-      em->Emit(key,
-               NaiveValue{rec.coord.c[static_cast<size_t>(mode)], rec.value,
-                          0});
-      return;
-    }
-    // Broadcast the whole factor column to this fiber.
-    int64_t fiber = i - n;
-    Coord key;
-    key.c.fill(-1);
-    for (int m = 0; m < order; ++m) {
-      if (m == mode) continue;
-      key.c[static_cast<size_t>(m)] =
-          (fiber / fiber_weights[static_cast<size_t>(m)]) %
-          cur_dims[static_cast<size_t>(m)];
-    }
-    for (int64_t j = 0; j < mode_dim; ++j) {
-      em->Emit(key, NaiveValue{j, f(j, q), 1});
-    }
-  };
-
-  auto reducer = [&](const Coord& key, std::vector<NaiveValue>& values,
-                     OutputEmitter<int64_t, TensorRecord>* out) {
-    std::unordered_map<int64_t, double> vec;
-    for (const NaiveValue& v : values) {
-      if (v.kind == 1 && v.value != 0.0) vec.emplace(v.j, v.value);
-    }
-    double sum = 0.0;
-    for (const NaiveValue& v : values) {
-      if (v.kind != 0) continue;
-      auto it = vec.find(v.j);
-      if (it != vec.end()) sum += v.value * it->second;
-    }
-    if (sum != 0.0) {
-      Coord coord = key;
-      coord.c[static_cast<size_t>(mode)] = replace_value;
-      out->Emit(0, TensorRecord{coord, sum});
-    }
-  };
-
-  std::string job_name =
-      StrFormat("Naive-TTV[m%d,c%lld]", mode, (long long)q);
-  HATEN2_ASSIGN_OR_RETURN(
-      auto out, (ctx.engine->Run<Coord, NaiveValue, int64_t, TensorRecord>(
-                    job_name, domain, reader, reducer)));
-  std::vector<TensorRecord> result;
-  result.reserve(out.size());
-  for (auto& [k, rec] : out) result.push_back(rec);
-  return result;
-}
-
-Result<SliceBlocks> RunNaiveCross(const Ctx& ctx,
-                                  const std::vector<TensorRecord>& base) {
-  // Per stream: independent per-column TTV nodes over the previous stream's
-  // records, then a pure concatenation node (no engine job) fixing the
-  // record order the next stream reads.
-  Plan plan("contract-naive-cross");
-  struct StreamState {
-    std::vector<std::vector<TensorRecord>> parts;  // per column
-    std::vector<TensorRecord> current;             // concatenated
-  };
-  std::vector<StreamState> st(static_cast<size_t>(ctx.num_streams()));
-  // Dimensions of the in-flight tensor before contracting each stream
-  // (earlier contractions replaced their mode's extent with the factor's
-  // column count). Known at build time: the sequence is data-independent.
-  std::vector<std::vector<int64_t>> dims_before(
-      static_cast<size_t>(ctx.num_streams()));
-  {
-    std::vector<int64_t> dims = ctx.x->dims();
-    for (int s = 0; s < ctx.num_streams(); ++s) {
-      dims_before[static_cast<size_t>(s)] = dims;
-      dims[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(s)])] =
-          ctx.cfactors[static_cast<size_t>(s)]->cols();
-    }
-  }
-  int prev_concat = -1;
-  for (int s = 0; s < ctx.num_streams(); ++s) {
-    const int mode = ctx.cmodes[static_cast<size_t>(s)];
-    const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-    const std::vector<TensorRecord>* input =
-        s == 0 ? &base : &st[static_cast<size_t>(s) - 1].current;
-    st[static_cast<size_t>(s)].parts.resize(static_cast<size_t>(f.cols()));
-    std::vector<int> ttv_nodes;
-    for (int64_t q = 0; q < f.cols(); ++q) {
-      std::vector<int> deps;
-      if (prev_concat >= 0) deps.push_back(prev_concat);
-      ttv_nodes.push_back(plan.AddProducer<std::vector<TensorRecord>>(
-          StrFormat("Naive-TTV[m%d,c%lld]", mode, (long long)q),
-          std::move(deps),
-          [&ctx, input, &dims = dims_before[static_cast<size_t>(s)], mode, &f,
-           q] {
-            return RunNaiveTtvJob(ctx, *input, dims, mode, f, q,
-                                  /*replace_value=*/q);
-          },
-          &st[static_cast<size_t>(s)].parts[static_cast<size_t>(q)]));
-    }
-    prev_concat = plan.AddJob(
-        StrFormat("concat[m%d]", mode), ttv_nodes, [&st, s]() -> Status {
-          StreamState& state = st[static_cast<size_t>(s)];
-          size_t total = 0;
-          for (const auto& p : state.parts) total += p.size();
-          state.current.reserve(total);
-          for (const auto& p : state.parts) {
-            state.current.insert(state.current.end(), p.begin(), p.end());
-          }
-          return Status::OK();
-        });
-  }
-  PlanScheduler scheduler(ctx.engine);
-  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
-  return AssembleCrossBlocks(ctx, st.back().current);
-}
-
-Result<SliceBlocks> RunNaivePairwise(const Ctx& ctx,
-                                     const std::vector<TensorRecord>& base) {
-  SliceBlocks blocks = MakeEmptyBlocks(ctx);
-  const int64_t rank = blocks.block_dims[0];
-  // One TTV chain per rank column, independent across columns; blocks are
-  // accumulated after the plan in ascending-r order.
-  Plan plan("contract-naive-pairwise");
-  struct Chain {
-    std::vector<std::vector<TensorRecord>> current;  // per stream
-  };
-  std::vector<Chain> chains(static_cast<size_t>(rank));
-  std::vector<std::vector<int64_t>> dims_before(
-      static_cast<size_t>(ctx.num_streams()));
-  {
-    std::vector<int64_t> dims = ctx.x->dims();
-    for (int s = 0; s < ctx.num_streams(); ++s) {
-      dims_before[static_cast<size_t>(s)] = dims;
-      dims[static_cast<size_t>(ctx.cmodes[static_cast<size_t>(s)])] = 1;
-    }
-  }
-  for (int64_t r = 0; r < rank; ++r) {
-    Chain& ch = chains[static_cast<size_t>(r)];
-    ch.current.resize(static_cast<size_t>(ctx.num_streams()));
-    int prev = -1;
-    for (int s = 0; s < ctx.num_streams(); ++s) {
-      const int mode = ctx.cmodes[static_cast<size_t>(s)];
-      const DenseMatrix& f = *ctx.cfactors[static_cast<size_t>(s)];
-      const std::vector<TensorRecord>* input =
-          s == 0 ? &base : &ch.current[static_cast<size_t>(s) - 1];
-      std::vector<int> deps;
-      if (prev >= 0) deps.push_back(prev);
-      prev = plan.AddProducer<std::vector<TensorRecord>>(
-          StrFormat("Naive-TTV[m%d,c%lld]", mode, (long long)r),
-          std::move(deps),
-          [&ctx, input, &dims = dims_before[static_cast<size_t>(s)], mode,
-           &f, r] {
-            return RunNaiveTtvJob(ctx, *input, dims, mode, f, r,
-                                  /*replace_value=*/0);
-          },
-          &ch.current[static_cast<size_t>(s)]);
-    }
-  }
-  PlanScheduler scheduler(ctx.engine);
-  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
-  for (int64_t r = 0; r < rank; ++r) {
-    AccumulatePairwiseColumn(ctx, rank, r,
-                             chains[static_cast<size_t>(r)].current.back(),
-                             &blocks);
-  }
-  return blocks;
-}
-
-const char* MergeName(MergeKind kind) {
-  return kind == MergeKind::kCross ? "CrossMerge" : "PairwiseMerge";
-}
-
-// ---------------------------------------------------------------------------
-// Plan builders for the two-phase variants (DRI, DRN).
-// ---------------------------------------------------------------------------
-
-Result<SliceBlocks> RunDri(const Ctx& ctx) {
-  Plan plan("contract-dri");
-  std::vector<KeyedHadamard> scaled;
-  SliceBlocks blocks;
-  int imhp = plan.AddProducer<std::vector<KeyedHadamard>>(
-      "IMHP", {}, [&ctx] { return RunImhpJob(ctx); }, &scaled);
-  plan.AddProducer<SliceBlocks>(
-      MergeName(ctx.kind), {imhp},
-      [&ctx, &scaled] { return RunMergeJob(ctx, scaled); }, &blocks);
-  PlanScheduler scheduler(ctx.engine);
-  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
-  return blocks;
-}
-
-Result<SliceBlocks> RunDrn(const Ctx& ctx) {
-  Plan plan("contract-drn");
-  // One output slot per (stream, column) job: the merge node concatenates
-  // them in (s, q) order, so the merge job's input order — and with it every
-  // downstream float summation — is independent of which Hadamard node
-  // finished first.
-  size_t total_jobs = 0;
-  for (int s = 0; s < ctx.num_streams(); ++s) {
-    total_jobs += static_cast<size_t>(ctx.cfactors[static_cast<size_t>(s)]
-                                          ->cols());
-  }
-  std::vector<std::vector<KeyedHadamard>> parts(total_jobs);
-  std::vector<int> hadamard_nodes;
-  hadamard_nodes.reserve(total_jobs);
-  size_t slot = 0;
-  for (int s = 0; s < ctx.num_streams(); ++s) {
-    const int mode = ctx.cmodes[static_cast<size_t>(s)];
-    for (int64_t q = 0; q < ctx.cfactors[static_cast<size_t>(s)]->cols();
-         ++q, ++slot) {
-      hadamard_nodes.push_back(plan.AddProducer<std::vector<KeyedHadamard>>(
-          StrFormat("Hadamard[m%d,c%lld]", mode, (long long)q), {},
-          [&ctx, s, q] { return RunDrnHadamardJob(ctx, s, q); },
-          &parts[slot]));
-    }
-  }
-  SliceBlocks blocks;
-  plan.AddProducer<SliceBlocks>(
-      MergeName(ctx.kind), hadamard_nodes,
-      [&ctx, &parts]() -> Result<SliceBlocks> {
-        std::vector<KeyedHadamard> collected;
-        size_t total = 0;
-        for (const auto& p : parts) total += p.size();
-        collected.reserve(total);
-        for (const auto& p : parts) {
-          collected.insert(collected.end(), p.begin(), p.end());
-        }
-        return RunMergeJob(ctx, collected);
-      },
-      &blocks);
-  PlanScheduler scheduler(ctx.engine);
-  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
-  return blocks;
-}
-
-}  // namespace
 
 std::shared_ptr<const std::vector<TensorRecord>> ContractCache::Records(
     Engine* engine, const SparseTensor& x) {
-  const bool hit = records_ != nullptr && tensor_ == &x && nnz_ == x.nnz();
+  const bool key_match = MatchesOrReset(x);
+  const bool hit = key_match && records_ != nullptr;
   if (hit) {
     ++hits_;
   } else {
     records_ = std::make_shared<const std::vector<TensorRecord>>(
         TensorToRecords(x));
-    tensor_ = &x;
-    nnz_ = x.nnz();
     ++misses_;
   }
   if (engine != nullptr) engine->NoteInvariantCache(hit);
   return records_;
+}
+
+Result<std::shared_ptr<const CsfLayout>> ContractCache::Layout(
+    const SparseTensor& x, int free_mode) {
+  if (free_mode < 0 || free_mode >= kMaxMrOrder) {
+    return Status::InvalidArgument(
+        StrFormat("ContractCache::Layout: free_mode %d out of range",
+                  free_mode));
+  }
+  const bool key_match = MatchesOrReset(x);
+  auto& slot = layouts_[static_cast<size_t>(free_mode)];
+  if (key_match && slot != nullptr) {
+    ++layout_hits_;
+    return slot;
+  }
+  HATEN2_ASSIGN_OR_RETURN(CsfLayout built, BuildCsfLayout(x, free_mode));
+  slot = std::make_shared<const CsfLayout>(std::move(built));
+  ++layout_misses_;
+  return slot;
 }
 
 DenseMatrix SliceBlocks::ToDenseMatrix() const {
@@ -884,11 +118,13 @@ Result<SliceBlocks> MultiModeContract(
     return Status::InvalidArgument("need one factor slot per mode");
   }
 
-  Ctx ctx;
+  ContractionContext ctx;
   ctx.engine = engine;
   ctx.x = &x;
   ctx.free_mode = free_mode;
   ctx.kind = kind;
+  ctx.variant = variant;
+  ctx.cache = cache;
   for (int m = 0; m < x.order(); ++m) {
     if (m == free_mode) continue;
     const DenseMatrix* f = factors[static_cast<size_t>(m)];
@@ -917,32 +153,24 @@ Result<SliceBlocks> MultiModeContract(
     }
   }
 
-  // The DNN/Naive variants start from the decoded coordinate records of x —
-  // an input scan that is invariant across ALS iterations, so a
-  // per-decomposition ContractCache serves it without re-decoding.
-  std::shared_ptr<const std::vector<TensorRecord>> base;
-  if (variant == Variant::kDnn || variant == Variant::kNaive) {
-    if (cache != nullptr) {
-      base = cache->Records(engine, x);
-    } else {
-      base = std::make_shared<const std::vector<TensorRecord>>(
-          TensorToRecords(x));
+  // Strategy selection (ClusterConfig::contraction, validated upstream).
+  // Both implementations are stateless, so a single const instance of each
+  // serves every evaluation.
+  static const DataflowContraction kDataflow;
+  static const InCoreContraction kInCore;
+  const ClusterConfig& config = engine->config();
+  const ContractionStrategy* strategy = &kDataflow;
+  if (config.contraction == "incore") {
+    strategy = &kInCore;
+  } else if (config.contraction == "auto") {
+    const uint64_t budget = static_cast<uint64_t>(config.incore_memory_mb)
+                            << 20;
+    if (CostModel::EstimateInCoreLayoutBytes(x.nnz(), ctx.num_streams()) <=
+        budget) {
+      strategy = &kInCore;
     }
   }
-
-  switch (variant) {
-    case Variant::kDri:
-      return RunDri(ctx);
-    case Variant::kDrn:
-      return RunDrn(ctx);
-    case Variant::kDnn:
-      return kind == MergeKind::kCross ? RunDnnCross(ctx, *base)
-                                       : RunDnnPairwise(ctx, *base);
-    case Variant::kNaive:
-      return kind == MergeKind::kCross ? RunNaiveCross(ctx, *base)
-                                       : RunNaivePairwise(ctx, *base);
-  }
-  return Status::InvalidArgument("unknown variant");
+  return strategy->Contract(ctx);
 }
 
 }  // namespace haten2

@@ -1,6 +1,7 @@
 #ifndef HATEN2_CORE_CONTRACT_H_
 #define HATEN2_CORE_CONTRACT_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 
 #include "core/records.h"
 #include "core/variant.h"
+#include "linalg/sparse_kernels.h"
 #include "mapreduce/engine.h"
 #include "tensor/dense_matrix.h"
 #include "tensor/sparse_tensor.h"
@@ -15,38 +17,62 @@
 
 namespace haten2 {
 
-/// \brief Caches the decoded coordinate records of an input tensor — the
-/// iteration-invariant input scan the DNN and Naive variants perform before
-/// their first job.
+/// Decodes every nonzero of `x` into coordinate records — the input scan the
+/// DNN and Naive variants perform before their first job.
+std::vector<TensorRecord> TensorToRecords(const SparseTensor& x);
+
+/// \brief Caches iteration-invariant derived forms of an input tensor: the
+/// decoded coordinate records (the DNN/Naive input scan) and the compressed
+/// per-free-mode CSF-lite layouts the in-core kernels consume.
 ///
 /// An ALS driver evaluates the bottleneck op against the *same* tensor once
-/// per mode per iteration; decoding X into TensorRecords is identical every
-/// time, so the harness keeps one ContractCache per decomposition and the
-/// decode happens once instead of order × iterations times. Lookups are
-/// accounted in the engine's pipeline log (invariant_cache_hits / misses).
+/// per mode per iteration; decoding X into TensorRecords (or compressing it
+/// into a CsfLayout for a given free mode) is identical every time, so the
+/// harness keeps one ContractCache per decomposition and each derived form
+/// is built once instead of order × iterations times. Record lookups are
+/// accounted in the engine's pipeline log (invariant_cache_hits / misses);
+/// layout lookups in the local layout_hits() / layout_misses() counters.
 ///
-/// The cache keys on the tensor's address and nnz only: callers must pass
-/// exclusively tensors that are bit-stable for the cache's lifetime (the
-/// decomposition input). A tensor rebuilt each iteration — e.g. the EM
-/// residual in missing_values.cc — must bypass the cache (pass nullptr to
-/// MultiModeContract). Not thread-safe; call from the driver thread during
-/// plan construction, never from inside plan nodes.
+/// The cache keys on a content fingerprint of the tensor (shape, nnz, and a
+/// sample of coordinates and value bits — see TensorFingerprint), not on its
+/// address: a tensor rebuilt in place with different contents invalidates
+/// every cached form instead of aliasing stale data. Tensors that genuinely
+/// change every evaluation — e.g. the EM residual in missing_values.cc —
+/// should still bypass the cache (pass nullptr to MultiModeContract): the
+/// fingerprint makes them correct but each call would pay a rebuild anyway.
+/// Not thread-safe; call from the driver thread during plan construction,
+/// never from inside plan nodes.
 class ContractCache {
  public:
   /// Returns the decoded records of `x`, decoding only on the first call
-  /// for this tensor. `engine` (may be null) receives the hit/miss count.
+  /// for this tensor content. `engine` (may be null) receives the hit/miss
+  /// count.
   std::shared_ptr<const std::vector<TensorRecord>> Records(
       Engine* engine, const SparseTensor& x);
 
+  /// Returns the CSF-lite layout of `x` sliced on `free_mode`, building it
+  /// only on the first call for this (tensor content, free mode) pair.
+  Result<std::shared_ptr<const CsfLayout>> Layout(const SparseTensor& x,
+                                                  int free_mode);
+
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
+  int64_t layout_hits() const { return layout_hits_; }
+  int64_t layout_misses() const { return layout_misses_; }
 
  private:
-  const SparseTensor* tensor_ = nullptr;
-  int64_t nnz_ = -1;
+  /// True iff `x` matches the cached fingerprint. On mismatch, drops every
+  /// cached form and re-keys to `x`.
+  bool MatchesOrReset(const SparseTensor& x);
+
+  bool has_key_ = false;
+  uint64_t fingerprint_ = 0;
   std::shared_ptr<const std::vector<TensorRecord>> records_;
+  std::array<std::shared_ptr<const CsfLayout>, kMaxMrOrder> layouts_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t layout_hits_ = 0;
+  int64_t layout_misses_ = 0;
 };
 
 /// Which merge finalizes the contraction (Figure 4): CrossMerge produces the
@@ -87,8 +113,9 @@ struct SliceBlocks {
   DenseMatrix GramOfRows() const;
 };
 
-/// \brief Evaluates the bottleneck operation of the decompositions through
-/// the MapReduce engine, with the selected HaTen2 variant.
+/// \brief Evaluates the bottleneck operation of the decompositions with the
+/// selected HaTen2 variant, through a ContractionStrategy chosen by
+/// ClusterConfig::contraction.
 ///
 /// Contracts every mode of `x` except `free_mode` with the corresponding
 /// factor matrix (factors[m] ∈ R^{I_m × Q_m}; factors[free_mode] is
@@ -96,10 +123,15 @@ struct SliceBlocks {
 ///   - kind == kCross:     Y = X ×_{m≠n} A_mᵀ        (Tucker, Lemma 1)
 ///   - kind == kPairwise:  Y = X₍ₙ₎ (⊙_{m≠n} A_m)    (PARAFAC, Lemma 2)
 ///
-/// The jobs executed (and hence the engine's pipeline counters) follow the
-/// paper exactly: Tables III/IV per-variant job counts and intermediate-data
-/// sizes are reproduced by construction. On an exceeded shuffle-memory
-/// budget returns kResourceExhausted ("o.o.m.").
+/// With contraction == "dataflow" (the default) the evaluation runs through
+/// DataflowContraction: the jobs executed (and hence the engine's pipeline
+/// counters) follow the paper exactly — Tables III/IV per-variant job counts
+/// and intermediate-data sizes are reproduced by construction. On an
+/// exceeded shuffle-memory budget returns kResourceExhausted ("o.o.m.").
+/// With "incore" it runs through InCoreContraction's shuffle-free kernels;
+/// "auto" picks in-core when CostModel::EstimateInCoreLayoutBytes fits the
+/// incore_memory_mb budget, dataflow otherwise. The selected strategy is
+/// recorded per plan node in haten2-stats-v7.
 ///
 /// Note on CrossMerge/PairwiseMerge keying: the paper's MAP prose keys on
 /// (i, rQ+q) but its REDUCE consumes the whole slice X_i:: and Table III
@@ -115,9 +147,9 @@ struct SliceBlocks {
 /// per-node output slots are concatenated in fixed node order before any
 /// float summation (see docs/INTERNALS.md, "Dataflow plan layer").
 ///
-/// `cache` (optional) serves the DNN/Naive input scan from a per-
-/// decomposition ContractCache instead of re-decoding `x`; pass nullptr for
-/// tensors that change between calls.
+/// `cache` (optional) serves the DNN/Naive input scan and the in-core
+/// layouts from a per-decomposition ContractCache instead of rebuilding
+/// them; pass nullptr for tensors that change between calls.
 Result<SliceBlocks> MultiModeContract(
     Engine* engine, const SparseTensor& x,
     const std::vector<const DenseMatrix*>& factors, int free_mode,

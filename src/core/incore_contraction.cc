@@ -1,0 +1,75 @@
+#include "core/incore_contraction.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "linalg/sparse_kernels.h"
+#include "mapreduce/plan.h"
+#include "mapreduce/scheduler.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace haten2 {
+
+Result<SliceBlocks> InCoreContraction::Contract(
+    const ContractionContext& ctx) const {
+  Plan plan("contract-incore");
+  auto timing = std::make_shared<ContractionTiming>();
+  SliceBlocks blocks;
+  int node = plan.AddProducer<SliceBlocks>(
+      StrFormat("InCoreContract[m%d]", ctx.free_mode), {},
+      [&ctx, timing]() -> Result<SliceBlocks> {
+        // Layout acquisition: served from the per-decomposition cache when
+        // present (iteration-invariant, like the dataflow record scan),
+        // rebuilt for tensors that change between calls.
+        WallTimer build_timer;
+        std::shared_ptr<const CsfLayout> layout;
+        if (ctx.cache != nullptr) {
+          HATEN2_ASSIGN_OR_RETURN(layout,
+                                  ctx.cache->Layout(*ctx.x, ctx.free_mode));
+        } else {
+          HATEN2_ASSIGN_OR_RETURN(CsfLayout built,
+                                  BuildCsfLayout(*ctx.x, ctx.free_mode));
+          layout = std::make_shared<const CsfLayout>(std::move(built));
+        }
+        timing->layout_build_seconds = build_timer.ElapsedSeconds();
+
+        WallTimer eval_timer;
+        std::vector<std::vector<double>> rows;
+        if (ctx.kind == MergeKind::kPairwise) {
+          const int rank = static_cast<int>(ctx.block_dims[0]);
+          HATEN2_RETURN_IF_ERROR(
+              CsfMttkrp(*layout, ctx.cfactors, rank, &rows));
+        } else {
+          HATEN2_RETURN_IF_ERROR(
+              CsfCrossContract(*layout, ctx.cfactors, ctx.block_dims, &rows));
+        }
+        timing->evaluate_seconds = eval_timer.ElapsedSeconds();
+
+        SliceBlocks out;
+        out.free_dim = ctx.x->dim(ctx.free_mode);
+        if (ctx.kind == MergeKind::kPairwise) {
+          out.block_dims = {ctx.block_dims.empty() ? 0 : ctx.block_dims[0]};
+        } else {
+          out.block_dims = ctx.block_dims;
+        }
+        // No reserve: the rows map must share the dataflow path's rehash
+        // history (insertions ascending, default growth) so its iteration
+        // order — which downstream float sums depend on — matches.
+        for (int64_t si = 0; si < layout->num_slices(); ++si) {
+          // The kernels emit only nnz-touched slices, matching the dataflow
+          // merges; all-zero rows stay absent.
+          out.rows.emplace(layout->slice_ids[static_cast<size_t>(si)],
+                           std::move(rows[static_cast<size_t>(si)]));
+        }
+        return out;
+      },
+      &blocks);
+  plan.AnnotateContraction(node, "incore", timing);
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  return blocks;
+}
+
+}  // namespace haten2

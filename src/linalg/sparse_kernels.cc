@@ -1,0 +1,315 @@
+#include "linalg/sparse_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace haten2 {
+namespace {
+
+// Rank-blocking width for the MTTKRP inner loops: a 64-wide double buffer is
+// 512 bytes, comfortably inside L1, and the fixed trip count lets the
+// compiler unroll and vectorize the j-loops.
+constexpr int kRankBlock = 64;
+
+uint64_t Mix64(uint64_t h) {
+  // splitmix64 finalizer.
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+Status ValidateKernelArgs(const CsfLayout& layout,
+                          const std::vector<const DenseMatrix*>& cfactors) {
+  if (layout.num_streams <= 0 ||
+      static_cast<int>(layout.cmodes.size()) != layout.num_streams) {
+    return Status::InvalidArgument("sparse_kernels: malformed layout");
+  }
+  if (static_cast<int>(cfactors.size()) != layout.num_streams) {
+    return Status::InvalidArgument(
+        StrFormat("sparse_kernels: expected %d contracted factors, got %zu",
+                  layout.num_streams, cfactors.size()));
+  }
+  for (const DenseMatrix* f : cfactors) {
+    if (f == nullptr) {
+      return Status::InvalidArgument(
+          "sparse_kernels: null contracted factor");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t CsfLayout::MemoryBytes() const {
+  uint64_t bytes = sizeof(CsfLayout);
+  bytes += cmodes.capacity() * sizeof(int);
+  bytes += slice_ids.capacity() * sizeof(int64_t);
+  bytes += slice_fiber_begin.capacity() * sizeof(int64_t);
+  bytes += fiber_entry_begin.capacity() * sizeof(int64_t);
+  bytes += fiber_coords.capacity() * sizeof(int64_t);
+  bytes += entry_inner.capacity() * sizeof(int64_t);
+  bytes += values.capacity() * sizeof(double);
+  return bytes;
+}
+
+Result<CsfLayout> BuildCsfLayout(const SparseTensor& x, int free_mode) {
+  const int order = x.order();
+  if (order < 2) {
+    return Status::InvalidArgument(
+        "BuildCsfLayout: tensor order must be >= 2");
+  }
+  if (free_mode < 0 || free_mode >= order) {
+    return Status::InvalidArgument(
+        StrFormat("BuildCsfLayout: free_mode %d out of range for %d-way",
+                  free_mode, order));
+  }
+
+  CsfLayout layout;
+  layout.free_mode = free_mode;
+  layout.num_streams = order - 1;
+  layout.cmodes.reserve(static_cast<size_t>(order - 1));
+  for (int m = 0; m < order; ++m) {
+    if (m != free_mode) layout.cmodes.push_back(m);
+  }
+  const int s = layout.num_streams;
+  const int64_t nnz = x.nnz();
+
+  // Sort permutation: slice (free coord) major, then outer fiber coords
+  // cmodes[1..], then the innermost stream cmodes[0]. std::sort is fine —
+  // layouts are built once and cached; stability is irrelevant because
+  // the comparison covers the full coordinate tuple.
+  std::vector<int64_t> perm(static_cast<size_t>(nnz));
+  std::iota(perm.begin(), perm.end(), int64_t{0});
+  const std::vector<int>& cmodes = layout.cmodes;
+  std::sort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
+    const int64_t* ca = x.IndexPtr(a);
+    const int64_t* cb = x.IndexPtr(b);
+    if (ca[free_mode] != cb[free_mode]) {
+      return ca[free_mode] < cb[free_mode];
+    }
+    for (int k = 1; k < s; ++k) {
+      const int m = cmodes[static_cast<size_t>(k)];
+      if (ca[m] != cb[m]) return ca[m] < cb[m];
+    }
+    const int m0 = cmodes[0];
+    if (ca[m0] != cb[m0]) return ca[m0] < cb[m0];
+    return a < b;  // duplicates keep append order
+  });
+
+  layout.entry_inner.reserve(static_cast<size_t>(nnz));
+  layout.values.reserve(static_cast<size_t>(nnz));
+  const int m0 = cmodes.empty() ? 0 : cmodes[0];
+  for (int64_t p = 0; p < nnz; ++p) {
+    const int64_t e = perm[static_cast<size_t>(p)];
+    const int64_t* c = x.IndexPtr(e);
+    const bool new_slice =
+        p == 0 || c[free_mode] !=
+                      x.IndexPtr(perm[static_cast<size_t>(p - 1)])[free_mode];
+    bool new_fiber = new_slice;
+    if (!new_fiber) {
+      const int64_t* prev = x.IndexPtr(perm[static_cast<size_t>(p - 1)]);
+      for (int k = 1; k < s; ++k) {
+        const int m = cmodes[static_cast<size_t>(k)];
+        if (c[m] != prev[m]) {
+          new_fiber = true;
+          break;
+        }
+      }
+    }
+    if (new_slice) {
+      layout.slice_ids.push_back(c[free_mode]);
+      layout.slice_fiber_begin.push_back(
+          static_cast<int64_t>(layout.fiber_entry_begin.size()));
+    }
+    if (new_fiber) {
+      layout.fiber_entry_begin.push_back(p);
+      for (int k = 1; k < s; ++k) {
+        layout.fiber_coords.push_back(c[cmodes[static_cast<size_t>(k)]]);
+      }
+    }
+    layout.entry_inner.push_back(c[m0]);
+    layout.values.push_back(x.value(e));
+  }
+  layout.fiber_entry_begin.push_back(nnz);
+  layout.slice_fiber_begin.push_back(
+      static_cast<int64_t>(layout.fiber_entry_begin.size()) - 1);
+  return layout;
+}
+
+Status CsfMttkrp(const CsfLayout& layout,
+                 const std::vector<const DenseMatrix*>& cfactors, int rank,
+                 std::vector<std::vector<double>>* rows) {
+  Status st = ValidateKernelArgs(layout, cfactors);
+  if (!st.ok()) return st;
+  if (rank <= 0) {
+    return Status::InvalidArgument("CsfMttkrp: rank must be positive");
+  }
+  for (const DenseMatrix* f : cfactors) {
+    if (f->cols() != rank) {
+      return Status::InvalidArgument(
+          StrFormat("CsfMttkrp: factor has %lld columns, expected rank %d",
+                    static_cast<long long>(f->cols()), rank));
+    }
+  }
+  if (rows == nullptr) {
+    return Status::InvalidArgument("CsfMttkrp: null output");
+  }
+
+  const int s = layout.num_streams;
+  const int64_t num_slices = layout.num_slices();
+  rows->assign(static_cast<size_t>(num_slices),
+               std::vector<double>(static_cast<size_t>(rank), 0.0));
+
+  double t[kRankBlock];
+  for (int r0 = 0; r0 < rank; r0 += kRankBlock) {
+    const int rb = std::min(kRankBlock, rank - r0);
+    for (int64_t si = 0; si < num_slices; ++si) {
+      double* row = (*rows)[static_cast<size_t>(si)].data() + r0;
+      const int64_t fb = layout.slice_fiber_begin[static_cast<size_t>(si)];
+      const int64_t fe = layout.slice_fiber_begin[static_cast<size_t>(si) + 1];
+      for (int64_t f = fb; f < fe; ++f) {
+        // Pass 1 (SpMV): inner product over the first contracted mode.
+        std::memset(t, 0, sizeof(double) * static_cast<size_t>(rb));
+        const int64_t eb = layout.fiber_entry_begin[static_cast<size_t>(f)];
+        const int64_t ee = layout.fiber_entry_begin[static_cast<size_t>(f) + 1];
+        for (int64_t e = eb; e < ee; ++e) {
+          const double v = layout.values[static_cast<size_t>(e)];
+          const double* a0 =
+              cfactors[0]->RowPtr(layout.entry_inner[static_cast<size_t>(e)]) +
+              r0;
+          for (int j = 0; j < rb; ++j) t[j] += v * a0[j];
+        }
+        // Pass 2: scale by the outer contracted factors, ascending mode
+        // order (matches the dataflow merge's product association).
+        const int64_t* oc =
+            layout.fiber_coords.data() + f * (s - 1);
+        for (int k = 1; k < s; ++k) {
+          const double* ak = cfactors[static_cast<size_t>(k)]->RowPtr(
+                                 oc[k - 1]) +
+                             r0;
+          for (int j = 0; j < rb; ++j) t[j] *= ak[j];
+        }
+        for (int j = 0; j < rb; ++j) row[j] += t[j];
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CsfCrossContract(const CsfLayout& layout,
+                        const std::vector<const DenseMatrix*>& cfactors,
+                        const std::vector<int64_t>& block_dims,
+                        std::vector<std::vector<double>>* rows) {
+  Status st = ValidateKernelArgs(layout, cfactors);
+  if (!st.ok()) return st;
+  if (static_cast<int>(block_dims.size()) != layout.num_streams) {
+    return Status::InvalidArgument(
+        "CsfCrossContract: block_dims arity mismatch");
+  }
+  int64_t block = 1;
+  for (size_t k = 0; k < block_dims.size(); ++k) {
+    if (block_dims[k] <= 0 || cfactors[k]->cols() != block_dims[k]) {
+      return Status::InvalidArgument(
+          "CsfCrossContract: block_dims must match factor columns");
+    }
+    block *= block_dims[k];
+  }
+  if (rows == nullptr) {
+    return Status::InvalidArgument("CsfCrossContract: null output");
+  }
+
+  const int s = layout.num_streams;
+  const int64_t num_slices = layout.num_slices();
+  const int64_t r0dim = block_dims[0];
+  rows->assign(static_cast<size_t>(num_slices),
+               std::vector<double>(static_cast<size_t>(block), 0.0));
+
+  std::vector<double> t(static_cast<size_t>(r0dim));
+  std::vector<int64_t> q(static_cast<size_t>(s), 0);
+  for (int64_t si = 0; si < num_slices; ++si) {
+    double* row = (*rows)[static_cast<size_t>(si)].data();
+    const int64_t fb = layout.slice_fiber_begin[static_cast<size_t>(si)];
+    const int64_t fe = layout.slice_fiber_begin[static_cast<size_t>(si) + 1];
+    for (int64_t f = fb; f < fe; ++f) {
+      // Inner pass: accumulate the stream-0 rank profile of the fiber.
+      std::fill(t.begin(), t.end(), 0.0);
+      const int64_t eb = layout.fiber_entry_begin[static_cast<size_t>(f)];
+      const int64_t ee = layout.fiber_entry_begin[static_cast<size_t>(f) + 1];
+      for (int64_t e = eb; e < ee; ++e) {
+        const double v = layout.values[static_cast<size_t>(e)];
+        const double* a0 =
+            cfactors[0]->RowPtr(layout.entry_inner[static_cast<size_t>(e)]);
+        for (int64_t j = 0; j < r0dim; ++j) t[static_cast<size_t>(j)] += v * a0[j];
+      }
+      // Outer pass: odometer over the remaining streams, stream 0 fastest
+      // in the flattened block (the dataflow BlockWeights ordering). The
+      // per-cell chain multiplies ascending so singleton fibers reproduce
+      // the dataflow bits exactly.
+      const int64_t* oc = layout.fiber_coords.data() + f * (s - 1);
+      std::fill(q.begin(), q.end(), 0);
+      for (;;) {
+        int64_t offset = 0;
+        int64_t weight = r0dim;
+        for (int k = 1; k < s; ++k) {
+          offset += q[static_cast<size_t>(k)] * weight;
+          weight *= block_dims[static_cast<size_t>(k)];
+        }
+        for (int64_t j = 0; j < r0dim; ++j) {
+          double p = t[static_cast<size_t>(j)];
+          if (p == 0.0) continue;
+          for (int k = 1; k < s; ++k) {
+            p *= (*cfactors[static_cast<size_t>(k)])(oc[k - 1],
+                                                     q[static_cast<size_t>(k)]);
+          }
+          row[offset + j] += p;
+        }
+        int k = 1;
+        while (k < s) {
+          if (++q[static_cast<size_t>(k)] < block_dims[static_cast<size_t>(k)]) {
+            break;
+          }
+          q[static_cast<size_t>(k)] = 0;
+          ++k;
+        }
+        if (k >= s) break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t TensorFingerprint(const SparseTensor& x) {
+  uint64_t h = 0x686174656e320000ULL;  // "haten2" tag
+  h = HashCombine(h, static_cast<uint64_t>(x.order()));
+  for (int64_t d : x.dims()) h = HashCombine(h, static_cast<uint64_t>(d));
+  const int64_t nnz = x.nnz();
+  h = HashCombine(h, static_cast<uint64_t>(nnz));
+  if (nnz == 0) return h;
+  // Sample up to 64 entries evenly across the tensor; include the full
+  // coordinate tuple and the raw value bits of each.
+  const int64_t samples = std::min<int64_t>(nnz, 64);
+  const int order = x.order();
+  for (int64_t i = 0; i < samples; ++i) {
+    const int64_t e = i * nnz / samples;
+    h = HashCombine(h, static_cast<uint64_t>(e));
+    const int64_t* c = x.IndexPtr(e);
+    for (int m = 0; m < order; ++m) {
+      h = HashCombine(h, static_cast<uint64_t>(c[m]));
+    }
+    uint64_t bits;
+    const double v = x.value(e);
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  return h;
+}
+
+}  // namespace haten2

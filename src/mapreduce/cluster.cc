@@ -129,6 +129,14 @@ Status ClusterConfig::Validate() const {
   if (!FiniteNonNegative(straggler_jitter)) {
     return BadField("straggler_jitter", "finite and >= 0");
   }
+  if (contraction != "auto" && contraction != "dataflow" &&
+      contraction != "incore") {
+    return Status::InvalidArgument(
+        StrFormat("ClusterConfig: contraction must be \"auto\", \"dataflow\" "
+                  "or \"incore\", got \"%s\"",
+                  contraction.c_str()));
+  }
+  if (incore_memory_mb < 1) return BadField("incore_memory_mb", ">= 1");
   if (backend != "inprocess" && backend != "subprocess") {
     return Status::InvalidArgument(
         StrFormat("ClusterConfig: backend must be \"inprocess\" or "

@@ -172,6 +172,20 @@ struct ClusterConfig {
   /// higher values only rescue extreme stragglers.
   double speculation_slowstart = 1.5;
 
+  /// Contraction execution strategy (core/contraction_strategy.h):
+  /// "dataflow" always evaluates the bottleneck op as the paper's MapReduce
+  /// job pipeline (the default — the variant tables' job counts hold
+  /// exactly); "incore" forces the DFacTo-style compressed-layout kernels
+  /// (one plan node, no shuffle); "auto" picks per plan node — in-core when
+  /// CostModel::EstimateInCoreLayoutBytes fits incore_memory_mb, dataflow
+  /// otherwise.
+  std::string contraction = "dataflow";
+
+  /// Per-node memory budget (MiB) the `auto` contraction policy allows for
+  /// an in-core compressed layout. Must be >= 1. Sized to one worker's RAM
+  /// share, not the whole cluster: the layout lives in a single process.
+  int64_t incore_memory_mb = 1024;
+
   /// Execution backend behind the Engine API: "inprocess" runs map tasks
   /// and reduce partitions on the engine's thread pool (the default);
   /// "subprocess" forks EffectiveNumWorkers() local worker processes and

@@ -2,6 +2,7 @@
 #define HATEN2_MAPREDUCE_PLAN_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +11,18 @@
 #include "util/status.h"
 
 namespace haten2 {
+
+/// \brief Phase breakdown of one in-core contraction node, filled by the
+/// node's executor while it runs (core/incore_contraction.cc) and copied
+/// into PlanNodeStats after the plan completes. Shared-pointer ownership
+/// lets the plan builder hand the same timing sink to the executor closure
+/// and to the annotated JobSpec.
+struct ContractionTiming {
+  /// Building (or fetching from the ContractCache) the compressed layout.
+  double layout_build_seconds = 0.0;
+  /// Running the SpMV / blocked-chain kernels over the layout.
+  double evaluate_seconds = 0.0;
+};
 
 /// \brief One node of a dataflow Plan: a labelled unit of work plus the
 /// indices of the nodes whose outputs it consumes.
@@ -28,6 +41,12 @@ struct JobSpec {
   /// Executes the node. Runs on a scheduler thread with an Engine::PlanScope
   /// installed, so any engine jobs it issues are tagged with the plan id.
   std::function<Status()> run;
+  /// Which contraction strategy produced this node ("dataflow" / "incore");
+  /// empty for nodes that are not part of a contraction evaluation. Copied
+  /// into PlanNodeStats so stats_json records the per-node choice.
+  std::string contraction_strategy;
+  /// Timing sink for in-core nodes (null otherwise); see ContractionTiming.
+  std::shared_ptr<ContractionTiming> contraction_timing;
 };
 
 /// \brief A declarative job graph: typed nodes with explicit data
@@ -78,6 +97,18 @@ class Plan {
                     *slot = std::move(r).value();
                     return Status::OK();
                   });
+  }
+
+  /// Tags node `index` with the contraction strategy that built it and, for
+  /// in-core nodes, the timing sink its executor fills. Out-of-range indices
+  /// (including the -1 an errored AddJob returned) are ignored — the plan is
+  /// already poisoned via build_status() in that case.
+  void AnnotateContraction(int index, std::string strategy,
+                           std::shared_ptr<ContractionTiming> timing = nullptr) {
+    if (index < 0 || index >= size()) return;
+    nodes_[static_cast<size_t>(index)].contraction_strategy =
+        std::move(strategy);
+    nodes_[static_cast<size_t>(index)].contraction_timing = std::move(timing);
   }
 
   const std::string& name() const { return name_; }

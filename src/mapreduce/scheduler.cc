@@ -124,12 +124,25 @@ Status PlanScheduler::Execute(const Plan& plan) {
     PlanNodeStats n;
     n.label = spec.label;
     n.deps = spec.deps;
+    n.contraction_strategy = spec.contraction_strategy;
     stats.nodes.push_back(std::move(n));
   }
 
   WallTimer timer;
   Status status = max_concurrent_ == 1 ? ExecuteSerial(plan, &stats)
                                        : ExecuteConcurrent(plan, &stats);
+  // In-core contraction executors report their phase split through the
+  // spec's timing sink; harvest it after the run (failure paths included —
+  // a node that died mid-evaluate still shows its layout time).
+  for (size_t i = 0; i < stats.nodes.size(); ++i) {
+    const JobSpec& spec = plan.nodes()[i];
+    if (spec.contraction_timing != nullptr) {
+      stats.nodes[i].layout_build_seconds =
+          spec.contraction_timing->layout_build_seconds;
+      stats.nodes[i].evaluate_seconds =
+          spec.contraction_timing->evaluate_seconds;
+    }
+  }
   FinalizeStats(&stats, timer.ElapsedSeconds());
   engine_->RecordPlan(stats);
   return status;

@@ -115,6 +115,26 @@ double PipelineStats::TotalNodeBackoffSeconds() const {
   return t;
 }
 
+int64_t PipelineStats::IncoreNodes() const {
+  int64_t t = 0;
+  for (const PlanStats& p : plans) {
+    for (const PlanNodeStats& n : p.nodes) {
+      if (n.contraction_strategy == "incore") ++t;
+    }
+  }
+  return t;
+}
+
+int64_t PipelineStats::DataflowNodes() const {
+  int64_t t = 0;
+  for (const PlanStats& p : plans) {
+    for (const PlanNodeStats& n : p.nodes) {
+      if (n.contraction_strategy == "dataflow") ++t;
+    }
+  }
+  return t;
+}
+
 void PipelineStats::Append(const PipelineStats& other) {
   jobs.insert(jobs.end(), other.jobs.begin(), other.jobs.end());
   plans.insert(plans.end(), other.plans.begin(), other.plans.end());

@@ -141,6 +141,13 @@ struct PlanNodeStats {
   double backoff_seconds = 0.0;
   /// "ok", "failed", or "skipped" (a dependency failed first).
   std::string status = "skipped";
+  /// Contraction strategy that built this node ("dataflow" / "incore");
+  /// empty for nodes outside a contraction evaluation.
+  std::string contraction_strategy;
+  /// Phase breakdown of an in-core node (both 0 for dataflow nodes):
+  /// layout construction / cache fetch vs. kernel evaluation time.
+  double layout_build_seconds = 0.0;
+  double evaluate_seconds = 0.0;
 };
 
 /// \brief Statistics of one scheduled Plan: the DAG shape, the concurrency
@@ -232,6 +239,11 @@ struct PipelineStats {
   int64_t TotalNodeRetries() const;
   /// Sum over plans of simulated retry backoff (counted by the CostModel).
   double TotalNodeBackoffSeconds() const;
+  /// Plan nodes executed by each contraction strategy across the pipeline
+  /// (nodes with an empty strategy tag — non-contraction work — count in
+  /// neither).
+  int64_t IncoreNodes() const;
+  int64_t DataflowNodes() const;
 
   void Append(const PipelineStats& other);
   void Clear() {

@@ -129,6 +129,8 @@ void PipelineStatsToJson(const PipelineStats& pipeline, const CostModel* cost,
   w->Key("node_backoff_seconds").Value(pipeline.TotalNodeBackoffSeconds());
   w->Key("invariant_cache_hits").Value(pipeline.invariant_cache_hits);
   w->Key("invariant_cache_misses").Value(pipeline.invariant_cache_misses);
+  w->Key("incore_nodes").Value(pipeline.IncoreNodes());
+  w->Key("dataflow_nodes").Value(pipeline.DataflowNodes());
   if (cost != nullptr) {
     PipelineSim sim = cost->SimulatePipelineDetailed(pipeline);
     w->Key("simulated_seconds").Value(sim.seconds);
@@ -168,6 +170,15 @@ void PlanStatsToJson(const PlanStats& plan, JsonWriter* w) {
     w->Key("seconds").Value(node.seconds);
     w->Key("attempts").Value(node.attempts);
     w->Key("backoff_seconds").Value(node.backoff_seconds);
+    // v7: contraction nodes carry their strategy; in-core nodes also split
+    // their time into layout build vs. kernel evaluation.
+    if (!node.contraction_strategy.empty()) {
+      w->Key("contraction_strategy").Value(node.contraction_strategy);
+    }
+    if (node.contraction_strategy == "incore") {
+      w->Key("layout_build_seconds").Value(node.layout_build_seconds);
+      w->Key("evaluate_seconds").Value(node.evaluate_seconds);
+    }
     w->Key("deps").BeginArray();
     for (int d : node.deps) w->Value(d);
     w->EndArray();
@@ -215,6 +226,10 @@ void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w) {
       .Value(config.EffectiveNumWorkers())
       .Key("max_concurrent_jobs")
       .Value(config.max_concurrent_jobs)
+      .Key("contraction")
+      .Value(config.contraction)
+      .Key("incore_memory_mb")
+      .Value(config.incore_memory_mb)
       .Key("job_startup_seconds")
       .Value(config.job_startup_seconds)
       .Key("total_shuffle_memory_bytes")
@@ -268,7 +283,7 @@ std::string StatsReportToJson(const StatsReport& report) {
   const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").Value("haten2-stats-v6");
+  w.Key("schema").Value("haten2-stats-v7");
   if (!report.tool.empty()) w.Key("tool").Value(report.tool);
   if (!report.method.empty()) w.Key("method").Value(report.method);
   if (!report.variant.empty()) w.Key("variant").Value(report.variant);

@@ -90,7 +90,7 @@ struct StatsReport {
   const std::vector<distributed::WorkerStats>* workers = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v6").
+/// Serializes the whole report ("haten2-stats-v7").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

@@ -161,6 +161,13 @@ TEST(ClusterConfigValidateTest, RejectsEachBadFieldByName) {
        }},
       {"inject_worker_kill_after_tasks",
        [](ClusterConfig* c) { c->inject_worker_kill_after_tasks = -1; }},
+      {"contraction", [](ClusterConfig* c) { c->contraction = "gpu"; }},
+      {"contraction", [](ClusterConfig* c) { c->contraction = ""; }},
+      {"contraction", [](ClusterConfig* c) { c->contraction = "Incore"; }},
+      {"incore_memory_mb",
+       [](ClusterConfig* c) { c->incore_memory_mb = 0; }},
+      {"incore_memory_mb",
+       [](ClusterConfig* c) { c->incore_memory_mb = -512; }},
   };
   for (const Case& c : cases) {
     ClusterConfig config;
@@ -179,6 +186,24 @@ TEST(ClusterConfigValidateTest, AcceptsBothBackends) {
     Status s = config.Validate();
     EXPECT_TRUE(s.ok()) << backend << ": " << s.ToString();
   }
+}
+
+TEST(ClusterConfigValidateTest, AcceptsEveryContractionStrategy) {
+  for (const char* strategy : {"auto", "dataflow", "incore"}) {
+    ClusterConfig config = ClusterConfig::ForTesting();
+    config.contraction = strategy;
+    Status s = config.Validate();
+    EXPECT_TRUE(s.ok()) << strategy << ": " << s.ToString();
+  }
+}
+
+TEST(ClusterConfigTest, ContractionDefaultsToDataflow) {
+  // The default must stay "dataflow": job counts, pipeline counters, and
+  // the paper's Tables III/IV reproduction all assume the MapReduce path
+  // unless the caller opts in.
+  EXPECT_EQ(ClusterConfig().contraction, "dataflow");
+  EXPECT_EQ(ClusterConfig::ForTesting().contraction, "dataflow");
+  EXPECT_GE(ClusterConfig().incore_memory_mb, 1);
 }
 
 TEST(ClusterConfigTest, EffectiveNumWorkersDerivesFromThreads) {

@@ -1,6 +1,6 @@
 // Tests for the engine's observability layer: per-phase wall times, skew
 // summaries, failure-path accounting (o.o.m. / abort / spills), the
-// "haten2-stats-v6" JSON export, and the spill-filename race regression
+// "haten2-stats-v7" JSON export, and the spill-filename race regression
 // (concurrent Run calls on one engine).
 
 #include <gtest/gtest.h>
@@ -485,7 +485,7 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
 
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   for (const char* key :
-       {"\"schema\":\"haten2-stats-v6\"", "\"status\":\"ok\"",
+       {"\"schema\":\"haten2-stats-v7\"", "\"status\":\"ok\"",
         "\"cluster\"", "\"iterations\"", "\"pipeline\"", "\"phases\"",
         "\"map_seconds\"", "\"shuffle_seconds\"", "\"reduce_seconds\"",
         "\"spill\"", "\"fit\"", "\"lambda\"", "\"simulated_seconds\"",
@@ -505,7 +505,10 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
         "\"speculation_slowstart\"", "\"straggler_jitter\"",
         "\"straggler_jitter_seed\"", "\"machine_profiles\"",
         // stats-v6: subprocess-backend additions.
-        "\"backend\"", "\"num_workers\""}) {
+        "\"backend\"", "\"num_workers\"",
+        // stats-v7: contraction-strategy additions.
+        "\"contraction\"", "\"incore_memory_mb\"",
+        "\"incore_nodes\"", "\"dataflow_nodes\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -554,7 +557,7 @@ TEST(EngineStats, WriteStatsJsonFileRoundTrips) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_TRUE(JsonChecker(content).Valid()) << content;
-  EXPECT_NE(content.find("haten2-stats-v6"), std::string::npos);
+  EXPECT_NE(content.find("haten2-stats-v7"), std::string::npos);
 }
 
 }  // namespace

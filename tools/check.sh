@@ -57,6 +57,14 @@ for san in "${sanitizers[@]}"; do
   elif [[ "${san}" == "undefined" ]]; then
     echo "=== ${san}: focused spill-codec pass ==="
     (cd "${build_dir}" && ctest --output-on-failure -R '^SpillCodec' -j)
+    # The in-core contraction kernels index compressed CSF streams with
+    # arithmetic on attacker-ish inputs (duplicate coordinates, 10^12
+    # dims, empty slices) and the fingerprint does deliberate unsigned
+    # mixing; UBSan over the kernel and strategy suites is the cheapest
+    # way to keep signed-overflow/shift bugs out of them.
+    echo "=== ${san}: focused contraction-kernel pass ==="
+    (cd "${build_dir}" && \
+     ctest --output-on-failure -R '^(SparseKernels|Contraction)' -j)
   fi
 done
 

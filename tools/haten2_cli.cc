@@ -28,6 +28,15 @@
 //   --max_concurrent_jobs=J              cap on plan nodes the scheduler
 //                                        runs concurrently (default 1 =
 //                                        serial legacy order)
+//   --contraction=auto|dataflow|incore   contraction strategy (default
+//                                        dataflow = the paper's MapReduce
+//                                        pipelines; incore = DFacTo-style
+//                                        in-memory kernels, no shuffle;
+//                                        auto picks in-core whenever the
+//                                        estimated layout fits the budget)
+//   --incore_memory_mb=MB                in-core layout memory budget
+//                                        consulted by --contraction=auto
+//                                        (default 1024)
 //   --budget-mb=B                        shuffle-memory budget (0=unlimited)
 //   --spill_dir=DIR                      enable Hadoop-style sort-spill:
 //                                        map tasks write partition buffers
@@ -95,7 +104,7 @@
 //                                        phase times, intermediate-data
 //                                        records/bytes, per-iteration fit,
 //                                        retry/backoff counters)
-//                                        as "haten2-stats-v6" JSON; written
+//                                        as "haten2-stats-v7" JSON; written
 //                                        on failures too, so o.o.m. runs
 //                                        keep their post-mortem numbers
 //
@@ -127,6 +136,7 @@ constexpr const char* kUsage =
     "       [--iterations=N] [--tolerance=T] [--seed=S] [--machines=M]\n"
     "       [--threads=T] [--backend=inprocess|subprocess]\n"
     "       [--num_workers=W] [--max_concurrent_jobs=J] [--budget-mb=B]\n"
+    "       [--contraction=auto|dataflow|incore] [--incore_memory_mb=MB]\n"
     "       [--spill_dir=DIR] [--spill_threshold=N]\n"
     "       [--spill_compression=none|delta_varint]\n"
     "       [--output=PREFIX] [--resume[=PREFIX]] [--stats]\n"
@@ -163,6 +173,7 @@ int RealMain(int argc, char** argv) {
                                  "machines", "threads", "backend",
                                  "num_workers",
                                  "max_concurrent_jobs", "budget-mb",
+                                 "contraction", "incore_memory_mb",
                                  "spill_dir", "spill_threshold",
                                  "spill_compression",
                                  "output", "resume", "stats", "stats_json",
@@ -205,6 +216,7 @@ int RealMain(int argc, char** argv) {
   Result<int64_t> max_concurrent_jobs =
       flags.GetInt("max_concurrent_jobs", 1);
   Result<int64_t> budget_mb = flags.GetInt("budget-mb", 0);
+  Result<int64_t> incore_memory_mb = flags.GetInt("incore_memory_mb", 1024);
   Result<int64_t> spill_threshold = flags.GetInt("spill_threshold", 64 * 1024);
   Result<SpillCompression> spill_compression =
       ParseSpillCompression(flags.GetString("spill_compression", "none"));
@@ -231,6 +243,7 @@ int RealMain(int argc, char** argv) {
         tolerance.status(), seed.status(), machines.status(),
         threads.status(), num_workers.status(),
         max_concurrent_jobs.status(), budget_mb.status(),
+        incore_memory_mb.status(),
         spill_threshold.status(), spill_compression.status(),
         checkpoint_every.status(), checkpoint_keep.status(),
         task_failure_prob.status(), max_task_attempts.status(),
@@ -250,6 +263,8 @@ int RealMain(int argc, char** argv) {
   config.backend = flags.GetString("backend", "inprocess");
   config.num_workers = static_cast<int>(*num_workers);
   config.max_concurrent_jobs = static_cast<int>(*max_concurrent_jobs);
+  config.contraction = flags.GetString("contraction", "dataflow");
+  config.incore_memory_mb = *incore_memory_mb;
   config.total_shuffle_memory_bytes =
       static_cast<uint64_t>(*budget_mb) << 20;
   config.spill_directory = flags.GetString("spill_dir", "");

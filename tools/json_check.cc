@@ -1,0 +1,40 @@
+// Standalone JSON syntax gate for the bench/stats exports: reads one file
+// and exits 0 iff it parses under the same RFC 8259 checker the tests use
+// (tests/json_checker.h), so CI can validate BENCH_*.json artifacts with
+// an implementation independent of JsonWriter. Structural key assertions
+// stay in the workflow; this catches the syntax class of regression.
+//
+// Usage: json_check <file.json>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../tests/json_checker.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <file.json>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "json_check: %s is empty\n", argv[1]);
+    return 1;
+  }
+  haten2::testing::JsonChecker checker(text);
+  if (!checker.Valid()) {
+    std::fprintf(stderr, "json_check: %s is not valid JSON\n", argv[1]);
+    return 1;
+  }
+  std::printf("json_check: %s ok (%zu bytes)\n", argv[1], text.size());
+  return 0;
+}
