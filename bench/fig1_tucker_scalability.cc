@@ -18,6 +18,7 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "core/sketched_tucker.h"
 #include "workload/random_tensor.h"
 
 namespace haten2 {
@@ -38,9 +39,10 @@ void RunSweep(const std::string& title, const std::string& param_name,
               const std::vector<int64_t>& cores, BenchJsonLog* log) {
   std::vector<MethodState> methods = {
       {"Toolbox"},      {"HaTen2-Naive"}, {"HaTen2-DNN"},
-      {"HaTen2-DRN"},   {"HaTen2-DRI"},
+      {"HaTen2-DRN"},   {"HaTen2-DRI"},   {"HaTen2-DRI-sk"},
   };
-  PrintHeader(title, {param_name, "Toolbox", "Naive", "DNN", "DRN", "DRI"});
+  PrintHeader(title, {param_name, "Toolbox", "Naive", "DNN", "DRN", "DRI",
+                      "DRI-sk"});
   for (size_t p = 0; p < tensors.size(); ++p) {
     const SparseTensor& x = tensors[p];
     const int64_t core = cores[p];
@@ -58,6 +60,23 @@ void RunSweep(const std::string& title, const std::string& param_name,
         options.memory = &tracker;
         result = MeasureBaseline([&] {
           return ToolboxTuckerAls(x, {core, core, core}, options).status();
+        });
+      } else if (methods[m].name == "HaTen2-DRI-sk") {
+        // Sketched HOOI on the DRI dataflow: gaussian projections, default
+        // (auto) sketch width. Single-sweep cells measure the sketched
+        // sweep itself, so polish is off here; the fit-vs-speed ablation
+        // below runs the full schedule.
+        ClusterConfig config = PaperCluster(kShuffleBudget);
+        config.tucker_sketch = "gaussian";
+        config.exact_polish_sweeps = 0;
+        Engine engine(config);
+        Haten2Options options;
+        options.max_iterations = 1;
+        options.variant = Variant::kDri;
+        result = MeasureMr(&engine, [&] {
+          return Haten2SketchedTuckerAls(&engine, x, {core, core, core},
+                                         options)
+              .status();
         });
       } else {
         Engine engine(PaperCluster(kShuffleBudget));
@@ -131,6 +150,65 @@ void PartCore(BenchJsonLog* log) {
            "core", labels, tensors, cores, log);
 }
 
+// Fit-vs-speed ablation at the largest completing core of Figure 1(c):
+// multi-sweep exact DRI against sketched DRI (gaussian, 2 exact polish
+// sweeps) from the same seed, reporting final fit next to simulated time.
+// This is where sketching pays: at core 16^3 the exact CrossMerge shuffles
+// 16^2-wide blocks while the sketched PairwiseMerge shuffles (16+4)-wide
+// ones.
+void PartFitVsSpeed(BenchJsonLog* log) {
+  RandomTensorSpec spec;
+  spec.dims = {10000, 10000, 10000};
+  spec.nnz = 50000;
+  spec.seed = 3;
+  SparseTensor x = GenerateRandomTensor(spec).value();
+  const int64_t core = 16;
+  const int sweeps = 4;
+
+  PrintHeader(StrFormat("Figure 1(d): Tucker fit vs speed, core %" PRId64
+                        "^3, %d sweeps",
+                        core, sweeps),
+              {"method", "fit", "sim-time"});
+  struct Ablation {
+    const char* name;
+    const char* sketch;  // nullptr = exact driver
+  };
+  for (const Ablation& a :
+       {Ablation{"HaTen2-DRI", nullptr},
+        Ablation{"HaTen2-DRI-sk", "gaussian"}}) {
+    ClusterConfig config = PaperCluster(kShuffleBudget);
+    Haten2Options options;
+    options.max_iterations = sweeps;
+    options.tolerance = 0.0;
+    options.variant = Variant::kDri;
+    options.seed = 42;
+    double fit = 0.0;
+    Measurement result;
+    if (a.sketch == nullptr) {
+      Engine engine(config);
+      result = MeasureMr(&engine, [&] {
+        Result<TuckerModel> model =
+            Haten2TuckerAls(&engine, x, {core, core, core}, options);
+        if (model.ok()) fit = model->fit;
+        return model.status();
+      });
+    } else {
+      config.tucker_sketch = a.sketch;
+      config.exact_polish_sweeps = 2;
+      Engine engine(config);
+      result = MeasureMr(&engine, [&] {
+        Result<TuckerModel> model =
+            Haten2SketchedTuckerAls(&engine, x, {core, core, core}, options);
+        if (model.ok()) fit = model->fit;
+        return model.status();
+      });
+    }
+    log->Add("fit_vs_speed", StrFormat("core=%" PRId64 "^3", core), a.name,
+             result);
+    PrintRow({a.name, StrFormat("%.4f", fit), result.Cell()});
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace haten2
@@ -145,6 +223,7 @@ int main() {
   haten2::bench::PartDims(&log);
   haten2::bench::PartDensity(&log);
   haten2::bench::PartCore(&log);
+  haten2::bench::PartFitVsSpeed(&log);
   log.Write();
   return 0;
 }

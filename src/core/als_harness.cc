@@ -28,6 +28,10 @@ Status AlsHarness::Run(const IterationBody& body) {
       it.has_core_norm = outcome.has_core_norm;
       it.core_norm = outcome.core_norm;
       it.lambda = std::move(outcome.lambda);
+      it.has_sketch = outcome.has_sketch;
+      it.sketch_seconds = outcome.sketch_seconds;
+      it.sketch_dims = outcome.sketch_dims;
+      it.sketch_polish = outcome.sketch_polish;
       it.pipeline = engine_->PipelineSince(first_job_id);
       options_.trace->iterations.push_back(std::move(it));
     }

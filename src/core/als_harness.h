@@ -23,6 +23,16 @@ struct AlsIterationOutcome {
   /// PARAFAC λ after the iteration (left empty by Tucker bodies).
   std::vector<double> lambda;
 
+  /// Sketched-Tucker sweep annotations (core/sketched_tucker.cc; left unset
+  /// by every other driver). sketch_seconds is the driver-side time spent
+  /// building the projected factors and running the randomized range
+  /// finder; sketch_dims is the sketch width s (0 on polish sweeps);
+  /// sketch_polish marks the exact-polish sweeps appended at the end.
+  bool has_sketch = false;
+  double sketch_seconds = 0.0;
+  int64_t sketch_dims = 0;
+  bool sketch_polish = false;
+
   /// Convergence metric for this iteration (fit for PARAFAC, ||G|| for
   /// Tucker). When unset the harness skips the convergence test and the
   /// loop runs to max_iterations — matching drivers whose metric is

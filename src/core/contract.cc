@@ -144,11 +144,12 @@ Result<SliceBlocks> MultiModeContract(
     ctx.cfactors.push_back(f);
     ctx.block_dims.push_back(f->cols());
   }
-  if (kind == MergeKind::kPairwise) {
+  if (kind == MergeKind::kPairwise || kind == MergeKind::kSketchFused) {
     for (size_t s = 1; s < ctx.block_dims.size(); ++s) {
       if (ctx.block_dims[s] != ctx.block_dims[0]) {
         return Status::InvalidArgument(
-            "PairwiseMerge requires all factors to share the same rank");
+            "pairwise-style merges require all factors to share the same "
+            "rank");
       }
     }
   }

@@ -78,10 +78,17 @@ class ContractCache {
 /// Which merge finalizes the contraction (Figure 4): CrossMerge produces the
 /// full cross product of factor columns (Tucker's X ×₂Bᵀ×₃Cᵀ, Definition 3);
 /// PairwiseMerge pairs equal columns (PARAFAC's X₍₁₎(C ⊙ B) / MTTKRP,
-/// Definition 4).
+/// Definition 4). kSketchFused computes the same pairwise math as one
+/// integrated broadcast job: every contracted factor is narrow enough to
+/// hold in map-task memory (they are s-wide sketches, which is the point),
+/// so the mapper emits the already-multiplied partial x·Π_m S_m(i_m, j) and
+/// the shuffle carries nnz·s records instead of join cells plus
+/// nnz·Σ-widths. On the in-core strategy kSketchFused and kPairwise are the
+/// same kernel.
 enum class MergeKind {
   kCross = 0,
   kPairwise = 1,
+  kSketchFused = 2,
 };
 
 /// \brief Result of one bottleneck-op evaluation Y: one dense block per
@@ -131,7 +138,7 @@ struct SliceBlocks {
 /// With "incore" it runs through InCoreContraction's shuffle-free kernels;
 /// "auto" picks in-core when CostModel::EstimateInCoreLayoutBytes fits the
 /// incore_memory_mb budget, dataflow otherwise. The selected strategy is
-/// recorded per plan node in haten2-stats-v7.
+/// recorded per plan node in haten2-stats-v8.
 ///
 /// Note on CrossMerge/PairwiseMerge keying: the paper's MAP prose keys on
 /// (i, rQ+q) but its REDUCE consumes the whole slice X_i:: and Table III

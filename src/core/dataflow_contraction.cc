@@ -49,10 +49,10 @@ struct CoordStdHash {
 SliceBlocks MakeEmptyBlocks(const ContractionContext& ctx) {
   SliceBlocks out;
   out.free_dim = ctx.x->dim(ctx.free_mode);
-  if (ctx.kind == MergeKind::kPairwise) {
-    out.block_dims = {ctx.block_dims.empty() ? 0 : ctx.block_dims[0]};
-  } else {
+  if (ctx.kind == MergeKind::kCross) {
     out.block_dims = ctx.block_dims;
+  } else {
+    out.block_dims = {ctx.block_dims.empty() ? 0 : ctx.block_dims[0]};
   }
   return out;
 }
@@ -781,6 +781,91 @@ const char* MergeName(MergeKind kind) {
 }
 
 // ---------------------------------------------------------------------------
+// Fused sketched merge: one integrated broadcast job. The contracted factors
+// are s-wide sketches, small enough (I_m × s doubles) for every map task to
+// hold, so the join the IMHP job exists for disappears: the mapper reads a
+// tensor entry, multiplies the matching sketched-factor rows in place, and
+// emits one already-merged partial per sketch column. Shuffle volume is
+// nnz·s records against IMHP+PairwiseMerge's join cells + nnz·(N-1)·s; the
+// factor cells are still charged as job input (the broadcast has to be
+// read), mirroring how IMHP counts its matrix cells.
+// ---------------------------------------------------------------------------
+
+Result<SliceBlocks> RunSketchFused(const ContractionContext& ctx) {
+  const SparseTensor& x = *ctx.x;
+  const int64_t nnz = x.nnz();
+  const int64_t width = ctx.block_dims.empty() ? 0 : ctx.block_dims[0];
+  // Broadcast factor cells are part of the job input domain, like the
+  // IMHP job's matrix cells: reading them is charged, shuffling them is not.
+  int64_t cells = 0;
+  for (size_t s = 0; s < ctx.cmodes.size(); ++s) {
+    cells += x.dim(ctx.cmodes[s]) * ctx.cfactors[s]->cols();
+  }
+  const int64_t domain = nnz + cells;
+  const int free_mode = ctx.free_mode;
+
+  auto reader = [&](int64_t i, ShuffleEmitter<int64_t, HadamardRecord>* em) {
+    if (i >= nnz) return;  // broadcast cell: read, nothing to shuffle
+    Coord coord = Coord::FromIndex(x.IndexPtr(i), x.order());
+    const double base = x.value(i);
+    for (int64_t j = 0; j < width; ++j) {
+      double v = base;
+      for (size_t s = 0; s < ctx.cmodes.size(); ++s) {
+        v *= (*ctx.cfactors[s])(
+            coord.c[static_cast<size_t>(ctx.cmodes[s])], j);
+      }
+      if (v == 0.0) continue;
+      HadamardRecord rec;
+      rec.coord = coord;
+      rec.stream = 0;
+      rec.col = static_cast<int32_t>(j);
+      rec.value = v;
+      em->Emit(coord.c[static_cast<size_t>(free_mode)], rec);
+    }
+  };
+
+  auto reducer = [&](const int64_t& slice,
+                     std::vector<HadamardRecord>& values,
+                     OutputEmitter<int64_t, std::vector<double>>* out) {
+    std::vector<double> block(static_cast<size_t>(width), 0.0);
+    for (const HadamardRecord& rec : values) {
+      block[static_cast<size_t>(rec.col)] += rec.value;
+    }
+    out->Emit(slice, std::move(block));
+  };
+
+  HATEN2_ASSIGN_OR_RETURN(
+      auto out,
+      (ctx.engine->Run<int64_t, HadamardRecord, int64_t,
+                       std::vector<double>>("SketchFusedMerge", domain,
+                                            reader, reducer)));
+  SliceBlocks blocks = MakeEmptyBlocks(ctx);
+  // Ascending-slice insertion, as in RunMergeJob: downstream float sums
+  // depend on the rows map's iteration order.
+  std::sort(out.begin(), out.end(),
+            [](const std::pair<int64_t, std::vector<double>>& a,
+               const std::pair<int64_t, std::vector<double>>& b) {
+              return a.first < b.first;
+            });
+  for (auto& [slice, block] : out) {
+    blocks.rows[slice] = std::move(block);
+  }
+  return blocks;
+}
+
+Result<SliceBlocks> RunSketchFusedPlan(const ContractionContext& ctx) {
+  Plan plan("contract-sketch-fused");
+  SliceBlocks blocks;
+  plan.AddProducer<SliceBlocks>(
+      "SketchFusedMerge", {}, [&ctx] { return RunSketchFused(ctx); },
+      &blocks);
+  AnnotateDataflow(&plan);
+  PlanScheduler scheduler(ctx.engine);
+  HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+  return blocks;
+}
+
+// ---------------------------------------------------------------------------
 // Plan builders for the two-phase variants (DRI, DRN).
 // ---------------------------------------------------------------------------
 
@@ -860,6 +945,12 @@ Result<SliceBlocks> DataflowContraction::Contract(
           TensorToRecords(*ctx.x));
     }
   }
+
+  // The fused sketched merge presupposes the integrated (DRI) design — a
+  // single job that joins map-side and merges in its reduce. The variant
+  // knob distinguishes how the *join* is staged, and kSketchFused has no
+  // join to stage, so every variant takes the same fused job.
+  if (ctx.kind == MergeKind::kSketchFused) return RunSketchFusedPlan(ctx);
 
   switch (ctx.variant) {
     case Variant::kDri:

@@ -37,7 +37,7 @@ Result<SliceBlocks> InCoreContraction::Contract(
 
         WallTimer eval_timer;
         std::vector<std::vector<double>> rows;
-        if (ctx.kind == MergeKind::kPairwise) {
+        if (ctx.kind != MergeKind::kCross) {
           const int rank = static_cast<int>(ctx.block_dims[0]);
           HATEN2_RETURN_IF_ERROR(
               CsfMttkrp(*layout, ctx.cfactors, rank, &rows));
@@ -49,7 +49,7 @@ Result<SliceBlocks> InCoreContraction::Contract(
 
         SliceBlocks out;
         out.free_dim = ctx.x->dim(ctx.free_mode);
-        if (ctx.kind == MergeKind::kPairwise) {
+        if (ctx.kind != MergeKind::kCross) {
           out.block_dims = {ctx.block_dims.empty() ? 0 : ctx.block_dims[0]};
         } else {
           out.block_dims = ctx.block_dims;

@@ -1,0 +1,262 @@
+#include "core/sketched_tucker.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/als_harness.h"
+#include "core/checkpoint.h"
+#include "core/records.h"
+#include "core/tucker.h"
+#include "linalg/linalg.h"
+#include "linalg/sketch.h"
+#include "mapreduce/plan.h"
+#include "mapreduce/scheduler.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace haten2 {
+
+Result<TuckerModel> Haten2SketchedTuckerAls(Engine* engine,
+                                            const SparseTensor& x,
+                                            std::vector<int64_t> core_dims,
+                                            const Haten2Options& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (x.order() < 2 || x.order() > kMaxMrOrder) {
+    return Status::InvalidArgument(
+        StrFormat("sketched Tucker supports orders 2..%d, got %d",
+                  kMaxMrOrder, x.order()));
+  }
+  if (x.nnz() == 0) {
+    return Status::InvalidArgument("cannot decompose an all-zero tensor");
+  }
+  const int order = x.order();
+  if (static_cast<int>(core_dims.size()) != order) {
+    return Status::InvalidArgument("core_dims must have one entry per mode");
+  }
+  int64_t max_core = 0;
+  for (int m = 0; m < order; ++m) {
+    if (core_dims[static_cast<size_t>(m)] <= 0 ||
+        core_dims[static_cast<size_t>(m)] > x.dim(m)) {
+      return Status::InvalidArgument(StrFormat(
+          "core dimension %lld invalid for mode %d of size %lld",
+          (long long)core_dims[static_cast<size_t>(m)], m,
+          (long long)x.dim(m)));
+    }
+    max_core = std::max(max_core, core_dims[static_cast<size_t>(m)]);
+  }
+
+  const ClusterConfig& config = engine->config();
+  if (config.tucker_sketch == "none") {
+    return Status::InvalidArgument(
+        "Haten2SketchedTuckerAls needs ClusterConfig::tucker_sketch of "
+        "\"gaussian\" or \"countsketch\" (exact runs go through "
+        "Haten2TuckerAls)");
+  }
+  HATEN2_ASSIGN_OR_RETURN(SketchKind kind,
+                          ParseSketchKind(config.tucker_sketch));
+  // Auto sketch width: the largest core dimension plus a small
+  // oversampling margin (the randomized-SVD literature's p ≈ 4..10).
+  const int64_t sketch_size =
+      config.sketch_size > 0 ? config.sketch_size : max_core + 4;
+  if (sketch_size < max_core) {
+    return Status::InvalidArgument(StrFormat(
+        "sketch_size %lld is smaller than the largest core dimension %lld; "
+        "the range finder cannot extract more directions than the sketch "
+        "keeps",
+        (long long)sketch_size, (long long)max_core));
+  }
+  const int polish =
+      std::min(config.exact_polish_sweeps, options.max_iterations);
+
+  // The sketch configuration changes the iterate sequence, so it belongs in
+  // the resume fingerprint even though the manifest's method stays the
+  // plain family name.
+  const uint64_t fingerprint = CheckpointFingerprint(
+      StrFormat("sketched-tucker/%s/s%lld/p%d", SketchKindName(kind),
+                (long long)sketch_size, polish),
+      options.variant, options.seed, options.tolerance, core_dims, x);
+
+  Rng rng(options.seed);
+  TuckerModel model;
+  int start_iteration = 0;
+  bool has_resume_metric = false;
+  double resume_metric = 0.0;
+  if (options.resume_from != nullptr) {
+    const LoadedCheckpoint& ckpt = *options.resume_from;
+    HATEN2_RETURN_IF_ERROR(ValidateCheckpointForResume(
+        ckpt.manifest, "sketched-tucker", "tucker", fingerprint));
+    if (static_cast<int>(ckpt.tucker.factors.size()) != order) {
+      return Status::InvalidArgument(
+          "checkpoint model does not match the tensor order");
+    }
+    for (int m = 0; m < order; ++m) {
+      const DenseMatrix& f = ckpt.tucker.factors[static_cast<size_t>(m)];
+      if (f.rows() != x.dim(m) ||
+          f.cols() != core_dims[static_cast<size_t>(m)]) {
+        return Status::InvalidArgument(
+            StrFormat("checkpoint factor %d shape does not match", m));
+      }
+    }
+    // Verbatim restore — no defensive QR — for the same bit-identity
+    // reasons as the exact driver (see tucker.cc).
+    model.factors = ckpt.tucker.factors;
+    model.core = ckpt.tucker.core;
+    model.core_norm_history = ckpt.manifest.core_norm_history;
+    model.iterations = ckpt.manifest.iteration;
+    start_iteration = ckpt.manifest.iteration;
+    has_resume_metric = true;
+    resume_metric = ckpt.manifest.metric;
+  } else if (options.initial_tucker != nullptr) {
+    const TuckerModel& init = *options.initial_tucker;
+    if (static_cast<int>(init.factors.size()) != order) {
+      return Status::InvalidArgument(
+          "warm-start model does not match the tensor order");
+    }
+    model.factors.reserve(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      const DenseMatrix& f = init.factors[static_cast<size_t>(m)];
+      if (f.rows() != x.dim(m) ||
+          f.cols() != core_dims[static_cast<size_t>(m)]) {
+        return Status::InvalidArgument(
+            StrFormat("warm-start factor %d shape does not match", m));
+      }
+      HATEN2_ASSIGN_OR_RETURN(QrResult qr, QrDecompose(f));
+      model.factors.push_back(std::move(qr.q));
+    }
+  } else {
+    // Same initialization draw as the exact driver: at a fixed seed the
+    // sketched and exact runs start from identical factors, which is what
+    // makes the fig1 fit-vs-speed ablation a controlled comparison.
+    model.factors.reserve(static_cast<size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      DenseMatrix random = DenseMatrix::RandomNormal(
+          x.dim(m), core_dims[static_cast<size_t>(m)], &rng);
+      HATEN2_ASSIGN_OR_RETURN(QrResult qr, QrDecompose(random));
+      model.factors.push_back(std::move(qr.q));
+    }
+  }
+
+  const double x_norm = x.FrobeniusNorm();
+  AlsHarness::Options harness_options;
+  harness_options.max_iterations = options.max_iterations;
+  harness_options.tolerance = options.tolerance;
+  harness_options.tolerance_scale = x_norm;
+  harness_options.converge_on_equal = true;
+  harness_options.trace = options.trace;
+  harness_options.start_iteration = start_iteration;
+  harness_options.has_resume_metric = has_resume_metric;
+  harness_options.resume_metric = resume_metric;
+  std::optional<CheckpointWriter> checkpoint_writer;
+  if (options.checkpoint != nullptr) {
+    checkpoint_writer.emplace(*options.checkpoint);
+    harness_options.checkpoint_every = options.checkpoint->every_n_iterations;
+    harness_options.checkpoint_fn = [&](int iteration, double prev_metric) {
+      CheckpointManifest m;
+      m.method = "sketched-tucker";
+      m.model_kind = "tucker";
+      m.fingerprint = fingerprint;
+      m.iteration = iteration;
+      m.metric = prev_metric;
+      m.core_norm_history = model.core_norm_history;
+      return checkpoint_writer->Write(m, nullptr, &model);
+    };
+  }
+  AlsHarness harness(engine, harness_options);
+  Status loop_status = harness.Run(
+      [&](int iter, AlsIterationOutcome* outcome) -> Status {
+        const bool polish_sweep = iter > options.max_iterations - polish;
+        double sketch_seconds = 0.0;
+        SliceBlocks last_y;
+        for (int n = 0; n < order; ++n) {
+          // The last mode is exact on every sweep: its CrossMerge blocks
+          // serve both the factor update and the core, so the sweep's
+          // metric is always the true ||G||.
+          const bool exact_mode = polish_sweep || n == order - 1;
+          if (exact_mode) {
+            HATEN2_ASSIGN_OR_RETURN(
+                SliceBlocks y,
+                MultiModeContract(engine, x, model.FactorPtrs(), n,
+                                  MergeKind::kCross, options.variant,
+                                  harness.cache()));
+            HATEN2_ASSIGN_OR_RETURN(
+                DenseMatrix factor,
+                TuckerLeadingFactor(y, core_dims[static_cast<size_t>(n)]));
+            model.factors[static_cast<size_t>(n)] = std::move(factor);
+            if (n == order - 1) last_y = std::move(y);
+            continue;
+          }
+          // Sketched update: project every contracted factor to s columns
+          // (independent plan nodes), contract through the fused broadcast
+          // merge over the sketched Khatri–Rao structure, then range-find
+          // on the s-wide blocks.
+          WallTimer sketch_timer;
+          Plan plan(StrFormat("sketch-m%d", n));
+          std::vector<DenseMatrix> sketched(static_cast<size_t>(order));
+          for (int m = 0; m < order; ++m) {
+            if (m == n) continue;
+            const DenseMatrix* factor_m =
+                &model.factors[static_cast<size_t>(m)];
+            const uint64_t omega_seed = SketchSeedForMode(options.seed, m);
+            int node = plan.AddProducer<DenseMatrix>(
+                StrFormat("Sketch[%s,m%d]", SketchKindName(kind), m), {},
+                [factor_m, kind, sketch_size,
+                 omega_seed]() -> Result<DenseMatrix> {
+                  return ApplySketch(*factor_m, kind, sketch_size,
+                                     omega_seed);
+                },
+                &sketched[static_cast<size_t>(m)]);
+            plan.AnnotateContraction(node, "sketch");
+          }
+          PlanScheduler scheduler(engine);
+          HATEN2_RETURN_IF_ERROR(scheduler.Execute(plan));
+          sketch_seconds += sketch_timer.ElapsedSeconds();
+          std::vector<const DenseMatrix*> sketched_ptrs(
+              static_cast<size_t>(order), nullptr);
+          for (int m = 0; m < order; ++m) {
+            if (m != n) sketched_ptrs[static_cast<size_t>(m)] =
+                &sketched[static_cast<size_t>(m)];
+          }
+          HATEN2_ASSIGN_OR_RETURN(
+              SliceBlocks z,
+              MultiModeContract(engine, x, sketched_ptrs, n,
+                                MergeKind::kSketchFused, options.variant,
+                                harness.cache()));
+          WallTimer range_timer;
+          HATEN2_ASSIGN_OR_RETURN(
+              DenseMatrix factor,
+              TuckerLeadingFactor(z, core_dims[static_cast<size_t>(n)]));
+          sketch_seconds += range_timer.ElapsedSeconds();
+          model.factors[static_cast<size_t>(n)] = std::move(factor);
+        }
+        const int last = order - 1;
+        HATEN2_ASSIGN_OR_RETURN(
+            model.core,
+            TuckerCoreFromBlocks(last_y,
+                                 model.factors[static_cast<size_t>(last)],
+                                 core_dims, last));
+        model.iterations = iter;
+        const double core_norm = model.core.FrobeniusNorm();
+        model.core_norm_history.push_back(core_norm);
+        outcome->has_core_norm = true;
+        outcome->core_norm = core_norm;
+        // Sketched sweeps always run their budget: the projection noise
+        // makes early ||G|| deltas untrustworthy, and converging before the
+        // polish phase would skip the accuracy-recovery sweeps entirely.
+        outcome->has_metric = polish_sweep;
+        outcome->metric = core_norm;
+        outcome->has_sketch = true;
+        outcome->sketch_seconds = sketch_seconds;
+        outcome->sketch_dims = polish_sweep ? 0 : sketch_size;
+        outcome->sketch_polish = polish_sweep;
+        return Status::OK();
+      });
+  if (!loop_status.ok()) return loop_status;
+  HATEN2_ASSIGN_OR_RETURN(model.fit, TuckerFit(x, model));
+  return model;
+}
+
+}  // namespace haten2

@@ -12,14 +12,11 @@
 
 namespace haten2 {
 
-namespace {
-
 /// Extracts `count` leading left singular vectors of the implicit matrix
 /// whose rows are y's slice blocks, via the eigendecomposition of the small
 /// Gram matrix Y₍ₙ₎ᵀY₍ₙ₎. Deficient directions are completed with
 /// orthonormalized canonical basis vectors (dead components).
-Result<DenseMatrix> LeadingVectorsFromBlocks(const SliceBlocks& y,
-                                             int64_t count) {
+Result<DenseMatrix> TuckerLeadingFactor(const SliceBlocks& y, int64_t count) {
   const int64_t block = y.BlockSize();
   if (count > y.free_dim) {
     return Status::InvalidArgument(
@@ -94,7 +91,24 @@ Result<DenseMatrix> LeadingVectorsFromBlocks(const SliceBlocks& y,
   return a;
 }
 
-}  // namespace
+Result<DenseTensor> TuckerCoreFromBlocks(const SliceBlocks& last_y,
+                                         const DenseMatrix& a_last,
+                                         const std::vector<int64_t>& core_dims,
+                                         int last_mode) {
+  DenseMatrix core_unfolded(core_dims[static_cast<size_t>(last_mode)],
+                            last_y.BlockSize());
+  for (const auto& [slice, row] : last_y.rows) {
+    for (int64_t p = 0; p < core_unfolded.rows(); ++p) {
+      double w = a_last(slice, p);
+      if (w == 0.0) continue;
+      double* crow = core_unfolded.RowPtr(p);
+      for (int64_t c = 0; c < core_unfolded.cols(); ++c) {
+        crow[c] += w * row[static_cast<size_t>(c)];
+      }
+    }
+  }
+  return DenseTensor::Fold(core_unfolded, last_mode, core_dims);
+}
 
 Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
                                     std::vector<int64_t> core_dims,
@@ -227,28 +241,18 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
                               harness.cache()));
         HATEN2_ASSIGN_OR_RETURN(
             DenseMatrix factor,
-            LeadingVectorsFromBlocks(y, core_dims[static_cast<size_t>(n)]));
+            TuckerLeadingFactor(y, core_dims[static_cast<size_t>(n)]));
         model.factors[static_cast<size_t>(n)] = std::move(factor);
         if (n == order - 1) last_y = std::move(y);
       }
       // Core: G = Y ×_{N-1} A⁽ᴺ⁻¹⁾ᵀ, i.e. G₍ₙ₎ = AᵀY₍ₙ₎ accumulated over
       // the sparse slice blocks, then folded.
       const int last = order - 1;
-      const DenseMatrix& a_last = model.factors[static_cast<size_t>(last)];
-      DenseMatrix core_unfolded(core_dims[static_cast<size_t>(last)],
-                                last_y.BlockSize());
-      for (const auto& [slice, row] : last_y.rows) {
-        for (int64_t p = 0; p < core_unfolded.rows(); ++p) {
-          double w = a_last(slice, p);
-          if (w == 0.0) continue;
-          double* crow = core_unfolded.RowPtr(p);
-          for (int64_t c = 0; c < core_unfolded.cols(); ++c) {
-            crow[c] += w * row[static_cast<size_t>(c)];
-          }
-        }
-      }
       HATEN2_ASSIGN_OR_RETURN(
-          model.core, DenseTensor::Fold(core_unfolded, last, core_dims));
+          model.core,
+          TuckerCoreFromBlocks(last_y,
+                               model.factors[static_cast<size_t>(last)],
+                               core_dims, last));
       model.iterations = iter;
       const double core_norm = model.core.FrobeniusNorm();
       model.core_norm_history.push_back(core_norm);

@@ -27,6 +27,24 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
                                     std::vector<int64_t> core_dims,
                                     const Haten2Options& options = {});
 
+/// \brief The HOOI per-mode factor update shared by the exact and sketched
+/// drivers: `count` leading left singular vectors of the implicit matrix
+/// whose rows are y's slice blocks, via the eigendecomposition of the small
+/// BlockSize² Gram matrix Y₍ₙ₎ᵀY₍ₙ₎. Deficient directions are completed
+/// with orthonormalized canonical basis vectors (dead components). For the
+/// sketched driver y is the s-wide projected contraction, so the same code
+/// is the randomized range finder — the Gram shrinks from ΠQ² to s².
+Result<DenseMatrix> TuckerLeadingFactor(const SliceBlocks& y, int64_t count);
+
+/// \brief The core update shared by the Tucker-family drivers:
+/// G₍last₎ = A⁽ˡᵃˢᵗ⁾ᵀ·Y₍last₎ accumulated over the sparse slice blocks of
+/// the last mode's *cross* contraction, then folded to core_dims. `a_last`
+/// must be the freshly updated last-mode factor.
+Result<DenseTensor> TuckerCoreFromBlocks(const SliceBlocks& last_y,
+                                         const DenseMatrix& a_last,
+                                         const std::vector<int64_t>& core_dims,
+                                         int last_mode);
+
 }  // namespace haten2
 
 #endif  // HATEN2_CORE_TUCKER_H_

@@ -137,6 +137,15 @@ Status ClusterConfig::Validate() const {
                   contraction.c_str()));
   }
   if (incore_memory_mb < 1) return BadField("incore_memory_mb", ">= 1");
+  if (tucker_sketch != "none" && tucker_sketch != "gaussian" &&
+      tucker_sketch != "countsketch") {
+    return Status::InvalidArgument(
+        StrFormat("ClusterConfig: tucker_sketch must be \"none\", "
+                  "\"gaussian\" or \"countsketch\", got \"%s\"",
+                  tucker_sketch.c_str()));
+  }
+  if (sketch_size < 0) return BadField("sketch_size", ">= 0");
+  if (exact_polish_sweeps < 0) return BadField("exact_polish_sweeps", ">= 0");
   if (backend != "inprocess" && backend != "subprocess") {
     return Status::InvalidArgument(
         StrFormat("ClusterConfig: backend must be \"inprocess\" or "

@@ -186,6 +186,25 @@ struct ClusterConfig {
   /// share, not the whole cluster: the layout lives in a single process.
   int64_t incore_memory_mb = 1024;
 
+  /// Randomized (sketched) Tucker HOOI (core/sketched_tucker.h): "none"
+  /// keeps the exact per-mode SVD; "gaussian" / "countsketch" select the
+  /// projection family the sketched driver compresses the contracted factor
+  /// columns with. The CLI routes --method=tucker through the sketched
+  /// driver whenever this is not "none". Never affects the exact drivers.
+  std::string tucker_sketch = "none";
+
+  /// Sketch dimension s: the column count the contracted factor space is
+  /// projected down to before the merge jobs run. 0 = auto (the largest
+  /// core dimension plus a small oversampling margin); explicit values must
+  /// be >= the largest core dimension, which the driver checks (the config
+  /// does not know the core dims). Must be >= 0.
+  int64_t sketch_size = 0;
+
+  /// Exact HOOI sweeps appended at the end of a sketched run to recover the
+  /// accuracy the projections gave up (the randomized-Tucker papers'
+  /// "polish" step). Must be >= 0; 0 runs sketched sweeps only.
+  int exact_polish_sweeps = 2;
+
   /// Execution backend behind the Engine API: "inprocess" runs map tasks
   /// and reduce partitions on the engine's thread pool (the default);
   /// "subprocess" forks EffectiveNumWorkers() local worker processes and

@@ -274,6 +274,15 @@ struct IterationStats {
   /// PARAFAC λ after this iteration (empty for Tucker).
   std::vector<double> lambda;
 
+  /// Sketched-Tucker sweep annotations (v8): driver-side seconds spent in
+  /// sketch construction + randomized range finding, the sketch width s
+  /// this sweep contracted with (0 on exact sweeps), and whether the sweep
+  /// was an exact polish sweep. has_sketch is false for every other driver.
+  bool has_sketch = false;
+  double sketch_seconds = 0.0;
+  int64_t sketch_dims = 0;
+  bool sketch_polish = false;
+
   /// The engine jobs executed during this iteration.
   PipelineStats pipeline;
 };

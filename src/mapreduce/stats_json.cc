@@ -205,6 +205,20 @@ void IterationStatsToJson(const IterationStats& iteration,
     for (double l : iteration.lambda) w->Value(l);
     w->EndArray();
   }
+  // v8: sketched-Tucker sweeps carry their driver-side sketch cost, the
+  // sketch width they contracted with (0 on exact sweeps), and whether the
+  // sweep was an exact polish sweep. Absent for every other driver.
+  if (iteration.has_sketch) {
+    w->Key("sketch")
+        .BeginObject()
+        .Key("seconds")
+        .Value(iteration.sketch_seconds)
+        .Key("dims")
+        .Value(iteration.sketch_dims)
+        .Key("polish")
+        .Value(iteration.sketch_polish)
+        .EndObject();
+  }
   w->Key("pipeline");
   PipelineStatsToJson(iteration.pipeline, cost, w);
   w->EndObject();
@@ -230,6 +244,12 @@ void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w) {
       .Value(config.contraction)
       .Key("incore_memory_mb")
       .Value(config.incore_memory_mb)
+      .Key("tucker_sketch")
+      .Value(config.tucker_sketch)
+      .Key("sketch_size")
+      .Value(config.sketch_size)
+      .Key("exact_polish_sweeps")
+      .Value(config.exact_polish_sweeps)
       .Key("job_startup_seconds")
       .Value(config.job_startup_seconds)
       .Key("total_shuffle_memory_bytes")
@@ -283,7 +303,7 @@ std::string StatsReportToJson(const StatsReport& report) {
   const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").Value("haten2-stats-v7");
+  w.Key("schema").Value("haten2-stats-v8");
   if (!report.tool.empty()) w.Key("tool").Value(report.tool);
   if (!report.method.empty()) w.Key("method").Value(report.method);
   if (!report.variant.empty()) w.Key("variant").Value(report.variant);

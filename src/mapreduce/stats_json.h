@@ -90,7 +90,7 @@ struct StatsReport {
   const std::vector<distributed::WorkerStats>* workers = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v7").
+/// Serializes the whole report ("haten2-stats-v8").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

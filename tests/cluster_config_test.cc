@@ -168,6 +168,13 @@ TEST(ClusterConfigValidateTest, RejectsEachBadFieldByName) {
        [](ClusterConfig* c) { c->incore_memory_mb = 0; }},
       {"incore_memory_mb",
        [](ClusterConfig* c) { c->incore_memory_mb = -512; }},
+      {"tucker_sketch", [](ClusterConfig* c) { c->tucker_sketch = "srht"; }},
+      {"tucker_sketch", [](ClusterConfig* c) { c->tucker_sketch = ""; }},
+      {"tucker_sketch",
+       [](ClusterConfig* c) { c->tucker_sketch = "Gaussian"; }},
+      {"sketch_size", [](ClusterConfig* c) { c->sketch_size = -1; }},
+      {"exact_polish_sweeps",
+       [](ClusterConfig* c) { c->exact_polish_sweeps = -1; }},
   };
   for (const Case& c : cases) {
     ClusterConfig config;
@@ -194,6 +201,15 @@ TEST(ClusterConfigValidateTest, AcceptsEveryContractionStrategy) {
     config.contraction = strategy;
     Status s = config.Validate();
     EXPECT_TRUE(s.ok()) << strategy << ": " << s.ToString();
+  }
+}
+
+TEST(ClusterConfigValidateTest, AcceptsEverySketchKind) {
+  for (const char* kind : {"none", "gaussian", "countsketch"}) {
+    ClusterConfig config = ClusterConfig::ForTesting();
+    config.tucker_sketch = kind;
+    Status s = config.Validate();
+    EXPECT_TRUE(s.ok()) << kind << ": " << s.ToString();
   }
 }
 

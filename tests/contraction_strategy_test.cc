@@ -282,7 +282,7 @@ TEST(ContractionBitIdentity, ParafacMissingValues) {
 }
 
 // ---------------------------------------------------------------------------
-// haten2-stats-v7 surface.
+// haten2-stats-v8 surface.
 // ---------------------------------------------------------------------------
 
 TEST(ContractionStats, V7RecordsStrategyAndTimings) {

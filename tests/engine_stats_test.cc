@@ -1,6 +1,6 @@
 // Tests for the engine's observability layer: per-phase wall times, skew
 // summaries, failure-path accounting (o.o.m. / abort / spills), the
-// "haten2-stats-v7" JSON export, and the spill-filename race regression
+// "haten2-stats-v8" JSON export, and the spill-filename race regression
 // (concurrent Run calls on one engine).
 
 #include <gtest/gtest.h>
@@ -485,7 +485,7 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
 
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   for (const char* key :
-       {"\"schema\":\"haten2-stats-v7\"", "\"status\":\"ok\"",
+       {"\"schema\":\"haten2-stats-v8\"", "\"status\":\"ok\"",
         "\"cluster\"", "\"iterations\"", "\"pipeline\"", "\"phases\"",
         "\"map_seconds\"", "\"shuffle_seconds\"", "\"reduce_seconds\"",
         "\"spill\"", "\"fit\"", "\"lambda\"", "\"simulated_seconds\"",
@@ -508,7 +508,12 @@ TEST(EngineStats, StatsReportJsonIsValidAndComplete) {
         "\"backend\"", "\"num_workers\"",
         // stats-v7: contraction-strategy additions.
         "\"contraction\"", "\"incore_memory_mb\"",
-        "\"incore_nodes\"", "\"dataflow_nodes\""}) {
+        "\"incore_nodes\"", "\"dataflow_nodes\"",
+        // stats-v8: sketched-Tucker additions (cluster knobs; the
+        // per-iteration "sketch" object only appears for sketched runs and
+        // is covered in sketched_tucker_test.cc).
+        "\"tucker_sketch\"", "\"sketch_size\"",
+        "\"exact_polish_sweeps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -557,7 +562,7 @@ TEST(EngineStats, WriteStatsJsonFileRoundTrips) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_TRUE(JsonChecker(content).Valid()) << content;
-  EXPECT_NE(content.find("haten2-stats-v7"), std::string::npos);
+  EXPECT_NE(content.find("haten2-stats-v8"), std::string::npos);
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Checks documentation links, then runs the tier-1 test suite under
-# sanitizers. Usage:
+# Checks documentation links and flag/schema doc drift, then runs the
+# tier-1 test suite under sanitizers. Usage:
 #
 #   tools/check.sh [sanitizer...]
 #
@@ -25,6 +25,8 @@ cd "$(dirname "$0")/.."
 
 echo "=== docs: checking markdown links ==="
 tools/check_links.sh
+echo "=== docs: checking flag/schema drift ==="
+tools/check_docs.sh
 
 sanitizers=("$@")
 if [[ ${#sanitizers[@]} -eq 0 ]]; then

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Doc-drift checker. Two gates over the user-facing documentation
+# (README.md, EXPERIMENTS.md, DESIGN.md, docs/*.md):
+#
+#   1. Flags. Every `--flag` token mentioned in the docs must exist on
+#      some tool's command line. The corpus is the union of the built
+#      tools' --help output (haten2_cli, haten2_gen, haten2_serve,
+#      haten2_verify) when the binaries exist under $BUILD_DIR
+#      (default: build); without a build it falls back to grepping the
+#      flag string literals in tools/*.cc — same surface, no toolchain
+#      needed, which is what lets the CI docs job run this on a bare
+#      checkout.
+#   2. Stats schema version. Every full `haten2-stats-vN` token in the
+#      docs must match the single version emitted by
+#      src/mapreduce/stats_json.cc. (Historical deltas are written
+#      "v6 -> v7" precisely so they don't trip this.)
+#
+# Usage: tools/check_docs.sh   (no arguments; BUILD_DIR overridable)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+DOC_FILES=(README.md EXPERIMENTS.md DESIGN.md docs/*.md)
+
+# Flags the docs may mention that belong to the build tooling, not to
+# this repository's binaries.
+ALLOWED_FOREIGN_FLAGS=(
+  --build            # cmake
+  --test-dir         # ctest
+  --output-on-failure
+  --benchmark_filter # google-benchmark
+  --benchmark_min_time
+  --help             # accepted by every tool, listed by none
+)
+
+tools=(haten2_cli haten2_gen haten2_serve haten2_verify)
+corpus=""
+have_binaries=1
+for t in "${tools[@]}"; do
+  [[ -x "${BUILD_DIR}/tools/${t}" ]] || { have_binaries=0; break; }
+done
+if [[ "${have_binaries}" -eq 1 ]]; then
+  source_desc="${BUILD_DIR}/tools/*( --help)"
+  for t in "${tools[@]}"; do
+    corpus+="$("${BUILD_DIR}/tools/${t}" --help 2>&1 || true)"$'\n'
+  done
+else
+  source_desc="tools/*.cc (no built binaries under ${BUILD_DIR})"
+  corpus="$(cat tools/*.cc)"
+fi
+known_flags="$(grep -oE '\-\-[a-z][a-z0-9_-]*' <<<"${corpus}" | sort -u)"
+
+failures=0
+
+# --- Gate 1: flags ---
+for file in "${DOC_FILES[@]}"; do
+  [[ -f "${file}" ]] || { echo "no such file: ${file}" >&2; exit 2; }
+  while IFS= read -r flag; do
+    [[ -n "${flag}" ]] || continue
+    for allowed in "${ALLOWED_FOREIGN_FLAGS[@]}"; do
+      [[ "${flag}" == "${allowed}" ]] && continue 2
+    done
+    if ! grep -qxFe "${flag}" <<<"${known_flags}"; then
+      echo "${file}: documented flag ${flag} not found in ${source_desc}"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -ohE '\-\-[a-z][a-z0-9_-]*' "${file}" | sort -u)
+done
+
+# --- Gate 2: stats schema version ---
+current="$(grep -ohE 'haten2-stats-v[0-9]+' src/mapreduce/stats_json.cc \
+           | sort -u)"
+if [[ "$(wc -l <<<"${current}")" -ne 1 ]]; then
+  echo "stats_json.cc emits more than one schema version:" >&2
+  echo "${current}" >&2
+  exit 2
+fi
+for file in "${DOC_FILES[@]}"; do
+  while IFS= read -r token; do
+    [[ -n "${token}" ]] || continue
+    if [[ "${token}" != "${current}" ]]; then
+      echo "${file}: stale schema token ${token} (stats_json.cc emits ${current})"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -ohE 'haten2-stats-v[0-9]+' "${file}" | sort -u)
+done
+
+if [[ "${failures}" -gt 0 ]]; then
+  echo "check_docs: ${failures} drift failure(s)" >&2
+  exit 1
+fi
+echo "check_docs: docs match the CLI surface and ${current}"

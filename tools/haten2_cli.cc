@@ -28,6 +28,22 @@
 //   --max_concurrent_jobs=J              cap on plan nodes the scheduler
 //                                        runs concurrently (default 1 =
 //                                        serial legacy order)
+//   --tucker_sketch=none|gaussian|countsketch
+//                                        randomized (sketched) Tucker HOOI
+//                                        (default none = exact SVD); with a
+//                                        sketch, --method=tucker projects
+//                                        the contracted factors to
+//                                        --sketch_size columns before the
+//                                        merge jobs and range-finds on the
+//                                        narrow blocks; seeded and
+//                                        bit-reproducible at fixed --seed
+//   --sketch_size=S                      sketch width (default 0 = largest
+//                                        core dimension + 4; explicit
+//                                        values must be >= the largest
+//                                        core dimension)
+//   --exact_polish_sweeps=P              exact HOOI sweeps appended at the
+//                                        end of a sketched run to recover
+//                                        accuracy (default 2)
 //   --contraction=auto|dataflow|incore   contraction strategy (default
 //                                        dataflow = the paper's MapReduce
 //                                        pipelines; incore = DFacTo-style
@@ -104,7 +120,7 @@
 //                                        phase times, intermediate-data
 //                                        records/bytes, per-iteration fit,
 //                                        retry/backoff counters)
-//                                        as "haten2-stats-v7" JSON; written
+//                                        as "haten2-stats-v8" JSON; written
 //                                        on failures too, so o.o.m. runs
 //                                        keep their post-mortem numbers
 //
@@ -115,6 +131,7 @@
 
 #include "core/nonnegative_tucker.h"
 #include "core/parafac.h"
+#include "core/sketched_tucker.h"
 #include "core/tucker.h"
 #include "tensor/model_io.h"
 #include "mapreduce/cost_model.h"
@@ -137,6 +154,8 @@ constexpr const char* kUsage =
     "       [--threads=T] [--backend=inprocess|subprocess]\n"
     "       [--num_workers=W] [--max_concurrent_jobs=J] [--budget-mb=B]\n"
     "       [--contraction=auto|dataflow|incore] [--incore_memory_mb=MB]\n"
+    "       [--tucker_sketch=none|gaussian|countsketch] [--sketch_size=S]\n"
+    "       [--exact_polish_sweeps=P]\n"
     "       [--spill_dir=DIR] [--spill_threshold=N]\n"
     "       [--spill_compression=none|delta_varint]\n"
     "       [--output=PREFIX] [--resume[=PREFIX]] [--stats]\n"
@@ -174,6 +193,8 @@ int RealMain(int argc, char** argv) {
                                  "num_workers",
                                  "max_concurrent_jobs", "budget-mb",
                                  "contraction", "incore_memory_mb",
+                                 "tucker_sketch", "sketch_size",
+                                 "exact_polish_sweeps",
                                  "spill_dir", "spill_threshold",
                                  "spill_compression",
                                  "output", "resume", "stats", "stats_json",
@@ -217,6 +238,9 @@ int RealMain(int argc, char** argv) {
       flags.GetInt("max_concurrent_jobs", 1);
   Result<int64_t> budget_mb = flags.GetInt("budget-mb", 0);
   Result<int64_t> incore_memory_mb = flags.GetInt("incore_memory_mb", 1024);
+  Result<int64_t> sketch_size = flags.GetInt("sketch_size", 0);
+  Result<int64_t> exact_polish_sweeps =
+      flags.GetInt("exact_polish_sweeps", 2);
   Result<int64_t> spill_threshold = flags.GetInt("spill_threshold", 64 * 1024);
   Result<SpillCompression> spill_compression =
       ParseSpillCompression(flags.GetString("spill_compression", "none"));
@@ -243,7 +267,8 @@ int RealMain(int argc, char** argv) {
         tolerance.status(), seed.status(), machines.status(),
         threads.status(), num_workers.status(),
         max_concurrent_jobs.status(), budget_mb.status(),
-        incore_memory_mb.status(),
+        incore_memory_mb.status(), sketch_size.status(),
+        exact_polish_sweeps.status(),
         spill_threshold.status(), spill_compression.status(),
         checkpoint_every.status(), checkpoint_keep.status(),
         task_failure_prob.status(), max_task_attempts.status(),
@@ -265,6 +290,9 @@ int RealMain(int argc, char** argv) {
   config.max_concurrent_jobs = static_cast<int>(*max_concurrent_jobs);
   config.contraction = flags.GetString("contraction", "dataflow");
   config.incore_memory_mb = *incore_memory_mb;
+  config.tucker_sketch = flags.GetString("tucker_sketch", "none");
+  config.sketch_size = *sketch_size;
+  config.exact_polish_sweeps = static_cast<int>(*exact_polish_sweeps);
   config.total_shuffle_memory_bytes =
       static_cast<uint64_t>(*budget_mb) << 20;
   config.spill_directory = flags.GetString("spill_dir", "");
@@ -398,17 +426,31 @@ int RealMain(int argc, char** argv) {
       }
     }
   } else if (method == "tucker" || method == "tucker-nn") {
+    const bool sketched =
+        method == "tucker" && config.tucker_sketch != "none";
+    if (method == "tucker-nn" && config.tucker_sketch != "none") {
+      std::fprintf(stderr,
+                   "--tucker_sketch applies to --method=tucker only "
+                   "(nonnegative Tucker has no sketched driver)\n");
+      return 1;
+    }
     Result<TuckerModel> model =
         method == "tucker"
-            ? Haten2TuckerAls(&engine, *tensor, *core, options)
+            ? (sketched
+                   ? Haten2SketchedTuckerAls(&engine, *tensor, *core, options)
+                   : Haten2TuckerAls(&engine, *tensor, *core, options))
             : Haten2NonnegativeTuckerAls(&engine, *tensor, *core, options);
     run_status = model.status();
     if (model.ok()) {
       has_fit = true;
       fit = model->fit;
       iterations_run = model->iterations;
+      const std::string method_label =
+          sketched ? StrFormat("tucker[%s-sketch]",
+                               config.tucker_sketch.c_str())
+                   : method;
       std::printf("%s: fit %.4f, ||G|| %.4f in %d iterations (%s "
-                  "wall)\n", method.c_str(),
+                  "wall)\n", method_label.c_str(),
                   model->fit, model->core.FrobeniusNorm(),
                   model->iterations,
                   HumanSeconds(timer.ElapsedSeconds()).c_str());
