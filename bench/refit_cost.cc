@@ -1,0 +1,173 @@
+// Refit-cost comparison for the ingest loop (ISSUE 10): full refit vs
+// incremental refit at equal fit. Both modes warm-start each epoch's ALS
+// from the previous factors over the same merged tensor, so the factor
+// trajectories are bit-identical; the difference is what happens to the
+// ContractCache between epochs — a full rebuild vs dirty-slice patching.
+// Deltas here are slice-local (confined to a few slices per mode), the
+// regime incremental invalidation exists for; BENCH_refit.json carries the
+// two cost cells plus fit/iteration fields the CI job asserts equal on.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "core/incremental_refit.h"
+#include "tensor/delta_log.h"
+#include "util/random.h"
+#include "workload/random_tensor.h"
+
+namespace haten2 {
+namespace bench {
+namespace {
+
+constexpr int64_t kDim = 40;
+constexpr int64_t kBaseNnz = 6000;
+constexpr int64_t kEpochs = 4;
+constexpr int64_t kEpochNnz = 300;
+constexpr int64_t kRank = 8;
+constexpr int kIterations = 10;
+constexpr uint64_t kSeed = 42;
+// Slices per mode a delta epoch may touch — slice-local, so per-mode dirty
+// sets stay tiny relative to kDim.
+constexpr int64_t kSlicesPerMode = 3;
+
+Result<DeltaLog> SliceLocalDeltas(const std::vector<int64_t>& dims) {
+  HATEN2_ASSIGN_OR_RETURN(DeltaLog log, DeltaLog::Create(dims));
+  Rng rng(kSeed ^ 0xbe7c);
+  std::vector<int64_t> idx(dims.size());
+  for (int64_t e = 0; e < kEpochs; ++e) {
+    // Each epoch picks its own small slice pool per mode.
+    std::vector<std::vector<int64_t>> pools(dims.size());
+    for (size_t m = 0; m < dims.size(); ++m) {
+      for (int64_t s = 0; s < kSlicesPerMode; ++s) {
+        pools[m].push_back(static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(dims[m]))));
+      }
+    }
+    for (int64_t i = 0; i < kEpochNnz; ++i) {
+      for (size_t m = 0; m < dims.size(); ++m) {
+        idx[m] = pools[m][static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(kSlicesPerMode)))];
+      }
+      HATEN2_RETURN_IF_ERROR(log.Append(
+          idx.data(), static_cast<int>(idx.size()), rng.Uniform() + 0.5));
+    }
+    HATEN2_RETURN_IF_ERROR(log.SealEpoch().status());
+  }
+  return log;
+}
+
+struct ModeResult {
+  Measurement refits;  // the epoch loop only (base fit excluded)
+  double final_fit = 0.0;
+  int64_t iterations = 0;
+  KruskalModel model;
+};
+
+Result<ModeResult> RunMode(const SparseTensor& base, const DeltaLog& log,
+                           bool incremental) {
+  ClusterConfig config = PaperCluster(/*shuffle_budget_bytes=*/0);
+  config.contraction = "incore";  // the layout cache is what's under test
+  HATEN2_RETURN_IF_ERROR(config.Validate());
+  Engine engine(config);
+
+  IncrementalRefitOptions options;
+  options.rank = kRank;
+  options.incremental = incremental;
+  options.als.max_iterations = kIterations;
+  options.als.seed = kSeed;
+  IncrementalRefitSession session(&engine, base, options);
+  HATEN2_RETURN_IF_ERROR(session.FitBase());
+
+  ModeResult out;
+  out.refits = MeasureMr(&engine, [&]() -> Status {
+    for (int64_t e = 0; e < log.num_epochs(); ++e) {
+      HATEN2_RETURN_IF_ERROR(session.RefitWithDelta(log.epoch(e)));
+    }
+    return Status::OK();
+  });
+  out.final_fit = session.model().fit;
+  out.iterations = session.counters().iterations;
+  out.model = session.model();
+  return out;
+}
+
+bool BitIdentical(const KruskalModel& a, const KruskalModel& b) {
+  if (a.factors.size() != b.factors.size()) return false;
+  for (size_t m = 0; m < a.factors.size(); ++m) {
+    const DenseMatrix& fa = a.factors[m];
+    const DenseMatrix& fb = b.factors[m];
+    if (fa.rows() != fb.rows() || fa.cols() != fb.cols()) return false;
+    for (int64_t r = 0; r < fa.rows(); ++r) {
+      for (int64_t c = 0; c < fa.cols(); ++c) {
+        if (fa(r, c) != fb(r, c)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+int RealMain() {
+  RandomTensorSpec spec;
+  spec.dims = {kDim, kDim, kDim};
+  spec.nnz = kBaseNnz;
+  spec.seed = kSeed;
+  Result<SparseTensor> base = GenerateRandomTensor(spec);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  Result<DeltaLog> log = SliceLocalDeltas(base->dims());
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("base %s; %lld slice-local epochs of <=%lld nnz "
+              "(<=%lld dirty slices per mode)\n",
+              base->DebugString().c_str(), (long long)kEpochs,
+              (long long)kEpochNnz, (long long)kSlicesPerMode);
+
+  Result<ModeResult> full = RunMode(*base, *log, /*incremental=*/false);
+  Result<ModeResult> incr = RunMode(*base, *log, /*incremental=*/true);
+  if (!full.ok() || !incr.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!full.ok() ? full : incr).status().ToString().c_str());
+    return 1;
+  }
+
+  PrintHeader("Refit cost: full vs incremental (epoch loop only)",
+              {"method", "wall", "fit", "iters"});
+  PrintRow({"full-refit", StrFormat("%8.2fs", full->refits.wall_seconds),
+            StrFormat("%.6f", full->final_fit),
+            StrFormat("%lld", (long long)full->iterations)});
+  PrintRow({"incremental", StrFormat("%8.2fs", incr->refits.wall_seconds),
+            StrFormat("%.6f", incr->final_fit),
+            StrFormat("%lld", (long long)incr->iterations)});
+
+  const bool identical = BitIdentical(full->model, incr->model);
+  std::printf("\nfactors bit-identical across modes: %s\n",
+              identical ? "yes" : "NO — determinism contract broken");
+
+  BenchJsonLog json("refit");
+  const std::string sweep = "refit_mode";
+  json.Add(sweep,
+           StrFormat("epochs=%lld,epoch_nnz=%lld,iters=%lld,fit=%.9f",
+                     (long long)kEpochs, (long long)kEpochNnz,
+                     (long long)full->iterations, full->final_fit),
+           "full-refit", full->refits);
+  json.Add(sweep,
+           StrFormat("epochs=%lld,epoch_nnz=%lld,iters=%lld,fit=%.9f",
+                     (long long)kEpochs, (long long)kEpochNnz,
+                     (long long)incr->iterations, incr->final_fit),
+           "incremental", incr->refits);
+  json.Write();
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace haten2
+
+int main() { return haten2::bench::RealMain(); }

@@ -106,6 +106,14 @@ class AlsHarness {
     /// durability, silently losing it would defeat the point. 0 disables.
     int checkpoint_every = 0;
     std::function<Status(int iteration, double prev_metric)> checkpoint_fn;
+
+    /// Optional caller-owned ContractCache (Haten2Options::contract_cache).
+    /// When set, cache() returns it instead of the harness-private cache,
+    /// so derived forms of the input tensor survive across decompositions —
+    /// the incremental-refit path keeps one cache alive across epochs and
+    /// patches it per delta instead of rebuilding layouts from scratch.
+    /// Not owned; must outlive the harness.
+    ContractCache* external_cache = nullptr;
   };
 
   /// The iteration body: runs one full ALS sweep (iteration numbers start
@@ -123,8 +131,13 @@ class AlsHarness {
   /// max_iterations, otherwise the first iteration failure.
   Status Run(const IterationBody& body);
 
-  /// Input-scan cache for the decomposition's invariant tensor.
-  ContractCache* cache() { return &cache_; }
+  /// Input-scan cache for the decomposition's invariant tensor: the
+  /// caller-provided Options::external_cache when set, else a private
+  /// per-decomposition cache.
+  ContractCache* cache() {
+    return options_.external_cache != nullptr ? options_.external_cache
+                                              : &cache_;
+  }
 
  private:
   Engine* engine_;

@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -43,8 +44,17 @@ Status ParseHistory(std::istringstream* rest, std::vector<double>* out) {
 }
 
 /// iter_<NNNNNN> → iteration, or -1 for names that are not checkpoints.
+/// `*.tmp` names are rejected explicitly (not just by the digits rule):
+/// they are staging directories mid-write or orphans of a crash, never
+/// committed checkpoints, regardless of what tooling dropped them there.
 int ParseCheckpointDirName(const std::string& name) {
   constexpr std::string_view kPrefix = "iter_";
+  constexpr std::string_view kTmpSuffix = ".tmp";
+  if (name.size() >= kTmpSuffix.size() &&
+      name.compare(name.size() - kTmpSuffix.size(), kTmpSuffix.size(),
+                   kTmpSuffix) == 0) {
+    return -1;
+  }
   if (name.size() <= kPrefix.size() ||
       name.compare(0, kPrefix.size(), kPrefix) != 0) {
     return -1;
@@ -310,7 +320,21 @@ Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& directory) {
     return Status::NotFound("no committed checkpoints under '" + directory +
                             "'");
   }
-  return LoadCheckpoint(checkpoints.back());
+  // Walk newest → oldest, skipping checkpoints that fail to load: a torn
+  // manifest (missing 'end' marker) or half-written model files mean that
+  // *that* checkpoint is dead, not that resume is impossible — an older
+  // committed checkpoint is strictly better than starting over. Only when
+  // every candidate is broken does the newest one's error surface.
+  Status newest_error = Status::OK();
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    Result<LoadedCheckpoint> loaded = LoadCheckpoint(*it);
+    if (loaded.ok()) return loaded;
+    if (newest_error.ok()) newest_error = loaded.status();
+    std::fprintf(stderr,
+                 "haten2: skipping unloadable checkpoint %s: %s\n",
+                 it->c_str(), loaded.status().message().c_str());
+  }
+  return newest_error;
 }
 
 }  // namespace haten2

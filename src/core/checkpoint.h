@@ -126,8 +126,12 @@ Result<CheckpointManifest> ReadCheckpointManifest(
 /// Loads one committed checkpoint directory (manifest + model files).
 Result<LoadedCheckpoint> LoadCheckpoint(const std::string& checkpoint_dir);
 
-/// Loads the newest committed checkpoint under `directory`; NotFound when
-/// none exists.
+/// Loads the newest *loadable* committed checkpoint under `directory`:
+/// candidates are tried newest-first and ones that fail to load (torn
+/// manifest without the `end` marker, half-written model files, orphaned
+/// `*.tmp` debris that slipped past naming) are skipped with a warning —
+/// an older committed checkpoint beats starting over. NotFound when no
+/// candidate exists; the newest candidate's load error when all are broken.
 Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& directory);
 
 /// Shared driver-side resume gate: the checkpoint must carry the expected

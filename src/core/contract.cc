@@ -1,5 +1,6 @@
 #include "core/contract.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -45,6 +46,57 @@ std::shared_ptr<const std::vector<TensorRecord>> ContractCache::Records(
   }
   if (engine != nullptr) engine->NoteInvariantCache(hit);
   return records_;
+}
+
+Status ContractCache::ApplyDelta(const SparseTensor& new_x,
+                                 const SparseTensor& delta) {
+  if (!new_x.canonical()) {
+    return Status::FailedPrecondition(
+        "ContractCache::ApplyDelta: merged tensor must be canonical");
+  }
+  if (delta.order() != new_x.order()) {
+    return Status::InvalidArgument(
+        StrFormat("ContractCache::ApplyDelta: delta order %d != tensor "
+                  "order %d",
+                  delta.order(), new_x.order()));
+  }
+  ++delta_patches_;
+  records_.reset();
+  if (!has_key_) {
+    for (auto& slot : layouts_) slot.reset();
+    has_key_ = true;
+    fingerprint_ = TensorFingerprint(new_x);
+    return Status::OK();
+  }
+  const int order = new_x.order();
+  for (int m = 0; m < order && m < kMaxMrOrder; ++m) {
+    auto& slot = layouts_[static_cast<size_t>(m)];
+    if (slot == nullptr) continue;
+    std::vector<int64_t> dirty;
+    dirty.reserve(static_cast<size_t>(delta.nnz()));
+    for (int64_t e = 0; e < delta.nnz(); ++e) {
+      dirty.push_back(delta.IndexPtr(e)[m]);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    dirty_slices_ += static_cast<int64_t>(dirty.size());
+    if (static_cast<int64_t>(dirty.size()) >= new_x.dim(m)) {
+      // Degenerate delta: every slice of this mode is dirty, so patching
+      // degrades to a full rebuild — collapse to a plain invalidation and
+      // let the next Layout() call rebuild (an honest layout miss).
+      slot.reset();
+      ++layout_full_invalidations_;
+      continue;
+    }
+    CsfPatchCounters pc;
+    HATEN2_ASSIGN_OR_RETURN(CsfLayout patched,
+                            PatchCsfLayout(*slot, new_x, dirty, &pc));
+    slot = std::make_shared<const CsfLayout>(std::move(patched));
+    layout_slices_reused_ += pc.slices_reused;
+    layout_slices_rebuilt_ += pc.slices_rebuilt;
+  }
+  fingerprint_ = TensorFingerprint(new_x);
+  return Status::OK();
 }
 
 Result<std::shared_ptr<const CsfLayout>> ContractCache::Layout(

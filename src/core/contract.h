@@ -33,8 +33,8 @@ std::vector<TensorRecord> TensorToRecords(const SparseTensor& x);
 /// accounted in the engine's pipeline log (invariant_cache_hits / misses);
 /// layout lookups in the local layout_hits() / layout_misses() counters.
 ///
-/// The cache keys on a content fingerprint of the tensor (shape, nnz, and a
-/// sample of coordinates and value bits — see TensorFingerprint), not on its
+/// The cache keys on a full-content fingerprint of the tensor (shape, nnz,
+/// every coordinate and value bit — see TensorFingerprint), not on its
 /// address: a tensor rebuilt in place with different contents invalidates
 /// every cached form instead of aliasing stale data. Tensors that genuinely
 /// change every evaluation — e.g. the EM residual in missing_values.cc —
@@ -55,10 +55,34 @@ class ContractCache {
   Result<std::shared_ptr<const CsfLayout>> Layout(const SparseTensor& x,
                                                   int free_mode);
 
+  /// Re-keys the cache from the previously cached tensor to `new_x` — the
+  /// canonical merge of that tensor with the epoch `delta` — invalidating
+  /// only the dirty slices instead of dropping every cached form. For each
+  /// cached layout the per-mode dirty-slice set is the delta's coordinates
+  /// on that mode; clean slices' segments are reused via PatchCsfLayout,
+  /// so the patched layout is array-identical to a fresh build against
+  /// `new_x`. When the delta touches every slice of a mode the slot
+  /// collapses to a full invalidation (counted separately). The decoded
+  /// records are dropped — rebuilding them is the same O(nnz) pass a patch
+  /// would be, and the next Records() call accounts an honest miss.
+  ///
+  /// Precondition: the cache currently keys the pre-merge tensor (or is
+  /// empty, in which case this just keys to `new_x`). Patching a layout
+  /// built from any other tensor is undefined — the determinism tests pin
+  /// the merge → patch pairing.
+  Status ApplyDelta(const SparseTensor& new_x, const SparseTensor& delta);
+
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   int64_t layout_hits() const { return layout_hits_; }
   int64_t layout_misses() const { return layout_misses_; }
+  int64_t delta_patches() const { return delta_patches_; }
+  int64_t dirty_slices() const { return dirty_slices_; }
+  int64_t layout_slices_reused() const { return layout_slices_reused_; }
+  int64_t layout_slices_rebuilt() const { return layout_slices_rebuilt_; }
+  int64_t layout_full_invalidations() const {
+    return layout_full_invalidations_;
+  }
 
  private:
   /// True iff `x` matches the cached fingerprint. On mismatch, drops every
@@ -73,6 +97,11 @@ class ContractCache {
   int64_t misses_ = 0;
   int64_t layout_hits_ = 0;
   int64_t layout_misses_ = 0;
+  int64_t delta_patches_ = 0;
+  int64_t dirty_slices_ = 0;
+  int64_t layout_slices_reused_ = 0;
+  int64_t layout_slices_rebuilt_ = 0;
+  int64_t layout_full_invalidations_ = 0;
 };
 
 /// Which merge finalizes the contraction (Figure 4): CrossMerge produces the
@@ -138,7 +167,7 @@ struct SliceBlocks {
 /// With "incore" it runs through InCoreContraction's shuffle-free kernels;
 /// "auto" picks in-core when CostModel::EstimateInCoreLayoutBytes fits the
 /// incore_memory_mb budget, dataflow otherwise. The selected strategy is
-/// recorded per plan node in haten2-stats-v8.
+/// recorded per plan node in haten2-stats-v9.
 ///
 /// Note on CrossMerge/PairwiseMerge keying: the paper's MAP prose keys on
 /// (i, rQ+q) but its REDUCE consumes the whole slice X_i:: and Table III

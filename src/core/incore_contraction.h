@@ -15,7 +15,7 @@ namespace haten2 {
 ///
 /// The evaluation is a single plan node named "InCoreContract[m<free>]",
 /// annotated "incore" with a ContractionTiming carrying the layout-build and
-/// kernel-evaluate wall times (surfaced per node in haten2-stats-v8).
+/// kernel-evaluate wall times (surfaced per node in haten2-stats-v9).
 ///
 /// Numerics: each entry's contribution is formed in ascending contracted-mode
 /// order — the same association the dataflow merges use — so tensors whose

@@ -1,0 +1,100 @@
+#ifndef HATEN2_CORE_INCREMENTAL_REFIT_H_
+#define HATEN2_CORE_INCREMENTAL_REFIT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/contract.h"
+#include "core/parafac.h"
+#include "mapreduce/engine.h"
+#include "tensor/models.h"
+#include "tensor/sparse_tensor.h"
+#include "util/result.h"
+
+namespace haten2 {
+
+/// Cumulative cost accounting of an ingest session, serialized into the
+/// stats export's `refit` object (haten2-stats-v9).
+struct RefitCounters {
+  int64_t epochs = 0;        ///< RefitWithDelta calls completed
+  int64_t delta_nnz = 0;     ///< stored delta entries merged, summed
+  double merge_seconds = 0.0;
+  double refit_seconds = 0.0;
+  int64_t iterations = 0;    ///< ALS iterations across all refits
+  double last_fit = 0.0;     ///< fit of the most recent refit (when computed)
+};
+
+/// How the session refits after each epoch merge.
+struct IncrementalRefitOptions {
+  /// ALS configuration for every refit. The session overrides
+  /// `initial_kruskal` (warm start) and `contract_cache` per refit;
+  /// checkpoint/resume_from apply to each refit individually and are
+  /// normally left unset here.
+  Haten2Options als;
+  int64_t rank = 10;
+  /// true: patch the session's persistent ContractCache with each delta
+  /// (dirty-slice invalidation) and warm-start from the previous model.
+  /// false: "full refit" — fresh cache, but still warm-started, so the two
+  /// modes produce bit-identical factors and differ only in cost.
+  bool incremental = true;
+};
+
+/// \brief One continuously-growing decomposition: owns the merged tensor,
+/// the persistent ContractCache, and the current model; each epoch delta is
+/// merged in and the model refit warm-started from the previous factors.
+///
+/// The incremental mode's bit-for-bit contract: a refit over the merged
+/// tensor with a patched cache runs the exact same kernels over the exact
+/// same layouts as a refit over the merged tensor with a fresh cache
+/// (PatchCsfLayout output is array-identical to a fresh build), so
+/// `incremental = true` and `incremental = false` produce identical factor
+/// matrices at equal seeds/warm starts — incremental only changes *cost*.
+/// The determinism tests pin this.
+class IncrementalRefitSession {
+ public:
+  /// Takes ownership of the base tensor (canonicalized if needed).
+  IncrementalRefitSession(Engine* engine, SparseTensor base,
+                          IncrementalRefitOptions options);
+
+  /// Warm-starts the next refit from `model` (e.g. the base decomposition,
+  /// or a checkpointed one). The model must match the tensor's shape and
+  /// options.rank; mismatches surface as driver errors on the next refit.
+  void WarmStartFromModel(KruskalModel model);
+
+  /// Warm-starts from the newest loadable checkpoint under `directory`
+  /// (core/checkpoint.h discovery rules, torn checkpoints skipped). The
+  /// checkpoint must carry a kruskal model.
+  Status WarmStartFromCheckpointDir(const std::string& directory);
+
+  /// Fits the current tensor from scratch or from the warm start — the
+  /// session's bootstrap — and stores the model. Does not count as an epoch.
+  Status FitBase();
+
+  /// Ingest one epoch: merges `delta` into the tensor, invalidates the
+  /// cache (dirty slices when incremental, fresh cache otherwise), refits
+  /// warm-started from the current model, and replaces it.
+  Status RefitWithDelta(const SparseTensor& delta);
+
+  const SparseTensor& tensor() const { return tensor_; }
+  bool has_model() const { return has_model_; }
+  const KruskalModel& model() const { return model_; }
+  const RefitCounters& counters() const { return counters_; }
+  const ContractCache& cache() const { return cache_; }
+  const IncrementalRefitOptions& options() const { return options_; }
+
+ private:
+  Status Refit();
+
+  Engine* engine_;
+  SparseTensor tensor_;
+  IncrementalRefitOptions options_;
+  ContractCache cache_;
+  KruskalModel model_;
+  bool has_model_ = false;
+  RefitCounters counters_;
+};
+
+}  // namespace haten2
+
+#endif  // HATEN2_CORE_INCREMENTAL_REFIT_H_

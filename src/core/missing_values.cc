@@ -172,6 +172,7 @@ Result<MissingValueModel> Haten2ParafacMissing(
   harness_options.start_iteration = start_iteration;
   harness_options.has_resume_metric = has_resume_metric;
   harness_options.resume_metric = resume_metric;
+  harness_options.external_cache = options.base.contract_cache;
   std::optional<CheckpointWriter> checkpoint_writer;
   if (options.base.checkpoint != nullptr) {
     checkpoint_writer.emplace(*options.base.checkpoint);

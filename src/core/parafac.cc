@@ -109,6 +109,7 @@ Result<KruskalModel> Haten2ParafacAls(Engine* engine, const SparseTensor& x,
   harness_options.start_iteration = start_iteration;
   harness_options.has_resume_metric = has_resume_metric;
   harness_options.resume_metric = resume_metric;
+  harness_options.external_cache = options.contract_cache;
   std::optional<CheckpointWriter> checkpoint_writer;
   if (options.checkpoint != nullptr) {
     checkpoint_writer.emplace(*options.checkpoint);

@@ -63,6 +63,12 @@ struct Haten2Options {
   /// so post-mortems of the paper's failure cases keep their numbers.
   /// Serialized by stats_json.h. Not owned.
   DecompositionTrace* trace = nullptr;
+
+  /// Optional caller-owned ContractCache shared across decompositions
+  /// (incremental refit keeps one per ingest session and patches it with
+  /// each epoch delta — see ContractCache::ApplyDelta). When null the
+  /// harness uses a private per-decomposition cache. Not owned.
+  ContractCache* contract_cache = nullptr;
 };
 
 /// \brief HaTen2-PARAFAC (Algorithm 1 driven by the MapReduce bottleneck op).

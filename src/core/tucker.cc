@@ -214,6 +214,7 @@ Result<TuckerModel> Haten2TuckerAls(Engine* engine, const SparseTensor& x,
   harness_options.start_iteration = start_iteration;
   harness_options.has_resume_metric = has_resume_metric;
   harness_options.resume_metric = resume_metric;
+  harness_options.external_cache = options.contract_cache;
   std::optional<CheckpointWriter> checkpoint_writer;
   if (options.checkpoint != nullptr) {
     checkpoint_writer.emplace(*options.checkpoint);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <unordered_map>
 
 #include "util/string_util.h"
 
@@ -142,6 +143,158 @@ Result<CsfLayout> BuildCsfLayout(const SparseTensor& x, int free_mode) {
   layout.slice_fiber_begin.push_back(
       static_cast<int64_t>(layout.fiber_entry_begin.size()) - 1);
   return layout;
+}
+
+Result<CsfLayout> PatchCsfLayout(const CsfLayout& old_layout,
+                                 const SparseTensor& new_x,
+                                 const std::vector<int64_t>& dirty_slices,
+                                 CsfPatchCounters* counters) {
+  const int order = new_x.order();
+  if (order < 2) {
+    return Status::InvalidArgument(
+        "PatchCsfLayout: tensor order must be >= 2");
+  }
+  if (old_layout.free_mode < 0 || old_layout.free_mode >= order ||
+      old_layout.num_streams != order - 1 ||
+      static_cast<int>(old_layout.cmodes.size()) != old_layout.num_streams) {
+    return Status::InvalidArgument(
+        "PatchCsfLayout: layout does not match the tensor's order");
+  }
+  const int free_mode = old_layout.free_mode;
+  const int s = old_layout.num_streams;
+  const std::vector<int>& cmodes = old_layout.cmodes;
+  const int m0 = cmodes[0];
+
+  std::vector<int64_t> dirty(dirty_slices);
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  const auto is_dirty = [&](int64_t id) {
+    return std::binary_search(dirty.begin(), dirty.end(), id);
+  };
+
+  // Bucket the new tensor's dirty-slice entries by slice id and sort each
+  // bucket exactly as BuildCsfLayout orders entries within a slice: outer
+  // fiber coords cmodes[1..], then the innermost stream cmodes[0]. The
+  // entry-index tiebreak matches the build comparator's; on a canonical
+  // tensor coordinates are unique so it never decides the order.
+  std::unordered_map<int64_t, std::vector<int64_t>> buckets;
+  for (int64_t e = 0; e < new_x.nnz(); ++e) {
+    const int64_t id = new_x.IndexPtr(e)[free_mode];
+    if (is_dirty(id)) buckets[id].push_back(e);
+  }
+  const auto layout_less = [&](int64_t a, int64_t b) {
+    const int64_t* ca = new_x.IndexPtr(a);
+    const int64_t* cb = new_x.IndexPtr(b);
+    for (int k = 1; k < s; ++k) {
+      const int m = cmodes[static_cast<size_t>(k)];
+      if (ca[m] != cb[m]) return ca[m] < cb[m];
+    }
+    if (ca[m0] != cb[m0]) return ca[m0] < cb[m0];
+    return a < b;
+  };
+  for (auto& [id, entries] : buckets) {
+    std::sort(entries.begin(), entries.end(), layout_less);
+  }
+
+  CsfLayout out;
+  out.free_mode = free_mode;
+  out.num_streams = s;
+  out.cmodes = cmodes;
+
+  CsfPatchCounters local;
+  const auto begin_slice = [&](int64_t id) {
+    out.slice_ids.push_back(id);
+    out.slice_fiber_begin.push_back(
+        static_cast<int64_t>(out.fiber_entry_begin.size()));
+  };
+  // Clean slice: the positional arrays make its fibers and entries
+  // relocatable, so splice the old segment verbatim.
+  const auto copy_old_slice = [&](int64_t oi) {
+    begin_slice(old_layout.slice_ids[static_cast<size_t>(oi)]);
+    const int64_t fb = old_layout.slice_fiber_begin[static_cast<size_t>(oi)];
+    const int64_t fe =
+        old_layout.slice_fiber_begin[static_cast<size_t>(oi) + 1];
+    const int64_t eb = old_layout.fiber_entry_begin[static_cast<size_t>(fb)];
+    const int64_t ee = old_layout.fiber_entry_begin[static_cast<size_t>(fe)];
+    // Rebase each fiber's entry offset from the old layout's coordinates
+    // to the spliced position: fibers keep their *relative* begins within
+    // the slice, shifted to where the slice now starts.
+    const int64_t base = static_cast<int64_t>(out.entry_inner.size());
+    for (int64_t f = fb; f < fe; ++f) {
+      out.fiber_entry_begin.push_back(
+          base + old_layout.fiber_entry_begin[static_cast<size_t>(f)] - eb);
+      for (int k = 0; k < s - 1; ++k) {
+        out.fiber_coords.push_back(
+            old_layout.fiber_coords[static_cast<size_t>(f * (s - 1) + k)]);
+      }
+    }
+    out.entry_inner.insert(out.entry_inner.end(),
+                           old_layout.entry_inner.begin() + eb,
+                           old_layout.entry_inner.begin() + ee);
+    out.values.insert(out.values.end(), old_layout.values.begin() + eb,
+                      old_layout.values.begin() + ee);
+    ++local.slices_reused;
+  };
+  // Dirty slice: rebuild from the new tensor's (sorted) entries. A slice
+  // whose entries all cancelled simply vanishes, like any empty slice.
+  const auto rebuild_slice = [&](int64_t id) {
+    const auto it = buckets.find(id);
+    if (it == buckets.end() || it->second.empty()) return;
+    begin_slice(id);
+    const std::vector<int64_t>& entries = it->second;
+    const int64_t* prev = nullptr;
+    for (int64_t e : entries) {
+      const int64_t* c = new_x.IndexPtr(e);
+      bool new_fiber = prev == nullptr;
+      for (int k = 1; !new_fiber && k < s; ++k) {
+        const int m = cmodes[static_cast<size_t>(k)];
+        if (c[m] != prev[m]) new_fiber = true;
+      }
+      if (new_fiber) {
+        out.fiber_entry_begin.push_back(
+            static_cast<int64_t>(out.entry_inner.size()));
+        for (int k = 1; k < s; ++k) {
+          out.fiber_coords.push_back(c[cmodes[static_cast<size_t>(k)]]);
+        }
+      }
+      out.entry_inner.push_back(c[m0]);
+      out.values.push_back(new_x.value(e));
+      prev = c;
+    }
+    ++local.slices_rebuilt;
+  };
+
+  // Merge ascending over the union of the old layout's slice ids and the
+  // dirty set: clean old slices are copied, dirty ids (present in the old
+  // layout or newly nonempty) are rebuilt.
+  const int64_t old_slices = old_layout.num_slices();
+  int64_t oi = 0;
+  size_t di = 0;
+  while (oi < old_slices || di < dirty.size()) {
+    const int64_t old_id = oi < old_slices
+                               ? old_layout.slice_ids[static_cast<size_t>(oi)]
+                               : 0;
+    if (di >= dirty.size() || (oi < old_slices && old_id < dirty[di])) {
+      copy_old_slice(oi++);
+      continue;
+    }
+    const int64_t dirty_id = dirty[di++];
+    if (oi < old_slices && old_id == dirty_id) ++oi;
+    rebuild_slice(dirty_id);
+  }
+  out.fiber_entry_begin.push_back(out.nnz());
+  out.slice_fiber_begin.push_back(
+      static_cast<int64_t>(out.fiber_entry_begin.size()) - 1);
+
+  if (out.nnz() != new_x.nnz()) {
+    return Status::Internal(StrFormat(
+        "PatchCsfLayout: patched layout has %lld entries but the tensor has "
+        "%lld — the edit was not confined to the declared dirty slices",
+        static_cast<long long>(out.nnz()),
+        static_cast<long long>(new_x.nnz())));
+  }
+  if (counters != nullptr) *counters = local;
+  return out;
 }
 
 Status CsfMttkrp(const CsfLayout& layout,
@@ -292,14 +445,13 @@ uint64_t TensorFingerprint(const SparseTensor& x) {
   for (int64_t d : x.dims()) h = HashCombine(h, static_cast<uint64_t>(d));
   const int64_t nnz = x.nnz();
   h = HashCombine(h, static_cast<uint64_t>(nnz));
-  if (nnz == 0) return h;
-  // Sample up to 64 entries evenly across the tensor; include the full
-  // coordinate tuple and the raw value bits of each.
-  const int64_t samples = std::min<int64_t>(nnz, 64);
+  // Hash every entry's full coordinate tuple and raw value bits. This must
+  // be full-content: the cache guards against in-place rebuilds, and an
+  // epoch-delta merge routinely changes a handful of values at arbitrary
+  // positions without moving nnz, which an evenly-sampled hash misses. The
+  // O(nnz) pass is noise next to the O(nnz·rank) contraction a hit saves.
   const int order = x.order();
-  for (int64_t i = 0; i < samples; ++i) {
-    const int64_t e = i * nnz / samples;
-    h = HashCombine(h, static_cast<uint64_t>(e));
+  for (int64_t e = 0; e < nnz; ++e) {
     const int64_t* c = x.IndexPtr(e);
     for (int m = 0; m < order; ++m) {
       h = HashCombine(h, static_cast<uint64_t>(c[m]));

@@ -88,10 +88,37 @@ Status CsfCrossContract(const CsfLayout& layout,
                         const std::vector<int64_t>& block_dims,
                         std::vector<std::vector<double>>* rows);
 
-/// Content fingerprint of a tensor: mixes order, dims, nnz and up to 64
-/// evenly sampled (coordinate, value) entries. Used by ContractCache so a
-/// tensor rebuilt in place (same address, same nnz, different content) is
-/// not mistaken for the cached one.
+/// Per-layout accounting of what PatchCsfLayout salvaged: clean slices
+/// whose segments were copied verbatim vs dirty slices rebuilt from the
+/// new tensor's entries.
+struct CsfPatchCounters {
+  int64_t slices_reused = 0;
+  int64_t slices_rebuilt = 0;
+};
+
+/// Incrementally rebuilds a cached layout after a slice-local edit of the
+/// tensor it was built from. `new_x` is the canonical post-edit tensor;
+/// `dirty_slices` lists every free-mode index whose slice may differ
+/// between the old tensor and `new_x` (duplicates/unsorted input are
+/// tolerated). Segments of clean slices are copied verbatim — the layout's
+/// arrays are purely positional, so a slice's fibers and entries relocate
+/// without change — and dirty slices are rebuilt from `new_x`'s entries in
+/// layout order. The result is array-identical to
+/// `BuildCsfLayout(new_x, old_layout.free_mode)`: on canonical tensors the
+/// build comparator is fully determined by coordinates, so per-slice order
+/// cannot depend on the rest of the tensor. Returns kInternal if the edit
+/// was not confined to `dirty_slices` (detected via an nnz mismatch).
+Result<CsfLayout> PatchCsfLayout(const CsfLayout& old_layout,
+                                 const SparseTensor& new_x,
+                                 const std::vector<int64_t>& dirty_slices,
+                                 CsfPatchCounters* counters = nullptr);
+
+/// Content fingerprint of a tensor: mixes order, dims, nnz and every
+/// (coordinate, value) entry. Used by ContractCache so a tensor rebuilt in
+/// place (same address, same nnz, different content) is not mistaken for
+/// the cached one. Full-content by design: an earlier sampled variant
+/// collided on same-nnz edits at unsampled positions, exactly the shape of
+/// an epoch-delta merge.
 uint64_t TensorFingerprint(const SparseTensor& x);
 
 }  // namespace haten2

@@ -303,7 +303,7 @@ std::string StatsReportToJson(const StatsReport& report) {
   const CostModel* cost = report.cluster != nullptr ? &cost_model : nullptr;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema").Value("haten2-stats-v8");
+  w.Key("schema").Value("haten2-stats-v9");
   if (!report.tool.empty()) w.Key("tool").Value(report.tool);
   if (!report.method.empty()) w.Key("method").Value(report.method);
   if (!report.variant.empty()) w.Key("variant").Value(report.variant);
@@ -328,6 +328,28 @@ std::string StatsReportToJson(const StatsReport& report) {
   if (report.pipeline != nullptr) {
     w.Key("pipeline");
     PipelineStatsToJson(*report.pipeline, cost, &w);
+  }
+  if (report.refit != nullptr) {
+    const RefitStatsReport& r = *report.refit;
+    w.Key("refit")
+        .BeginObject()
+        .Key("epochs")
+        .Value(r.epochs)
+        .Key("delta_nnz")
+        .Value(r.delta_nnz)
+        .Key("merge_seconds")
+        .Value(r.merge_seconds)
+        .Key("refit_seconds")
+        .Value(r.refit_seconds)
+        .Key("refit_iterations")
+        .Value(r.refit_iterations)
+        .Key("incremental")
+        .Value(r.incremental)
+        .Key("epochs_behind")
+        .Value(r.epochs_behind)
+        .Key("max_epochs_behind")
+        .Value(r.max_epochs_behind)
+        .EndObject();
   }
   if (report.workers != nullptr && !report.workers->empty()) {
     w.Key("workers").BeginArray();

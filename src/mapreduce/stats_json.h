@@ -14,7 +14,7 @@
 namespace haten2 {
 
 /// JSON serialization of the engine's and drivers' statistics — the stable
-/// "haten2-stats-v6" schema documented in docs/INTERNALS.md. The schema is
+/// "haten2-stats-v9" schema documented in docs/INTERNALS.md. The schema is
 /// what --stats_json and the BENCH_*.json harness exports emit, so the
 /// perf trajectory can be read by machines across PRs.
 ///
@@ -42,6 +42,11 @@ namespace haten2 {
 /// sent/received, restarts — additive over the engine's lifetime), and
 /// jobs may report the new failure kind "worker_lost".
 ///
+/// v9 extends v8 (purely additive) with the ingest → refit loop: the
+/// report may carry a `refit` object (epoch/staleness counters plus
+/// cumulative merge/refit cost — see RefitStatsReport below), emitted by
+/// `haten2_cli --ingest_log` and `haten2_serve --refit_loop`.
+///
 /// All byte counters use the engine's serialized record width
 /// (sizeof of the intermediate record pair, padding included) — the same
 /// width spill files occupy on disk.
@@ -66,6 +71,22 @@ void IterationStatsToJson(const IterationStats& iteration,
 /// Appends the cluster parameters that shaped the measurements.
 void ClusterConfigToJson(const ClusterConfig& config, JsonWriter* w);
 
+/// \brief Refit-loop counters for the v9 `refit` object. A plain mirror of
+/// the core layer's RefitCounters plus the controller's staleness fields —
+/// mapreduce cannot depend on core, so callers (the CLIs) copy the fields
+/// across.
+struct RefitStatsReport {
+  int64_t epochs = 0;          ///< epoch deltas merged and refit
+  int64_t delta_nnz = 0;       ///< stored delta entries merged, summed
+  double merge_seconds = 0.0;  ///< cumulative merge + cache-patch time
+  double refit_seconds = 0.0;  ///< cumulative ALS time across refits
+  int64_t refit_iterations = 0;
+  bool incremental = false;    ///< dirty-slice cache patching vs fresh cache
+  /// Staleness, from the serving controller (zeroed in CLI batch runs).
+  int64_t epochs_behind = 0;
+  int64_t max_epochs_behind = 0;
+};
+
 /// \brief Everything one decomposition run exports. Pointer members are
 /// optional (skipped when null) and not owned.
 struct StatsReport {
@@ -88,9 +109,11 @@ struct StatsReport {
   /// Subprocess-backend per-worker-slot counters
   /// (Engine::WorkerStatsSnapshot); skipped when null or empty.
   const std::vector<distributed::WorkerStats>* workers = nullptr;
+  /// Refit-loop counters (v9 `refit` object); skipped when null.
+  const RefitStatsReport* refit = nullptr;
 };
 
-/// Serializes the whole report ("haten2-stats-v8").
+/// Serializes the whole report ("haten2-stats-v9").
 std::string StatsReportToJson(const StatsReport& report);
 
 /// Serializes `report` and writes it to `path`.

@@ -17,10 +17,13 @@ namespace haten2 {
 /// \brief Sharded LRU cache for hot query results.
 ///
 /// Keys are canonical query strings (they embed the model version, so a
-/// hot-swap naturally invalidates stale entries — old-version entries age
-/// out of the LRU instead of needing an explicit flush). Values are
-/// shared_ptr<const V>, so a hit never copies the payload and an entry can
-/// be evicted while a reader still holds it.
+/// hot-swap can never serve a stale payload — old-version keys are simply
+/// never asked for again). Dead-version entries still occupy shard capacity
+/// until they age out, which under a refit loop (installs every few
+/// seconds) squeezes the live version's working set; PurgeWhere exists so
+/// the install path can drop them eagerly. Values are shared_ptr<const V>,
+/// so a hit never copies the payload and an entry can be evicted while a
+/// reader still holds it.
 ///
 /// Sharding: a key hashes to one of `shards` independent LRU lists, each
 /// behind its own mutex, so concurrent lookups from the request pipeline's
@@ -34,6 +37,7 @@ class ShardedLruCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t inserts = 0;
+    uint64_t purges = 0;
     int64_t entries = 0;
 
     double HitRate() const {
@@ -99,12 +103,36 @@ class ShardedLruCache {
     }
   }
 
+  /// Drops every entry whose key satisfies `pred` and returns how many were
+  /// dropped (also accumulated into Stats::purges, separate from capacity
+  /// evictions). The scan holds each shard's mutex in turn — O(entries),
+  /// fine for the install path's once-per-refit call, not for hot paths.
+  template <typename Pred>
+  uint64_t PurgeWhere(const Pred& pred) {
+    uint64_t purged = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (pred(it->key)) {
+          shard.index.erase(it->key);
+          it = shard.lru.erase(it);
+          ++purged;
+        } else {
+          ++it;
+        }
+      }
+    }
+    purges_.fetch_add(purged, std::memory_order_relaxed);
+    return purged;
+  }
+
   Stats GetStats() const {
     Stats s;
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.purges = purges_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       s.entries += static_cast<int64_t>(shard.lru.size());
@@ -137,6 +165,7 @@ class ShardedLruCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> purges_{0};
 };
 
 }  // namespace haten2

@@ -88,8 +88,13 @@ Result<int64_t> ModelRegistry::InstallLocked(
     const std::string& name, std::shared_ptr<ServedModel> model) {
   int64_t version = next_version_.fetch_add(1, std::memory_order_relaxed);
   model->version = version;
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  models_[name] = std::move(model);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    models_[name] = std::move(model);
+  }
+  // Outside the lock: the listener may query the registry (and typically
+  // purges the request cache, which takes its own shard mutexes).
+  if (install_listener_) install_listener_(name, version);
   return version;
 }
 

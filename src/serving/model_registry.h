@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -111,6 +112,20 @@ class ModelRegistry {
   std::vector<std::string> Names() const;
   size_t size() const;
 
+  /// Called after every successful install with the model name and the
+  /// version just made current, outside the registry lock (the listener may
+  /// call back into the registry). The serving layer hooks this to purge
+  /// dead-version entries from the request cache — entry keys embed the
+  /// version, so everything not keyed to the new version is unreachable the
+  /// moment the swap lands. One listener; setting replaces. Not
+  /// synchronized with concurrent installs of the *same* name: callers wire
+  /// it once at startup, before serving traffic.
+  using InstallListener =
+      std::function<void(const std::string& name, int64_t version)>;
+  void SetInstallListener(InstallListener listener) {
+    install_listener_ = std::move(listener);
+  }
+
   const RegistryOptions& options() const { return options_; }
 
  private:
@@ -121,6 +136,7 @@ class ModelRegistry {
   mutable std::shared_mutex mu_;
   std::map<std::string, std::shared_ptr<const ServedModel>> models_;
   std::atomic<int64_t> next_version_{1};
+  InstallListener install_listener_;
 };
 
 }  // namespace haten2

@@ -58,6 +58,19 @@ void RequestPipeline::Shutdown() {
   pool_.Wait();
 }
 
+uint64_t RequestPipeline::PurgeModelExcept(const std::string& model,
+                                           int64_t keep_version) {
+  // CacheKey starts "<model>/v<version>/..." (query_engine.cc); keep only
+  // this model's entries for keep_version, leave other models alone.
+  const std::string model_prefix = model + "/v";
+  const std::string keep_prefix =
+      model_prefix + std::to_string(keep_version) + "/";
+  return cache_.PurgeWhere([&](const std::string& key) {
+    return key.compare(0, model_prefix.size(), model_prefix) == 0 &&
+           key.compare(0, keep_prefix.size(), keep_prefix) != 0;
+  });
+}
+
 void RequestPipeline::DispatcherLoop() {
   while (true) {
     auto batch = std::make_shared<std::deque<Pending>>();

@@ -67,6 +67,13 @@ class RequestPipeline {
     return cache_.GetStats();
   }
 
+  /// Drops every cached answer for `model` not keyed to `keep_version`
+  /// and returns how many were dropped. Hooked to
+  /// ModelRegistry::SetInstallListener so a hot-swap frees the dead
+  /// version's shard capacity immediately instead of letting unreachable
+  /// entries age out of the LRU.
+  uint64_t PurgeModelExcept(const std::string& model, int64_t keep_version);
+
  private:
   struct Pending {
     Query query;

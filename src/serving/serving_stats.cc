@@ -158,7 +158,8 @@ double ServingStats::Qps() const {
 
 std::string ServingStats::ToJson(const std::string& tool,
                                  const CacheCounters& cache,
-                                 const std::vector<ModelRow>& models) const {
+                                 const std::vector<ModelRow>& models,
+                                 const RefitTelemetry* refit) const {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema").Value("haten2-serving-v1");
@@ -171,6 +172,7 @@ std::string ServingStats::ToJson(const std::string& tool,
   w.Key("hits").Value(cache.hits);
   w.Key("misses").Value(cache.misses);
   w.Key("evictions").Value(cache.evictions);
+  w.Key("purges").Value(cache.purges);
   w.Key("entries").Value(cache.entries);
   w.Key("hit_rate").Value(cache.hit_rate);
   w.EndObject();
@@ -209,6 +211,21 @@ std::string ServingStats::ToJson(const std::string& tool,
     w.EndObject();
   }
   w.EndArray();
+
+  if (refit != nullptr) {
+    w.Key("refit").BeginObject();
+    w.Key("epochs_sealed").Value(refit->epochs_sealed);
+    w.Key("epochs_installed").Value(refit->epochs_installed);
+    w.Key("epochs_behind").Value(refit->epochs_behind);
+    w.Key("max_epochs_behind").Value(refit->max_epochs_behind);
+    w.Key("installed_version").Value(refit->installed_version);
+    w.Key("delta_nnz").Value(refit->delta_nnz);
+    w.Key("merge_seconds").Value(refit->merge_seconds);
+    w.Key("refit_seconds").Value(refit->refit_seconds);
+    w.Key("refit_iterations").Value(refit->refit_iterations);
+    w.Key("last_fit").Value(refit->last_fit);
+    w.EndObject();
+  }
 
   w.Key("models").BeginArray();
   for (const ModelRow& m : models) {

@@ -73,6 +73,7 @@ class ServingStats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t purges = 0;  ///< dead-version entries dropped on install
     int64_t entries = 0;
     double hit_rate = 0.0;
   };
@@ -104,10 +105,28 @@ class ServingStats {
   double WindowSeconds() const;
   double Qps() const;
 
+  /// Refit-loop telemetry rendered into the optional "refit" object — a
+  /// plain mirror of RefitController::Counters so the stats layer does not
+  /// depend on the controller (callers copy the fields across).
+  struct RefitTelemetry {
+    int64_t epochs_sealed = 0;
+    int64_t epochs_installed = 0;
+    int64_t epochs_behind = 0;      ///< model staleness right now
+    int64_t max_epochs_behind = 0;
+    int64_t installed_version = 0;
+    int64_t delta_nnz = 0;
+    double merge_seconds = 0.0;
+    double refit_seconds = 0.0;
+    int64_t refit_iterations = 0;
+    double last_fit = 0.0;
+  };
+
   /// Serializes the "haten2-serving-v1" schema (see docs/SERVING.md).
   /// `tool` names the emitting binary; `cache` carries the pipeline's LRU
   /// counters (pass {} when no cache is in play); `models` lists the
-  /// registry contents as pre-rendered (name, description) rows.
+  /// registry contents as pre-rendered (name, description) rows. `refit`,
+  /// when non-null, adds the refit-loop staleness/cost object (additive:
+  /// consumers of refit-less outputs are unaffected).
   struct ModelRow {
     std::string name;
     std::string kind;
@@ -116,7 +135,8 @@ class ServingStats {
     int64_t rank = 0;
   };
   std::string ToJson(const std::string& tool, const CacheCounters& cache,
-                     const std::vector<ModelRow>& models) const;
+                     const std::vector<ModelRow>& models,
+                     const RefitTelemetry* refit = nullptr) const;
 
  private:
   struct PerClass {

@@ -121,6 +121,65 @@ TEST(Checkpoint, TruncatedManifestIsRejectedWithClearStatus) {
       << status.ToString();
 }
 
+TEST(Checkpoint, DiscoverySkipsTornTmpAndFallsBackToValidCheckpoint) {
+  // The staleness regression (ISSUE 10): a crash mid-write used to leave
+  // `iter_N.tmp` debris and end-marker-less manifests that discovery
+  // happily picked as "newest", so resume loaded garbage newer than the
+  // last good checkpoint. Discovery must skip both and fall back.
+  CheckpointOptions options;
+  options.directory = FreshDir("ckpt_torn_tmp");
+  options.keep_last = 10;
+  CheckpointWriter writer(options);
+  KruskalModel model = SmallKruskal();
+  CheckpointManifest manifest;
+  manifest.method = "parafac";
+  manifest.model_kind = "kruskal";
+  manifest.iteration = 2;
+  manifest.metric = 0.5;
+  ASSERT_OK(writer.Write(manifest, &model, nullptr));
+
+  // A newer checkpoint whose manifest lost its end marker (torn copy).
+  manifest.iteration = 4;
+  ASSERT_OK(writer.Write(manifest, &model, nullptr));
+  std::string torn = options.directory + "/" + CheckpointDirName(4);
+  std::ifstream in(torn + "/MANIFEST");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_NE(content.find("end\n"), std::string::npos);
+  content.resize(content.find("end\n"));
+  std::ofstream(torn + "/MANIFEST", std::ios::trunc) << content;
+
+  // Orphaned staging directory from a writer killed before the rename —
+  // newer still, and shaped like a checkpoint inside.
+  std::string orphan = options.directory + "/" + CheckpointDirName(6) + ".tmp";
+  fs::create_directories(orphan);
+  std::ofstream(orphan + "/MANIFEST") << "garbage";
+
+  // Listing never surfaces staging directories.
+  Result<std::vector<std::string>> list = ListCheckpoints(options.directory);
+  ASSERT_OK(list.status());
+  ASSERT_EQ(list->size(), 2u);
+  for (const std::string& dir : *list) {
+    EXPECT_EQ(dir.find(".tmp"), std::string::npos) << dir;
+  }
+
+  // Loading walks past the torn iter_4 to the committed iter_2.
+  Result<LoadedCheckpoint> loaded = LoadLatestCheckpoint(options.directory);
+  ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->manifest.iteration, 2);
+  EXPECT_DOUBLE_EQ(loaded->kruskal.factors[0].MaxAbsDiff(model.factors[0]),
+                   0.0);
+
+  // When *every* candidate is broken, the newest candidate's error is
+  // surfaced instead of a silent cold start.
+  std::string good = options.directory + "/" + CheckpointDirName(2);
+  std::ofstream(good + "/MANIFEST", std::ios::trunc) << "garbage";
+  Result<LoadedCheckpoint> none = LoadLatestCheckpoint(options.directory);
+  EXPECT_FALSE(none.ok());
+  EXPECT_FALSE(none.status().IsNotFound()) << none.status().ToString();
+}
+
 TEST(Checkpoint, CorruptManifestsAreRejected) {
   std::string dir = FreshDir("ckpt_corrupt");
   std::string ckpt = dir + "/" + CheckpointDirName(1);

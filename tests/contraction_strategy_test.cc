@@ -282,7 +282,7 @@ TEST(ContractionBitIdentity, ParafacMissingValues) {
 }
 
 // ---------------------------------------------------------------------------
-// haten2-stats-v8 surface.
+// haten2-stats-v9 surface.
 // ---------------------------------------------------------------------------
 
 TEST(ContractionStats, V7RecordsStrategyAndTimings) {

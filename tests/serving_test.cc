@@ -15,7 +15,10 @@
 
 #include "core/link_prediction.h"
 #include "json_checker.h"
+#include "mapreduce/engine.h"
 #include "serving/lru_cache.h"
+#include "serving/refit_controller.h"
+#include "tensor/delta_log.h"
 #include "serving/model_registry.h"
 #include "serving/query_engine.h"
 #include "serving/request_pipeline.h"
@@ -576,6 +579,227 @@ TEST(ServingStatsTest, JsonRoundTripsThroughChecker) {
                    std::istreambuf_iterator<char>());
   EXPECT_TRUE(JsonChecker(back).Valid());
   EXPECT_NE(back.find("haten2-serving-v1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Version-prefix purging (ISSUE 10 satellite: dead-version entries must not
+// survive a hot-swap and squeeze the live working set).
+
+TEST(ServingLruCache, PurgeWhereDropsMatchingEntriesAndCounts) {
+  ShardedLruCache<int> cache(8, 2);
+  cache.Insert("m/v1/a", std::make_shared<const int>(1));
+  cache.Insert("m/v1/b", std::make_shared<const int>(2));
+  cache.Insert("m/v2/a", std::make_shared<const int>(3));
+  cache.Insert("other/v1/a", std::make_shared<const int>(4));
+
+  uint64_t purged = cache.PurgeWhere([](const std::string& key) {
+    return key.rfind("m/v1/", 0) == 0;
+  });
+  EXPECT_EQ(purged, 2u);
+  EXPECT_EQ(cache.Lookup("m/v1/a"), nullptr);
+  EXPECT_EQ(cache.Lookup("m/v1/b"), nullptr);
+  ASSERT_NE(cache.Lookup("m/v2/a"), nullptr);
+  ASSERT_NE(cache.Lookup("other/v1/a"), nullptr);
+
+  ShardedLruCache<int>::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.purges, 2u);
+  EXPECT_EQ(stats.evictions, 0u);  // purges are accounted separately
+  EXPECT_EQ(stats.entries, 2);
+}
+
+TEST(ServingPipeline, HotSwapPurgesDeadVersionEntriesInsteadOfEvicting) {
+  ModelRegistry registry;
+  QueryEngine engine(&registry);
+  ServingStats stats;
+  PipelineOptions options;
+  // Capacity for exactly the live working set: two queries. Before the
+  // purge fix, each hot-swap left the old version's entries behind, so
+  // re-asking the same two queries overflowed the cache and showed up as
+  // evictions of *live* entries.
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  RequestPipeline pipeline(&engine, &stats, options);
+  registry.SetInstallListener(
+      [&pipeline](const std::string& name, int64_t version) {
+        pipeline.PurgeModelExcept(name, version);
+      });
+  ASSERT_OK(registry.InstallKruskal("m", MakeModel(81), nullptr).status());
+
+  auto ask = [&pipeline](int row) {
+    Query query;
+    query.model = "m";
+    query.kind = QueryKind::kNeighbors;
+    query.mode = 1;
+    query.row = row;
+    return pipeline.Submit(query).get();
+  };
+  ASSERT_OK(ask(1).status);
+  ASSERT_OK(ask(2).status);
+  ASSERT_EQ(pipeline.CacheStats().entries, 2);
+
+  // Hot-swap. The install listener purges every v1 entry, so the v2
+  // working set fits without evicting anything.
+  ASSERT_OK(registry.InstallKruskal("m", MakeModel(82), nullptr).status());
+  ASSERT_EQ(pipeline.CacheStats().purges, 2u);
+  ASSERT_OK(ask(1).status);
+  ASSERT_OK(ask(2).status);
+  pipeline.Shutdown();
+
+  ShardedLruCache<QueryResult>::Stats cache = pipeline.CacheStats();
+  EXPECT_EQ(cache.entries, 2);
+  EXPECT_EQ(cache.evictions, 0u)
+      << "dead-version entries survived the hot-swap and squeezed out "
+         "live ones";
+}
+
+TEST(ServingPipeline, PurgeKeepsOtherModelsAndExactPrefixOnly) {
+  ModelRegistry registry;
+  QueryEngine engine(&registry);
+  ServingStats stats;
+  RequestPipeline pipeline(&engine, &stats);
+  // Names where naive prefix matching would overreach: "m" vs "m2".
+  ASSERT_OK(registry.InstallKruskal("m", MakeModel(83), nullptr).status());
+  ASSERT_OK(registry.InstallKruskal("m2", MakeModel(84), nullptr).status());
+
+  auto ask = [&pipeline](const std::string& model) {
+    Query query;
+    query.model = model;
+    query.kind = QueryKind::kNeighbors;
+    query.mode = 0;
+    query.row = 3;
+    return pipeline.Submit(query).get();
+  };
+  ASSERT_OK(ask("m").status);
+  ASSERT_OK(ask("m2").status);
+  ASSERT_EQ(pipeline.CacheStats().entries, 2);
+
+  // Purging dead versions of "m" must not touch "m2" entries.
+  uint64_t purged = pipeline.PurgeModelExcept("m", /*keep_version=*/999);
+  EXPECT_EQ(purged, 1u);
+  RequestPipeline::Response m2_again = ask("m2");
+  ASSERT_OK(m2_again.status);
+  EXPECT_TRUE(m2_again.cache_hit);
+  pipeline.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// RefitController: the ingest → refit → serve loop end to end.
+
+TEST(RefitControllerTest, BootstrapCatchUpInstallsAndTracksStaleness) {
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.contraction = "incore";
+  ASSERT_OK(config.Validate());
+  Engine engine(config);
+  ModelRegistry registry;
+  Rng rng(91);
+  SparseTensor base = RandomSparseTensor({8, 7, 6}, 60, &rng);
+
+  RefitController::Options options;
+  options.model_name = "live";
+  options.refit.rank = 3;
+  options.refit.als.max_iterations = 4;
+  options.refit.als.seed = 777;
+  RefitController controller(&engine, &registry, base, options);
+  ASSERT_OK(controller.Bootstrap());
+
+  Result<std::shared_ptr<const ServedModel>> v1 = registry.Get("live");
+  ASSERT_OK(v1.status());
+  const int64_t bootstrap_version = (*v1)->version;
+  RefitController::Counters after_boot = controller.GetCounters();
+  EXPECT_EQ(after_boot.epochs_sealed, 0);
+  EXPECT_EQ(after_boot.epochs_installed, 0);
+  EXPECT_EQ(after_boot.installed_version, bootstrap_version);
+
+  Result<DeltaLog> log = DeltaLog::Create(base.dims());
+  ASSERT_TRUE(log.ok());
+  ASSERT_OK(log->Append({1, 2, 3}, 1.0));
+  ASSERT_OK(log->SealEpoch().status());
+  ASSERT_OK(log->Append({4, 5, 2}, -0.5));
+  ASSERT_OK(log->SealEpoch().status());
+
+  Result<int64_t> ingested = controller.CatchUp(*log);
+  ASSERT_OK(ingested.status());
+  EXPECT_EQ(*ingested, 2);
+  // Re-running against the same log ingests nothing new.
+  Result<int64_t> again = controller.CatchUp(*log);
+  ASSERT_OK(again.status());
+  EXPECT_EQ(*again, 0);
+  // A later seal is picked up by the next call.
+  ASSERT_OK(log->Append({0, 0, 0}, 2.0));
+  ASSERT_OK(log->SealEpoch().status());
+  Result<int64_t> tail = controller.CatchUp(*log);
+  ASSERT_OK(tail.status());
+  EXPECT_EQ(*tail, 1);
+
+  RefitController::Counters counters = controller.GetCounters();
+  EXPECT_EQ(counters.epochs_sealed, 3);
+  EXPECT_EQ(counters.epochs_installed, 3);
+  EXPECT_EQ(counters.epochs_behind, 0);  // fully caught up
+  EXPECT_GE(counters.max_epochs_behind, 1);
+  EXPECT_GT(counters.installed_version, bootstrap_version);
+  EXPECT_EQ(counters.refit.epochs, 3);
+  EXPECT_EQ(counters.refit.delta_nnz, 3);
+
+  // The registry serves the newest refit with the merged observed tensor.
+  Result<std::shared_ptr<const ServedModel>> live = registry.Get("live");
+  ASSERT_OK(live.status());
+  EXPECT_EQ((*live)->version, counters.installed_version);
+  ASSERT_NE((*live)->observed, nullptr);
+  EXPECT_EQ((*live)->observed->nnz(), controller.session().tensor().nnz());
+}
+
+TEST(RefitControllerTest, MissingWarmStartDirectoryFallsBackToColdStart) {
+  ClusterConfig config = ClusterConfig::ForTesting();
+  config.contraction = "incore";
+  ASSERT_OK(config.Validate());
+  Engine engine(config);
+  ModelRegistry registry;
+  Rng rng(92);
+
+  RefitController::Options options;
+  options.refit.rank = 2;
+  options.refit.als.max_iterations = 2;
+  options.warm_start_checkpoint_dir =
+      std::string(::testing::TempDir()) + "/refit_ctrl_no_such_dir";
+  RefitController controller(&engine, &registry,
+                             RandomSparseTensor({5, 5, 5}, 20, &rng), options);
+  ASSERT_OK(controller.Bootstrap());
+  EXPECT_OK(registry.Get("live").status());
+}
+
+TEST(ServingStatsTest, RefitTelemetryIsEmittedWhenPresent) {
+  ServingStats stats;
+  stats.RecordQuery(ServingQueryClass::kTopK, 1e-3, false, true);
+  stats.EndWindow();
+
+  ServingStats::CacheCounters cache;
+  cache.purges = 7;
+  ServingStats::RefitTelemetry refit;
+  refit.epochs_sealed = 5;
+  refit.epochs_installed = 4;
+  refit.epochs_behind = 1;
+  refit.max_epochs_behind = 2;
+  refit.installed_version = 6;
+  refit.delta_nnz = 1234;
+  refit.merge_seconds = 0.25;
+  refit.refit_seconds = 1.5;
+  refit.refit_iterations = 40;
+  refit.last_fit = 0.875;
+  std::string json = stats.ToJson("serving_test", cache, {}, &refit);
+
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  for (const char* key :
+       {"\"purges\":7", "\"refit\"", "\"epochs_sealed\":5",
+        "\"epochs_installed\":4", "\"epochs_behind\":1",
+        "\"max_epochs_behind\":2", "\"installed_version\":6",
+        "\"delta_nnz\":1234", "\"refit_iterations\":40"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Without telemetry the object is absent — the schema addition is purely
+  // additive.
+  std::string bare = stats.ToJson("serving_test", cache, {});
+  EXPECT_TRUE(JsonChecker(bare).Valid()) << bare;
+  EXPECT_EQ(bare.find("\"refit\""), std::string::npos);
 }
 
 }  // namespace

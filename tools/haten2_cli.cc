@@ -114,13 +114,30 @@
 //                                        (default 0 = off)
 //   --straggler_jitter_seed=S            seed for the deterministic jitter
 //                                        draws (default 0x57a6)
+//   --ingest_log=PATH                    streaming ingest (parafac
+//                                        methods only):
+//                                        after fitting <tensor-file> as the
+//                                        base, merge PATH epoch by epoch and
+//                                        refit warm-started from the
+//                                        previous factors. PATH is either a
+//                                        binary delta log (delta_log.h) or
+//                                        any tensor file, chopped into
+//                                        epochs of --epoch_nnz entries
+//   --epoch_nnz=N                        entries per sealed epoch when
+//                                        --ingest_log is a plain tensor
+//                                        file (default 0 = one epoch)
+//   --incremental                        patch the contraction cache per
+//                                        epoch (dirty-slice invalidation)
+//                                        instead of rebuilding it; factors
+//                                        are bit-identical either way, only
+//                                        the refit cost changes
 //   --one-based                          read FROSTT-style 1-based indices
 //   --stats                              print the MapReduce job log
 //   --stats_json=PATH                    write the run's statistics (per-job
 //                                        phase times, intermediate-data
 //                                        records/bytes, per-iteration fit,
 //                                        retry/backoff counters)
-//                                        as "haten2-stats-v8" JSON; written
+//                                        as "haten2-stats-v9" JSON; written
 //                                        on failures too, so o.o.m. runs
 //                                        keep their post-mortem numbers
 //
@@ -129,10 +146,12 @@
 
 #include <cstdio>
 
+#include "core/incremental_refit.h"
 #include "core/nonnegative_tucker.h"
 #include "core/parafac.h"
 #include "core/sketched_tucker.h"
 #include "core/tucker.h"
+#include "tensor/delta_log.h"
 #include "tensor/model_io.h"
 #include "mapreduce/cost_model.h"
 #include "mapreduce/engine.h"
@@ -166,6 +185,7 @@ constexpr const char* kUsage =
     "       [--machine_profiles=SPEED[xCOUNT][@FAILMULT],...]\n"
     "       [--speculation] [--speculation_slowstart=X]\n"
     "       [--straggler_jitter=J] [--straggler_jitter_seed=S]\n"
+    "       [--ingest_log=PATH] [--epoch_nnz=N] [--incremental]\n"
     "       [--stats_json=PATH]\n";
 
 Result<Variant> ParseVariant(const std::string& name) {
@@ -183,6 +203,38 @@ Status WriteFactors(const std::vector<DenseMatrix>& factors,
         factors[m], StrFormat("%s.mode%zu.txt", prefix.c_str(), m)));
   }
   return Status::OK();
+}
+
+Status WriteKruskalOutput(const KruskalModel& model,
+                          const std::string& prefix) {
+  HATEN2_RETURN_IF_ERROR(WriteFactors(model.factors, prefix));
+  DenseMatrix lambda(static_cast<int64_t>(model.lambda.size()), 1);
+  for (size_t r = 0; r < model.lambda.size(); ++r) {
+    lambda(static_cast<int64_t>(r), 0) = model.lambda[r];
+  }
+  return WriteMatrixText(lambda, prefix + ".lambda.txt");
+}
+
+/// Loads --ingest_log: a binary delta log as-is, or any tensor file chopped
+/// into epochs of `epoch_nnz` entries in storage order.
+Result<DeltaLog> LoadIngestLog(const std::string& path,
+                               const std::vector<int64_t>& dims,
+                               int64_t epoch_nnz) {
+  Result<DeltaLog> log = ReadDeltaLogBinary(path);
+  if (log.ok()) {
+    if (log->dims() != dims) {
+      return Status::InvalidArgument(
+          "--ingest_log: delta log shape does not match the base tensor");
+    }
+    return log;
+  }
+  Result<SparseTensor> triples = ReadTensorAuto(path);
+  if (!triples.ok()) {
+    // The binary-log parse error is the more specific of the two when the
+    // file at least had the log magic; otherwise report the tensor error.
+    return triples.status();
+  }
+  return DeltaLogFromTensor(*triples, dims, epoch_nnz);
 }
 
 int RealMain(int argc, char** argv) {
@@ -205,6 +257,7 @@ int RealMain(int argc, char** argv) {
                                  "machine_profiles", "speculation",
                                  "speculation_slowstart", "straggler_jitter",
                                  "straggler_jitter_seed",
+                                 "ingest_log", "epoch_nnz", "incremental",
                                  "one-based", "help"});
   if (!valid.ok() || flags.GetBool("help", false) ||
       flags.positional().size() != 1) {
@@ -257,6 +310,7 @@ int RealMain(int argc, char** argv) {
   Result<double> straggler_jitter = flags.GetDouble("straggler_jitter", 0.0);
   Result<int64_t> straggler_jitter_seed =
       flags.GetInt("straggler_jitter_seed", 0x57a6);
+  Result<int64_t> epoch_nnz = flags.GetInt("epoch_nnz", 0);
   Result<std::vector<MachineProfile>> machine_profiles =
       ParseMachineProfiles(flags.GetString("machine_profiles", ""));
   Result<std::vector<int64_t>> core =
@@ -275,7 +329,7 @@ int RealMain(int argc, char** argv) {
         max_node_attempts.status(), inject_worker_kill.status(),
         speculation_slowstart.status(),
         straggler_jitter.status(), straggler_jitter_seed.status(),
-        machine_profiles.status(), core.status()}) {
+        epoch_nnz.status(), machine_profiles.status(), core.status()}) {
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -328,6 +382,14 @@ int RealMain(int argc, char** argv) {
   const std::string resume = flags.GetString("resume", "");
   const std::string stats_json = flags.GetString("stats_json", "");
   const std::string checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  const std::string ingest_log = flags.GetString("ingest_log", "");
+  const bool incremental = flags.GetBool("incremental", false);
+  if (!ingest_log.empty() && method != "parafac" && method != "parafac-nn") {
+    std::fprintf(stderr,
+                 "--ingest_log needs --method=parafac or parafac-nn (the "
+                 "incremental refit path is Kruskal-only)\n");
+    return 1;
+  }
   DecompositionTrace trace;
   if (!stats_json.empty()) options.trace = &trace;
   WallTimer timer;
@@ -336,6 +398,8 @@ int RealMain(int argc, char** argv) {
   bool has_fit = false;
   double fit = 0.0;
   int iterations_run = 0;
+  RefitStatsReport refit_report;
+  bool has_refit = false;
 
   CheckpointOptions checkpoint_options;
   if (!checkpoint_dir.empty()) {
@@ -352,7 +416,11 @@ int RealMain(int argc, char** argv) {
   KruskalModel resume_kruskal;
   TuckerModel resume_tucker;
   LoadedCheckpoint resume_checkpoint;
-  if (resume == "true") {
+  // With --ingest_log, bare --resume means "warm-start the base fit from
+  // the newest loadable checkpoint" (the merged tensor can't strict-resume
+  // a checkpoint fingerprinted against a different shape/nnz), handled by
+  // the refit session below.
+  if (resume == "true" && ingest_log.empty()) {
     if (checkpoint_dir.empty()) {
       std::fprintf(stderr,
                    "bare --resume needs --checkpoint_dir=DIR to know where "
@@ -396,7 +464,75 @@ int RealMain(int argc, char** argv) {
     }
   }
 
-  if (method == "parafac" || method == "parafac-nn") {
+  if (!ingest_log.empty()) {
+    options.nonnegative = method == "parafac-nn";
+    Result<DeltaLog> log =
+        LoadIngestLog(ingest_log, tensor->dims(), *epoch_nnz);
+    if (!log.ok()) {
+      std::fprintf(stderr, "--ingest_log: %s\n",
+                   log.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ingest log %s: %lld epochs, %lld stored entries\n",
+                ingest_log.c_str(), (long long)log->num_epochs(),
+                (long long)log->sealed_nnz());
+
+    IncrementalRefitOptions refit_options;
+    refit_options.als = options;
+    refit_options.rank = *rank;
+    refit_options.incremental = incremental;
+    IncrementalRefitSession session(&engine, std::move(*tensor),
+                                    refit_options);
+    if (resume == "true") {
+      if (checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "bare --resume needs --checkpoint_dir=DIR to know where "
+                     "the checkpoints live\n");
+        return 1;
+      }
+      Status warm = session.WarmStartFromCheckpointDir(checkpoint_dir);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "--resume: %s\n", warm.ToString().c_str());
+        return 1;
+      }
+      std::printf("warm-starting the base fit from a checkpoint under %s\n",
+                  checkpoint_dir.c_str());
+    }
+    run_status = session.FitBase();
+    for (int64_t e = 0; run_status.ok() && e < log->num_epochs(); ++e) {
+      run_status = session.RefitWithDelta(log->epoch(e));
+    }
+    if (run_status.ok()) {
+      const RefitCounters& rc = session.counters();
+      has_fit = true;
+      fit = session.model().fit;
+      iterations_run = static_cast<int>(rc.iterations);
+      has_refit = true;
+      refit_report.epochs = rc.epochs;
+      refit_report.delta_nnz = rc.delta_nnz;
+      refit_report.merge_seconds = rc.merge_seconds;
+      refit_report.refit_seconds = rc.refit_seconds;
+      refit_report.refit_iterations = rc.iterations;
+      refit_report.incremental = incremental;
+      std::printf(
+          "%s rank %lld (%s): %lld epochs ingested (%lld delta nnz), "
+          "final fit %.4f, %d ALS iterations, merge %s + refit %s "
+          "(%s wall)\n",
+          method.c_str(), (long long)*rank,
+          incremental ? "incremental" : "full refit", (long long)rc.epochs,
+          (long long)rc.delta_nnz, fit, iterations_run,
+          HumanSeconds(rc.merge_seconds).c_str(),
+          HumanSeconds(rc.refit_seconds).c_str(),
+          HumanSeconds(timer.ElapsedSeconds()).c_str());
+      if (!output.empty()) {
+        output_status = WriteKruskalOutput(session.model(), output);
+        if (output_status.ok()) {
+          std::printf("wrote %s.mode*.txt and %s.lambda.txt\n",
+                      output.c_str(), output.c_str());
+        }
+      }
+    }
+  } else if (method == "parafac" || method == "parafac-nn") {
     options.nonnegative = method == "parafac-nn";
     Result<KruskalModel> model =
         Haten2ParafacAls(&engine, *tensor, *rank, options);
@@ -503,6 +639,7 @@ int RealMain(int argc, char** argv) {
     const std::vector<distributed::WorkerStats> worker_stats =
         engine.WorkerStatsSnapshot();
     report.workers = &worker_stats;
+    if (has_refit) report.refit = &refit_report;
     Status json_status = WriteStatsJsonFile(report, stats_json);
     if (!json_status.ok()) {
       std::fprintf(stderr, "--stats_json: %s\n",
